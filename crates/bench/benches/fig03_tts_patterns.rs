@@ -1,0 +1,76 @@
+//! Figure 3 — (left) accuracy vs latency across TTS methods on MATH-500;
+//! (right) average and maximum thinking-step token counts on AIME.
+
+use ftts_bench::server_pair;
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_metrics::Table;
+use ftts_model::{GeneratorProfile, SyntheticGenerator};
+use ftts_search::SearchKind;
+use ftts_workload::Dataset;
+
+fn main() {
+    // Left: Best-of-N vs Beam Search vs DVTS on MATH-500 (baseline
+    // serving system, as in the motivation study).
+    let (base, _fast) = server_pair(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b());
+    let problems = Dataset::Math500.problems(20, 7);
+    let mut t = Table::new(vec!["method", "accuracy (%)", "latency (s)"]);
+    for kind in [SearchKind::BestOfN, SearchKind::BeamSearch, SearchKind::Dvts] {
+        let mut correct = 0;
+        let mut latency = 0.0;
+        for p in &problems {
+            let o = base.serve(p, 16, kind).expect("serve");
+            correct += usize::from(o.top1_correct());
+            latency += o.latency();
+        }
+        t.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", 100.0 * correct as f64 / problems.len() as f64),
+            format!("{:.1}", latency / problems.len() as f64),
+        ]);
+    }
+    t.print("Fig. 3 (left) — accuracy vs latency across TTS methods, MATH-500");
+    println!("paper: BoN 50.0% @ 179.5 s < Beam 54.5% @ 207.0 s < DVTS 56.5% @ 291.5 s");
+
+    // Right: token count per generation step (average and max across
+    // 2000 sampled reasoning paths per step index).
+    let gen = SyntheticGenerator::new(GeneratorProfile::qwen25_math_1_5b());
+    let problems = Dataset::Aime2024.problems(8, 3);
+    let mut t = Table::new(vec!["step", "avg tokens", "max tokens", "max/avg"]);
+    for step_idx in 1..=10u32 {
+        let mut total = 0u64;
+        let mut max = 0u64;
+        let mut count = 0u64;
+        for p in &problems {
+            for path in 0..250u64 {
+                let mut node = gen.root_latent(p);
+                let mut tokens = 0;
+                for depth in 0..step_idx {
+                    if node.terminal {
+                        break;
+                    }
+                    let plan = gen.plan_step(p, &node, path.wrapping_add(depth as u64 * 31));
+                    tokens = plan.n_tokens;
+                    node = plan.latent;
+                }
+                if node.depth == step_idx {
+                    total += tokens;
+                    max = max.max(tokens);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        let avg = total as f64 / count as f64;
+        t.row(vec![
+            step_idx.to_string(),
+            format!("{avg:.0}"),
+            max.to_string(),
+            format!("{:.1}", max as f64 / avg),
+        ]);
+    }
+    t.print("Fig. 3 (right) — tokens per generation step, AIME (Qwen2.5-Math-1.5B)");
+    println!("paper: average ~200 tokens/step with outliers up to ~1200 at every step");
+}

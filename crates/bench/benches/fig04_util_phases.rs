@@ -1,0 +1,52 @@
+//! Figure 4 — GPU compute utilization over time in the generation and
+//! verification phases (the straggler-induced decay motivating
+//! Speculative Beam Extension).
+
+use ftts_core::TtsServer;
+use ftts_engine::ModelPairing;
+use ftts_hw::{GpuDevice, Phase};
+use ftts_metrics::Table;
+use ftts_search::SearchKind;
+use ftts_workload::Dataset;
+
+fn main() {
+    let mut server =
+        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    server.config_mut().trace = true;
+    let problem = Dataset::Aime2024.problems(1, 5)[0];
+    let out = server.serve(&problem, 64, SearchKind::BeamSearch).expect("serve");
+    let trace = out.stats.trace.expect("trace enabled");
+
+    let gen_mean = 100.0 * trace.mean_util(Some(Phase::Generation));
+    let ver_mean = 100.0 * trace.mean_util(Some(Phase::Verification));
+    println!("\n== Fig. 4 — GPU compute utilization by phase (vLLM baseline, 1.5B+1.5B, AIME) ==");
+    println!("mean generation-phase util:   {gen_mean:.1}%  (irregular, decays as beams finish)");
+    println!("mean verification-phase util: {ver_mean:.1}%  (uniform prefill)");
+
+    // Decay within one generation phase: bucket the first phase's
+    // samples into deciles of its duration.
+    let samples = trace.samples();
+    let first_ver = samples
+        .iter()
+        .position(|s| s.phase == Phase::Verification)
+        .unwrap_or(samples.len());
+    let gen_span: f64 = samples[..first_ver].iter().map(|s| s.duration).sum();
+    let mut t = Table::new(vec!["phase-time decile", "generation util (%)"]);
+    let mut acc = 0.0;
+    let mut bucket = vec![0.0f64; 10];
+    let mut weight = vec![0.0f64; 10];
+    for s in &samples[..first_ver] {
+        let idx = ((acc / gen_span) * 10.0).min(9.0) as usize;
+        bucket[idx] += s.util * s.duration;
+        weight[idx] += s.duration;
+        acc += s.duration;
+    }
+    for (i, (b, w)) in bucket.iter().zip(&weight).enumerate() {
+        let util = if *w > 0.0 { 100.0 * b / w } else { 0.0 };
+        t.row(vec![format!("{}0%", i + 1), format!("{util:.1}")]);
+    }
+    t.print("generation-phase utilization over time (first TTS iteration)");
+    println!("paper: utilization peaks at the start of generation, then progressively decays");
+    println!("       while verification sustains uniform high utilization");
+    assert!(ver_mean > gen_mean, "verification must out-utilize generation");
+}

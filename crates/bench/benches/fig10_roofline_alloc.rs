@@ -1,0 +1,55 @@
+//! Figure 10 — Roofline-Guided KV Allocation: optimal prefill/decode
+//! batch sizes and the resulting normalized throughput as the available
+//! KV memory grows.
+
+use ftts_core::RooflinePlanner;
+use ftts_engine::{EngineConfig, MemoryPlanner, ModelPairing, PlanContext};
+use ftts_hw::{GpuDevice, GB};
+use ftts_metrics::Table;
+
+fn main() {
+    let cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let mut planner = RooflinePlanner::new();
+    let n = 256usize;
+    let mut t = Table::new(vec![
+        "KV budget (GB)",
+        "B_pre (verifier)",
+        "B_dec (generator)",
+        "gen share (%)",
+        "norm. throughput (%)",
+    ]);
+    let budgets: Vec<f64> = [0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0].to_vec();
+    let mut results = Vec::new();
+    for gb in &budgets {
+        let budget = (gb * GB as f64) as u64;
+        let ctx = PlanContext {
+            kv_budget_bytes: budget,
+            n_beams: n,
+            avg_ctx: 768,
+            step_tokens: 200,
+            ver_seq: 968,
+            tree_tokens: n as u64 * 320 + 768,
+            ver_caching: true,
+        };
+        let plan = planner.plan(&cfg, &ctx);
+        let gen_per_seq = cfg.models.gen_spec.kv_bytes(968).max(1);
+        let b_dec = ((plan.gen_kv_bytes / gen_per_seq) as usize).clamp(1, n);
+        // Proxy throughput: decode tokens/s at the planned batch.
+        let roof = ftts_hw::Roofline::new(cfg.device.clone(), cfg.models.gen_spec.clone());
+        let thr = roof.decode_throughput(b_dec, 868);
+        results.push((gb, plan, b_dec, thr));
+    }
+    let peak = results.iter().map(|r| r.3).fold(0.0, f64::max).max(1e-9);
+    for (gb, plan, b_dec, thr) in results {
+        t.row(vec![
+            format!("{gb:.2}"),
+            plan.ver_batch.to_string(),
+            b_dec.to_string(),
+            format!("{:.0}", 100.0 * plan.gen_kv_bytes as f64 / (gb * GB as f64)),
+            format!("{:.0}", 100.0 * thr / peak),
+        ]);
+    }
+    t.print("Fig. 10 — roofline-guided allocation vs available KV memory (1.5B+1.5B, n=256)");
+    println!("paper: both optimal batch sizes and throughput grow with memory; the verifier's");
+    println!("       share stays small once its batch saturates, throughput normalized to peak");
+}

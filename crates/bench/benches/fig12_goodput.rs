@@ -1,0 +1,43 @@
+//! Figure 12 — end-to-end precise-goodput improvement of FastTTS over
+//! the vLLM baseline: three model configurations × AIME/AMC × beam
+//! counts. This is the paper's headline result (average 2.2x).
+
+use ftts_bench::{n_grid, pairings, problems_for, run_set, server_pair, speedup};
+use ftts_hw::GpuDevice;
+use ftts_metrics::{Summary, Table};
+use ftts_search::SearchKind;
+use ftts_workload::Dataset;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "config", "dataset", "n", "baseline (tok/s)", "FastTTS (tok/s)", "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for pairing in pairings() {
+        for dataset in [Dataset::Aime2024, Dataset::Amc2023] {
+            let (base, fast) = server_pair(GpuDevice::rtx4090(), pairing.clone());
+            for n in n_grid() {
+                let problems = problems_for(dataset, n, 12);
+                let (bg, _, _) =
+                    run_set(&base, &problems, n, SearchKind::BeamSearch).expect("baseline");
+                let (fg, _, _) =
+                    run_set(&fast, &problems, n, SearchKind::BeamSearch).expect("fasttts");
+                speedups.push(fg / bg);
+                t.row(vec![
+                    pairing.label(),
+                    dataset.label().to_string(),
+                    n.to_string(),
+                    format!("{bg:.2}"),
+                    format!("{fg:.2}"),
+                    speedup(fg, bg),
+                ]);
+            }
+        }
+    }
+    t.print("Fig. 12 — FastTTS goodput improvement (beam search)");
+    let avg = Summary::geomean(&speedups);
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("average (geomean) speedup: {avg:.2}x   range: {min:.2}x-{max:.2}x");
+    println!("paper: average 2.2x, range 1.2x-5.4x, growing with n");
+}

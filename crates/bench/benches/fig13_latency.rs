@@ -1,0 +1,69 @@
+//! Figure 13 — completion latency and its generator/verifier breakdown,
+//! baseline vs FastTTS across configurations and datasets.
+
+use ftts_bench::{pairings, problems_for, run_set, server_pair};
+use ftts_hw::GpuDevice;
+use ftts_metrics::Table;
+use ftts_search::SearchKind;
+use ftts_workload::Dataset;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "config",
+        "dataset",
+        "n",
+        "base lat (s)",
+        "base gen/ver",
+        "fast lat (s)",
+        "fast gen/ver",
+        "reduction",
+    ]);
+    let mut reductions = Vec::new();
+    let mut ver_cuts = Vec::new();
+    let mut gen_cuts = Vec::new();
+    for pairing in pairings() {
+        for dataset in [Dataset::Aime2024, Dataset::Amc2023] {
+            let (base, fast) = server_pair(GpuDevice::rtx4090(), pairing.clone());
+            for n in [8usize, 64, 256] {
+                let problems = problems_for(dataset, n, 33);
+                let (_, bl, bouts) =
+                    run_set(&base, &problems, n, SearchKind::BeamSearch).expect("baseline");
+                let (_, fl, fouts) =
+                    run_set(&fast, &problems, n, SearchKind::BeamSearch).expect("fasttts");
+                let mean = |outs: &[ftts_core::ServeOutcome], f: &dyn Fn(&ftts_metrics::LatencyBreakdown) -> f64| {
+                    outs.iter().map(|o| f(o.stats.breakdown())).sum::<f64>() / outs.len() as f64
+                };
+                let bgen = mean(&bouts, &|b| b.generator_side());
+                let bver = mean(&bouts, &|b| b.verifier);
+                let fgen = mean(&fouts, &|b| b.generator_side());
+                let fver = mean(&fouts, &|b| b.verifier);
+                reductions.push(1.0 - fl / bl);
+                if bver > 0.0 {
+                    ver_cuts.push(1.0 - fver / bver);
+                }
+                if bgen > 0.0 {
+                    gen_cuts.push(1.0 - fgen / bgen);
+                }
+                t.row(vec![
+                    pairing.label(),
+                    dataset.label().to_string(),
+                    n.to_string(),
+                    format!("{bl:.1}"),
+                    format!("{bgen:.0}/{bver:.0}"),
+                    format!("{fl:.1}"),
+                    format!("{fgen:.0}/{fver:.0}"),
+                    format!("{:.0}%", 100.0 * (1.0 - fl / bl)),
+                ]);
+            }
+        }
+    }
+    t.print("Fig. 13 — completion latency with generator/verifier breakdown");
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "average latency reduction: {:.0}%   verifier-latency cut: {:.0}%   generator cut: {:.0}%",
+        avg(&reductions),
+        avg(&ver_cuts),
+        avg(&gen_cuts)
+    );
+    println!("paper: latency reduced 38%-68%; verifier latency cut 75%-85%; generator 36%-66%");
+}

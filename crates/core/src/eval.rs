@@ -1,0 +1,132 @@
+//! Dataset-level evaluation sweeps shared by the figure harnesses.
+
+use ftts_engine::EngineError;
+use ftts_metrics::{pass_at_n, LatencyBreakdown, Summary};
+use ftts_search::SearchKind;
+use ftts_workload::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::server::TtsServer;
+
+/// What to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Beams per request (`n`).
+    pub n: usize,
+    /// Search algorithm.
+    pub kind: SearchKind,
+    /// Number of problems from the dataset.
+    pub problems: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// A small default sweep for quick runs.
+    pub fn quick(n: usize) -> Self {
+        Self { n, kind: SearchKind::BeamSearch, problems: 8, seed: 20240 }
+    }
+}
+
+/// Aggregated results over a problem set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Mean precise goodput, tokens/s.
+    pub goodput: f64,
+    /// Mean end-to-end completion latency, seconds.
+    pub latency: f64,
+    /// Mean latency breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Top-1 (majority-vote) accuracy over the problem set.
+    pub top1: f64,
+    /// Pass@N accuracy at N ∈ {1, 4, 16, 64, n}.
+    pub pass_at: Vec<(usize, f64)>,
+    /// Mean speculative-token efficiency (0 when speculation is off).
+    pub spec_efficiency: f64,
+    /// Total evicted KV blocks (generator) across the sweep.
+    pub evicted_blocks: u64,
+    /// Per-problem goodput spread.
+    pub goodput_summary: Summary,
+}
+
+/// Run `server` over the first `cfg.problems` problems of `dataset` and
+/// aggregate the paper's metrics.
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] (infeasible memory budget).
+pub fn evaluate(
+    server: &TtsServer,
+    dataset: Dataset,
+    cfg: EvalConfig,
+) -> Result<EvalSummary, EngineError> {
+    let problems = dataset.problems(cfg.problems, cfg.seed);
+    let mut goodputs = Vec::with_capacity(problems.len());
+    let mut latencies = Vec::with_capacity(problems.len());
+    let mut breakdown = LatencyBreakdown::default();
+    let mut top1 = 0usize;
+    let ns: Vec<usize> =
+        [1usize, 4, 16, 64].iter().copied().filter(|&k| k < cfg.n).chain([cfg.n]).collect();
+    let mut passes = vec![0usize; ns.len()];
+    let mut spec_eff = 0.0;
+    let mut evicted = 0u64;
+    for problem in &problems {
+        let outcome = server.serve(problem, cfg.n, cfg.kind)?;
+        goodputs.push(outcome.goodput());
+        latencies.push(outcome.latency());
+        breakdown.accumulate(outcome.stats.breakdown());
+        if outcome.top1_correct() {
+            top1 += 1;
+        }
+        let candidates = outcome.stats.candidates();
+        for (slot, &k) in ns.iter().enumerate() {
+            if pass_at_n(&candidates, k) {
+                passes[slot] += 1;
+            }
+        }
+        spec_eff += outcome.stats.spec.efficiency();
+        evicted += outcome.stats.gen_cache.evicted_blocks;
+    }
+    let count = problems.len().max(1) as f64;
+    Ok(EvalSummary {
+        goodput: goodputs.iter().sum::<f64>() / count,
+        latency: latencies.iter().sum::<f64>() / count,
+        breakdown: breakdown.scaled(1.0 / count),
+        top1: top1 as f64 / count,
+        pass_at: ns.iter().zip(passes).map(|(&k, p)| (k, p as f64 / count)).collect(),
+        spec_efficiency: spec_eff / count,
+        evicted_blocks: evicted,
+        goodput_summary: Summary::of(&goodputs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftts_engine::ModelPairing;
+    use ftts_hw::GpuDevice;
+
+    #[test]
+    fn evaluate_aggregates_over_problems() {
+        let server =
+            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let cfg = EvalConfig { n: 8, kind: SearchKind::BeamSearch, problems: 4, seed: 5 };
+        let summary = evaluate(&server, Dataset::Amc2023, cfg).unwrap();
+        assert!(summary.goodput > 0.0);
+        assert!(summary.latency > 0.0);
+        assert!((0.0..=1.0).contains(&summary.top1));
+        assert_eq!(summary.goodput_summary.n, 4);
+        // Pass@N grid ends at n itself and is monotone.
+        assert_eq!(summary.pass_at.last().unwrap().0, 8);
+        for w in summary.pass_at.windows(2) {
+            assert!(w[1].1 >= w[0].1, "pass@N must be monotone in N");
+        }
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let cfg = EvalConfig::quick(16);
+        assert_eq!(cfg.n, 16);
+        assert!(cfg.problems <= 16);
+    }
+}

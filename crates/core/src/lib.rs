@@ -1,0 +1,57 @@
+//! **FastTTS** — a serving system that makes verifier-guided Test-Time
+//! Scaling practical on memory-constrained edge devices.
+//!
+//! This crate is the paper's primary contribution, layered on the
+//! `ftts-engine` substrate as three synergistic optimizations plus a
+//! plug-and-play serving facade:
+//!
+//! * **Speculative Beam Extension (S)** — configured via
+//!   [`SpecConfig`]: idle GPU slots left by straggler reasoning paths are
+//!   filled with speculative future steps, prioritized by SelectSPEC
+//!   score bins, with LookAhead Verification piggybacking completed
+//!   continuations onto the current verifier pass (Sec. 4.1).
+//! * **Dynamic Prefix-Aware Scheduling (P)** — [`PrefixAwareOrder`]
+//!   greedily orders the frontier to maximize consecutive shared
+//!   prefixes, minimizing KV-cache evictions (Sec. 4.2, Appendix A).
+//!   [`WorstCaseOrder`] is the adversarial ablation baseline.
+//! * **Asymmetric Multi-Model Memory Allocation (M)** —
+//!   [`RooflinePlanner`] runs the paper's linear search over verifier
+//!   batch sizes to find the KV split minimizing total iteration time,
+//!   and extends the search space with KV offloading when memory is
+//!   extremely constrained (Sec. 4.3).
+//!
+//! [`TtsServer`] bundles it all: `TtsServer::fasttts(...)` serves with
+//! every optimization on; `TtsServer::vllm_baseline(...)` reproduces the
+//! paper's baseline (two statically-sized vLLM instances, FIFO
+//! scheduling, no speculation). [`AblationFlags`] selects any subset for
+//! the Fig. 16/18 breakdowns. [`ServerSim`] replays request arrival
+//! streams with two-phase preemptive scheduling (Sec. 4.1.2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftts_core::TtsServer;
+//! use ftts_engine::ModelPairing;
+//! use ftts_hw::GpuDevice;
+//! use ftts_search::SearchKind;
+//! use ftts_workload::Dataset;
+//!
+//! let problem = Dataset::Aime2024.problems(1, 7)[0];
+//! let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+//! let outcome = server.serve(&problem, 16, SearchKind::BeamSearch)?;
+//! assert!(outcome.goodput() > 0.0);
+//! # Ok::<(), ftts_engine::EngineError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod memalloc;
+mod prefix_sched;
+mod server;
+
+pub use eval::{evaluate, EvalConfig, EvalSummary};
+pub use ftts_engine::{EngineError, SpecConfig};
+pub use memalloc::RooflinePlanner;
+pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
+pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};

@@ -1,0 +1,374 @@
+//! The FastTTS serving facade and the multi-request stream simulator.
+
+use ftts_engine::{RandomOrder, 
+    Engine, EngineConfig, EngineError, MemoryPlanner, ModelPairing, OrderPolicy,
+    RunStats, SearchDriver, SpecConfig, StaticSplitPlanner,
+};
+use ftts_hw::GpuDevice;
+use ftts_model::ProblemSpec;
+use ftts_search::{make_driver, SearchKind};
+use ftts_workload::RequestArrival;
+use serde::{Deserialize, Serialize};
+
+use crate::memalloc::RooflinePlanner;
+use crate::prefix_sched::PrefixAwareOrder;
+
+/// Which of the three FastTTS optimizations are active — the knobs behind
+/// the paper's ablation studies (Fig. 16, Fig. 18 right).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationFlags {
+    /// Dynamic Prefix-Aware Scheduling (P).
+    pub prefix_aware: bool,
+    /// Asymmetric Multi-Model Memory Allocation (M).
+    pub asym_memory: bool,
+    /// Speculative Beam Extension incl. LookAhead Verification (S).
+    pub speculation: bool,
+    /// Allow the offloading extension of the memory allocator.
+    pub offload: bool,
+}
+
+impl AblationFlags {
+    /// The vLLM baseline: nothing on.
+    pub fn baseline() -> Self {
+        Self { prefix_aware: false, asym_memory: false, speculation: false, offload: false }
+    }
+
+    /// Full FastTTS: everything on.
+    pub fn fasttts() -> Self {
+        Self { prefix_aware: true, asym_memory: true, speculation: true, offload: false }
+    }
+
+    /// Full FastTTS plus the offloading search space (for ≤ 8 GB GPUs).
+    pub fn fasttts_offload() -> Self {
+        Self { offload: true, ..Self::fasttts() }
+    }
+
+    /// The cumulative ablation ladder of Fig. 16: P, then M+P, then
+    /// M+P+S.
+    pub fn ladder() -> [(&'static str, AblationFlags); 3] {
+        [
+            ("P", AblationFlags { prefix_aware: true, ..AblationFlags::baseline() }),
+            (
+                "M+P",
+                AblationFlags {
+                    prefix_aware: true,
+                    asym_memory: true,
+                    ..AblationFlags::baseline()
+                },
+            ),
+            ("M+P+S", AblationFlags::fasttts()),
+        ]
+    }
+
+    /// Short label like `"P+M+S"` (baseline prints `"vLLM"`).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.prefix_aware {
+            parts.push("P");
+        }
+        if self.asym_memory {
+            parts.push("M");
+        }
+        if self.speculation {
+            parts.push("S");
+        }
+        if parts.is_empty() {
+            "vLLM".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Result of serving one TTS request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    /// Full engine statistics.
+    pub stats: RunStats,
+    /// The answer picked by majority voting, if any.
+    pub answer: Option<u32>,
+}
+
+impl ServeOutcome {
+    /// Precise goodput (tokens/s) of the run.
+    pub fn goodput(&self) -> f64 {
+        self.stats.goodput()
+    }
+
+    /// End-to-end completion latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.stats.latency()
+    }
+
+    /// Whether majority voting found the correct answer.
+    pub fn top1_correct(&self) -> bool {
+        self.stats.top1_correct()
+    }
+}
+
+/// A TTS serving system: a device, a generator/verifier pairing and a
+/// set of optimizations. This is the paper's "plug-and-play third-party
+/// library" surface.
+#[derive(Debug, Clone)]
+pub struct TtsServer {
+    config: EngineConfig,
+    flags: AblationFlags,
+}
+
+impl TtsServer {
+    /// FastTTS with every optimization enabled (paper defaults).
+    pub fn fasttts(device: GpuDevice, models: ModelPairing) -> Self {
+        Self::with_flags(device, models, AblationFlags::fasttts())
+    }
+
+    /// The paper's baseline: two static vLLM instances, FIFO scheduling,
+    /// no speculation.
+    pub fn vllm_baseline(device: GpuDevice, models: ModelPairing) -> Self {
+        Self::with_flags(device, models, AblationFlags::baseline())
+    }
+
+    /// Any ablation combination.
+    pub fn with_flags(device: GpuDevice, models: ModelPairing, flags: AblationFlags) -> Self {
+        Self::from_config(EngineConfig::baseline(device, models), flags)
+    }
+
+    /// Build from a fully custom engine config (advanced use). The
+    /// config's `spec` and verifier-caching fields are derived from
+    /// `flags.speculation`.
+    pub fn from_config(mut config: EngineConfig, flags: AblationFlags) -> Self {
+        config.spec =
+            if flags.speculation { SpecConfig::fasttts_default() } else { SpecConfig::disabled() };
+        // Incremental verifier caching is what LookAhead exploits; the
+        // baseline re-prefills each verification (HF search-and-learn).
+        config.ver_prefix_caching = flags.speculation;
+        Self { config, flags }
+    }
+
+    /// The active optimization flags.
+    pub fn flags(&self) -> &AblationFlags {
+        &self.flags
+    }
+
+    /// The underlying engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access for experiment-specific tweaks (memory fraction,
+    /// tracing, seeds, truncation ratio…).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    fn order_policy(&self) -> Box<dyn OrderPolicy> {
+        if self.flags.prefix_aware {
+            Box::new(PrefixAwareOrder::new())
+        } else {
+            // vLLM's effective running order under continuous batching is
+            // arbitrary with respect to prefix locality (the paper's
+            // Fig. 5 right / Fig. 18 "random scheduling" baseline).
+            Box::new(RandomOrder::new(self.config.seed))
+        }
+    }
+
+    fn memory_planner(&self) -> Box<dyn MemoryPlanner> {
+        if self.flags.asym_memory {
+            if self.flags.offload {
+                Box::new(RooflinePlanner::with_offload())
+            } else {
+                Box::new(RooflinePlanner::new())
+            }
+        } else {
+            Box::new(StaticSplitPlanner)
+        }
+    }
+
+    /// Build a fresh engine with this server's policies.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.config.clone(), self.order_policy(), self.memory_planner())
+    }
+
+    /// Serve one problem with `n` beams using a named search algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when the KV budget cannot host a single
+    /// reasoning path.
+    pub fn serve(
+        &self,
+        problem: &ProblemSpec,
+        n: usize,
+        kind: SearchKind,
+    ) -> Result<ServeOutcome, EngineError> {
+        let mut driver = make_driver(kind, n, 4);
+        self.serve_with(problem, n, driver.as_mut())
+    }
+
+    /// Serve with a custom [`SearchDriver`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TtsServer::serve`].
+    pub fn serve_with(
+        &self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn SearchDriver,
+    ) -> Result<ServeOutcome, EngineError> {
+        let mut engine = self.engine();
+        let stats = engine.run(problem, n, driver)?;
+        let answer = ftts_metrics::top1_majority(&stats.answers());
+        Ok(ServeOutcome { stats, answer })
+    }
+}
+
+/// One served request in a stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServedRequest {
+    /// Arrival time of the request.
+    pub arrived_at: f64,
+    /// Time serving started (after queueing).
+    pub started_at: f64,
+    /// Time serving finished.
+    pub finished_at: f64,
+    /// The serve outcome.
+    pub outcome: ServeOutcome,
+}
+
+impl ServedRequest {
+    /// Queueing delay before service.
+    pub fn queue_delay(&self) -> f64 {
+        self.started_at - self.arrived_at
+    }
+
+    /// End-to-end latency including queueing.
+    pub fn total_latency(&self) -> f64 {
+        self.finished_at - self.arrived_at
+    }
+}
+
+/// Replays a request arrival stream against a server, applying the
+/// two-phase scheduling rule: Speculative Beam Extension only runs while
+/// the waiting queue is empty, and is preempted the moment the next
+/// request arrives (Sec. 4.1.2).
+#[derive(Debug, Clone)]
+pub struct ServerSim {
+    server: TtsServer,
+    n: usize,
+    kind: SearchKind,
+}
+
+impl ServerSim {
+    /// Simulate `server` answering requests with `n` beams each.
+    pub fn new(server: TtsServer, n: usize, kind: SearchKind) -> Self {
+        Self { server, n, kind }
+    }
+
+    /// Serve the arrival stream to completion (FIFO, batch size 1 as in
+    /// the paper's interactive setting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<Vec<ServedRequest>, EngineError> {
+        let mut clock = 0.0f64;
+        let mut served = Vec::with_capacity(arrivals.len());
+        for (i, req) in arrivals.iter().enumerate() {
+            let start = clock.max(req.at);
+            // Speculation must stop when the next request is waiting.
+            let next_arrival = arrivals.get(i + 1).map_or(f64::INFINITY, |a| a.at);
+            let spec_deadline = (next_arrival - start).max(0.0);
+            let mut engine = self.server.engine();
+            let mut driver = make_driver(self.kind, self.n, 4);
+            let stats =
+                engine.run_with_deadline(&req.problem, self.n, driver.as_mut(), spec_deadline)?;
+            let answer = ftts_metrics::top1_majority(&stats.answers());
+            let finish = start + stats.latency();
+            served.push(ServedRequest {
+                arrived_at: req.at,
+                started_at: start,
+                finished_at: finish,
+                outcome: ServeOutcome { stats, answer },
+            });
+            clock = finish;
+        }
+        Ok(served)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftts_workload::{ArrivalPattern, Dataset};
+
+    fn problem() -> ProblemSpec {
+        Dataset::Amc2023.problems(1, 3)[0]
+    }
+
+    #[test]
+    fn flags_labels() {
+        assert_eq!(AblationFlags::baseline().label(), "vLLM");
+        assert_eq!(AblationFlags::fasttts().label(), "P+M+S");
+        let ladder = AblationFlags::ladder();
+        assert_eq!(ladder[0].1.label(), "P");
+        assert_eq!(ladder[1].1.label(), "P+M");
+        assert_eq!(ladder[2].1.label(), "P+M+S");
+        assert!(AblationFlags::fasttts_offload().offload);
+    }
+
+    #[test]
+    fn fasttts_beats_baseline_on_goodput() {
+        let models = ModelPairing::pair_1_5b_1_5b();
+        let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), models.clone());
+        let fast = TtsServer::fasttts(GpuDevice::rtx4090(), models);
+        let p = problem();
+        let b = base.serve(&p, 32, SearchKind::BeamSearch).unwrap();
+        let f = fast.serve(&p, 32, SearchKind::BeamSearch).unwrap();
+        assert!(
+            f.goodput() > b.goodput(),
+            "fasttts {} must beat baseline {}",
+            f.goodput(),
+            b.goodput()
+        );
+        assert!(f.latency() < b.latency());
+        // Algorithmic equivalence: identical final answers.
+        assert_eq!(f.answer, b.answer);
+    }
+
+    #[test]
+    fn serve_with_custom_driver() {
+        let server =
+            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let mut driver = ftts_search::BeamSearch::new(8, 4);
+        let out = server.serve_with(&problem(), 8, &mut driver).unwrap();
+        assert!(out.goodput() > 0.0);
+    }
+
+    #[test]
+    fn server_sim_orders_and_queues_requests() {
+        let server =
+            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let sim = ServerSim::new(server, 8, SearchKind::BeamSearch);
+        let problems = Dataset::Amc2023.problems(3, 9);
+        let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+        let served = sim.run(&arrivals).unwrap();
+        assert_eq!(served.len(), 3);
+        // FIFO: each starts when the previous finished.
+        assert!(served[1].queue_delay() > 0.0);
+        assert!((served[1].started_at - served[0].finished_at).abs() < 1e-9);
+        // Queued requests preempt speculation entirely.
+        assert_eq!(served[0].outcome.stats.spec.spec_tokens, 0);
+        // The last request has no successor: speculation may run.
+        assert!(served[2].outcome.stats.spec.spec_tokens > 0);
+    }
+
+    #[test]
+    fn config_mut_allows_memory_tweaks() {
+        let mut server =
+            TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        server.config_mut().memory_fraction = 0.4;
+        assert_eq!(server.config().memory_fraction, 0.4);
+        let out = server.serve(&problem(), 8, SearchKind::BeamSearch).unwrap();
+        assert!(out.latency() > 0.0);
+    }
+}

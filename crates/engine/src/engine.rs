@@ -1,0 +1,1040 @@
+//! The serving engine: the verifier-guided TTS loop on a simulated clock.
+
+use ftts_hw::{Phase, Roofline, UtilizationTrace};
+use ftts_kv::{KvCache, KvCacheConfig, KvError, NodeId};
+use ftts_metrics::{BeamOutcome, LatencyBreakdown};
+use ftts_model::{normal, stream, ProblemSpec, StepPlan, SyntheticGenerator, SyntheticPrm};
+
+use crate::beam::{Beam, BeamId, BeamState, ScoredBeam, SpecBranch};
+use crate::config::EngineConfig;
+use crate::order::{OrderItem, OrderPolicy};
+use crate::planner::{MemoryPlan, MemoryPlanner, PlanContext};
+use crate::stats::RunStats;
+
+/// Context handed to [`SearchDriver::select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectCtx {
+    /// TTS iteration index (0-based).
+    pub iteration: u32,
+    /// Total beam budget `n` of the request.
+    pub n_target: usize,
+    /// Paths already completed (terminal).
+    pub completed: usize,
+}
+
+/// A TTS search algorithm, driving selection and branching.
+///
+/// The engine owns execution and timing; the driver owns the *search
+/// heuristics* — exactly the split the paper's pattern analysis justifies
+/// (Sec. 3.1: all mainstream TTS methods are instances of one
+/// generation/verification loop differing in these hooks).
+pub trait SearchDriver {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// Branching factor `B` (children per selected beam, and the bin
+    /// count for Speculative Candidate Selection).
+    fn branching(&self) -> usize;
+
+    /// Whether intermediate steps are verified (PRM). Best-of-N returns
+    /// `false`: only terminal outputs are scored (ORM).
+    fn verify_every_step(&self) -> bool {
+        true
+    }
+
+    /// Per-depth cap on thinking-step tokens (Varying Granularity hook).
+    fn step_token_cap(&self, _depth: u32) -> Option<u64> {
+        None
+    }
+
+    /// Decide expansions from the scored, non-terminal frontier. Each
+    /// returned pair is `(beam, number_of_children)`; beams not listed
+    /// are pruned.
+    fn select(&mut self, frontier: &[ScoredBeam], ctx: &SelectCtx) -> Vec<(BeamId, usize)>;
+}
+
+/// Fatal serving errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A single reasoning path cannot fit in the generator KV budget even
+    /// with everything else evicted. The configuration is infeasible
+    /// without offloading or a smaller search.
+    PathExceedsMemory {
+        /// Blocks the path needs.
+        needed: u64,
+        /// Capacity of the generator cache, in blocks.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::PathExceedsMemory { needed, capacity } => write!(
+                f,
+                "a single path needs {needed} KV blocks but the generator cache holds {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The serving engine. See the crate docs for the execution model.
+pub struct Engine {
+    config: EngineConfig,
+    order: Box<dyn OrderPolicy>,
+    planner: Box<dyn MemoryPlanner>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("device", &self.config.device.name)
+            .field("models", &self.config.models.label())
+            .field("order", &self.order.name())
+            .field("planner", &self.planner.name())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Build an engine with the given scheduling and memory policies.
+    pub fn new(
+        config: EngineConfig,
+        order: Box<dyn OrderPolicy>,
+        planner: Box<dyn MemoryPlanner>,
+    ) -> Self {
+        Self { config, order, planner }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Serve one TTS request with `n` parallel beams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when a single path
+    /// cannot fit in the generator's KV allocation.
+    pub fn run(
+        &mut self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn SearchDriver,
+    ) -> Result<RunStats, EngineError> {
+        self.run_with_deadline(problem, n, driver, f64::INFINITY)
+    }
+
+    /// Like [`Engine::run`], but speculation is disallowed once the clock
+    /// passes `spec_off_after` — modelling a new request entering the
+    /// waiting queue (two-phase scheduling, Sec. 4.1.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_with_deadline(
+        &mut self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn SearchDriver,
+        spec_off_after: f64,
+    ) -> Result<RunStats, EngineError> {
+        assert!(n > 0, "need at least one beam");
+        let mut run = Run::new(self, problem, spec_off_after);
+        run.serve(n, driver)?;
+        Ok(run.finish())
+    }
+}
+
+/// Transient speculative decoding task (one filled slot).
+struct SpecTask {
+    beam: usize,
+    branch: u64,
+    node: NodeId,
+    plan: StepPlan,
+    eps: f64,
+    target: u64,
+    generated: u64,
+}
+
+/// All per-request state.
+struct Run<'e> {
+    cfg: &'e EngineConfig,
+    order: &'e mut dyn OrderPolicy,
+    planner: &'e mut dyn MemoryPlanner,
+    gen_roof: Roofline,
+    ver_roof: Roofline,
+    generator: SyntheticGenerator,
+    prm: SyntheticPrm,
+    gen_kv: KvCache,
+    ver_kv: KvCache,
+    ver_root: NodeId,
+    problem: ProblemSpec,
+    clock: f64,
+    breakdown: LatencyBreakdown,
+    beams: Vec<Beam>,
+    frontier: Vec<usize>,
+    stats: RunStats,
+    trace: Option<UtilizationTrace>,
+    spec_off_after: f64,
+    plan: MemoryPlan,
+    born_counter: u32,
+    root_eps: f64,
+}
+
+impl<'e> Run<'e> {
+    fn new(engine: &'e mut Engine, problem: &ProblemSpec, spec_off_after: f64) -> Self {
+        let cfg = &engine.config;
+        let gen_roof = Roofline::new(cfg.device.clone(), cfg.models.gen_spec.clone());
+        let ver_roof = Roofline::new(cfg.device.clone(), cfg.models.ver_spec.clone());
+        let budget = cfg.kv_budget_bytes();
+        // Initial half/half placeholder; the planner repartitions before
+        // the first generation phase.
+        let mut gen_kv = KvCache::new(KvCacheConfig {
+            block_size: cfg.block_size,
+            capacity_bytes: budget / 2,
+            bytes_per_token: cfg.models.gen_spec.kv_bytes_per_token(),
+            prefix_sharing: cfg.prefix_sharing,
+        });
+        let mut ver_kv = KvCache::new(KvCacheConfig {
+            block_size: cfg.block_size,
+            capacity_bytes: budget / 2,
+            bytes_per_token: cfg.models.ver_spec.kv_bytes_per_token(),
+            prefix_sharing: cfg.prefix_sharing,
+        });
+        let problem = ProblemSpec { seed: ftts_model::mix64(problem.seed, cfg.seed), ..*problem };
+        let generator = SyntheticGenerator::new(cfg.models.gen_profile.clone());
+        let prm = SyntheticPrm::new(cfg.models.prm_profile.clone());
+        let gen_root = gen_kv.root(problem.prompt_tokens).expect("root");
+        let ver_root = ver_kv.root(problem.prompt_tokens).expect("ver root");
+        let root_eps = prm.root_eps(problem.seed);
+        let trace = if cfg.trace { Some(UtilizationTrace::new()) } else { None };
+        let mut run = Self {
+            order: engine.order.as_mut(),
+            planner: engine.planner.as_mut(),
+            gen_roof,
+            ver_roof,
+            generator,
+            prm,
+            gen_kv,
+            ver_kv,
+            ver_root,
+            problem,
+            clock: 0.0,
+            breakdown: LatencyBreakdown::default(),
+            beams: Vec::new(),
+            frontier: Vec::new(),
+            stats: RunStats { correct_answer: problem.correct_answer(), ..RunStats::default() },
+            trace,
+            spec_off_after,
+            plan: MemoryPlan { gen_kv_bytes: budget / 2, ver_kv_bytes: budget / 2, ver_batch: 8, offload: false },
+            born_counter: 0,
+            root_eps,
+            cfg: &engine.config,
+        };
+        // The prompt must be prefilled once by the generator before any
+        // decoding; charged to the generator bucket.
+        let cost = run.gen_roof.prefill(run.problem.prompt_tokens, 0);
+        run.advance(cost.seconds, cost.compute_util, Phase::Generation);
+        run.breakdown.generator += cost.seconds;
+        run.frontier.clear();
+        run.root_beam(gen_root);
+        run
+    }
+
+    /// Record a pseudo-beam for the prompt so initial expansion can share
+    /// the branching code path.
+    fn root_beam(&mut self, gen_root: NodeId) {
+        let latent = self.generator.root_latent(&self.problem);
+        self.beams.push(Beam {
+            id: BeamId(0),
+            parent: None,
+            subtree: 0,
+            kv: gen_root,
+            ver_kv: Some(self.ver_root),
+            latent,
+            eps: self.root_eps,
+            score: Some(0.5),
+            prev_score: 0.5,
+            step_target: 0,
+            step_done: 0,
+            preverified: None,
+            state: BeamState::Active,
+            spec: Vec::new(),
+            completed_at: None,
+        });
+        self.born_counter = 1;
+    }
+
+    fn advance(&mut self, seconds: f64, util: f64, phase: Phase) {
+        if seconds <= 0.0 {
+            return;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.clock, seconds, util, phase);
+        }
+        self.clock += seconds;
+    }
+
+    fn serve(&mut self, n: usize, driver: &mut dyn SearchDriver) -> Result<(), EngineError> {
+        // The prompt itself must fit in the generator cache, or no path
+        // ever can.
+        let root_kv = self.beams[0].kv;
+        match self.gen_kv.pin(root_kv) {
+            Ok(_) => self.gen_kv.unpin(root_kv),
+            Err(_) => {
+                return Err(EngineError::PathExceedsMemory {
+                    needed: self.gen_kv.blocks_needed(root_kv, 0),
+                    capacity: self.gen_kv.config().capacity_blocks(),
+                })
+            }
+        }
+        // Initial expansion: n children of the prompt, subtree i for DVTS.
+        let initial: Vec<(usize, usize)> = vec![(0, n)];
+        self.branch(&initial, driver, true)?;
+
+        let max_iterations = self.problem.steps.max_depth + 4;
+        let mut iteration = 0u32;
+        while !self.frontier.is_empty() && iteration < max_iterations {
+            self.replan(driver);
+            let order = self.generation_phase(driver)?;
+            self.verification_phase(driver, &order);
+            self.retire_terminals();
+            if self.frontier.is_empty() {
+                break;
+            }
+            let ctx = SelectCtx {
+                iteration,
+                n_target: n,
+                completed: self.stats.beams.len(),
+            };
+            let scored: Vec<ScoredBeam> = self
+                .frontier
+                .iter()
+                .map(|&i| self.scored_view(i))
+                .collect();
+            let picks = driver.select(&scored, &ctx);
+            let picks: Vec<(usize, usize)> =
+                picks.into_iter().map(|(id, c)| (id.0 as usize, c)).collect();
+            self.branch(&picks, driver, false)?;
+            iteration += 1;
+        }
+        self.stats.iterations = iteration;
+        self.stats.completion.latency = self.clock;
+        self.stats.completion.breakdown = self.breakdown;
+        Ok(())
+    }
+
+    fn scored_view(&self, idx: usize) -> ScoredBeam {
+        let b = &self.beams[idx];
+        ScoredBeam {
+            id: b.id,
+            score: b.score.unwrap_or(b.prev_score),
+            depth: b.latent.depth,
+            terminal: b.latent.terminal,
+            subtree: b.subtree,
+            path_tokens: self.gen_kv.seq_tokens(b.kv),
+        }
+    }
+
+    /// Invoke the memory planner on current state and apply capacities.
+    fn replan(&mut self, _driver: &mut dyn SearchDriver) {
+        let avg_ctx = if self.frontier.is_empty() {
+            self.problem.prompt_tokens
+        } else {
+            self.frontier.iter().map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv)).sum::<u64>()
+                / self.frontier.len() as u64
+        };
+        let step_tokens = self.problem.steps.median_tokens as u64;
+        let leaves: Vec<NodeId> = self.frontier.iter().map(|&i| self.beams[i].kv).collect();
+        let tree_tokens = self.gen_kv.unique_path_tokens(&leaves);
+        let ctx = PlanContext {
+            kv_budget_bytes: self.cfg.kv_budget_bytes(),
+            n_beams: self.frontier.len(),
+            avg_ctx,
+            step_tokens,
+            ver_seq: avg_ctx + step_tokens,
+            tree_tokens,
+            ver_caching: self.cfg.ver_prefix_caching,
+        };
+        let plan = self.planner.plan(self.cfg, &ctx);
+        debug_assert!(plan.fits(ctx.kv_budget_bytes), "planner exceeded budget");
+        self.plan = plan;
+        self.gen_kv.set_capacity_bytes(plan.gen_kv_bytes);
+        self.ver_kv.set_capacity_bytes(plan.ver_kv_bytes);
+    }
+
+    /// Blocks a beam will need to finish its step, with slack.
+    fn growth_blocks(&self, beam: &Beam) -> u64 {
+        beam.remaining() / self.cfg.block_size + 2
+    }
+
+    /// Run the generation phase; returns the scheduling order used (the
+    /// verification phase reuses it for locality).
+    fn generation_phase(&mut self, driver: &mut dyn SearchDriver) -> Result<Vec<usize>, EngineError> {
+        // Offload: the verifier yields its KV while the generator runs.
+        if self.plan.offload {
+            let bytes = self.ver_kv.swap_out_unpinned();
+            let t = self.cfg.device.pcie_transfer_seconds(bytes);
+            self.advance(t, 0.0, Phase::Generation);
+            self.breakdown.offload += t;
+        }
+        let items: Vec<OrderItem> = self
+            .frontier
+            .iter()
+            .enumerate()
+            .map(|(i, &bi)| {
+                let b = &self.beams[bi];
+                OrderItem {
+                    index: i,
+                    kv: b.kv,
+                    parent_kv: b.parent.map(|p| self.beams[p.0 as usize].kv),
+                    born_rank: b.id.0,
+                }
+            })
+            .collect();
+        let perm = self.order.order(&items, &self.gen_kv);
+        debug_assert_eq!(perm.len(), items.len());
+        let ordered: Vec<usize> = perm.iter().map(|&i| self.frontier[items[i].index]).collect();
+
+        let mut queue: std::collections::VecDeque<usize> = ordered.iter().copied().collect();
+        let mut active: Vec<usize> = Vec::new();
+        let mut finished_this_phase: Vec<usize> = Vec::new();
+        let mut spec_tasks: Vec<SpecTask> = Vec::new();
+        let mut spec_started: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        let mut defer_counts: std::collections::HashMap<usize, u32> =
+            std::collections::HashMap::new();
+        let mut target_batch = 0usize;
+        let bins = self.score_bins(driver.branching().max(1));
+
+        loop {
+            // Admission: fill with waiting paths first (Phase 1,
+            // continuous beam batching).
+            let reserve: u64 =
+                active.iter().map(|&i| self.growth_blocks(&self.beams[i])).sum::<u64>()
+                    + spec_tasks
+                        .iter()
+                        .map(|t| (t.target - t.generated) / self.cfg.block_size + 2)
+                        .sum::<u64>();
+            while let Some(&cand) = queue.front() {
+                let (bkv, brem, bdone) = {
+                    let beam = &self.beams[cand];
+                    (beam.kv, beam.remaining(), beam.step_complete())
+                };
+                if bdone {
+                    queue.pop_front();
+                    finished_this_phase.push(cand);
+                    continue;
+                }
+                let needed = self.gen_kv.blocks_needed(bkv, brem)
+                    + self.growth_blocks(&self.beams[cand]);
+                let obtainable = self.gen_kv.obtainable_blocks_for(bkv);
+                let fits = needed + reserve <= obtainable;
+                if fits || active.is_empty() {
+                    queue.pop_front();
+                    match self.gen_kv.pin(bkv) {
+                        Ok(cost) => {
+                            self.charge_gen_restore(&cost);
+                            active.push(cand);
+                        }
+                        Err(KvError::InsufficientMemory { needed, .. }) => {
+                            return Err(EngineError::PathExceedsMemory {
+                                needed,
+                                capacity: self.gen_kv.config().capacity_blocks(),
+                            });
+                        }
+                        Err(_) => unreachable!("pin only fails on memory"),
+                    }
+                    if !fits {
+                        break; // emergency admission: run it alone
+                    }
+                } else {
+                    break;
+                }
+            }
+            if active.is_empty() {
+                if queue.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            target_batch = target_batch.max(active.len() + spec_tasks.len());
+
+            // Phase 2: speculative slot refill, only with an empty
+            // waiting queue and before the preemption deadline.
+            if self.cfg.spec.enabled && queue.is_empty() && self.clock < self.spec_off_after {
+                self.refill_spec_slots(
+                    driver,
+                    &bins,
+                    &finished_this_phase,
+                    &active,
+                    &mut spec_tasks,
+                    &mut spec_started,
+                    target_batch,
+                );
+            }
+
+            // One segment: advance until the next completion event.
+            let k_active = active.iter().map(|&i| self.beams[i].remaining()).min().unwrap();
+            let k_spec =
+                spec_tasks.iter().map(|t| t.target - t.generated).min().unwrap_or(u64::MAX);
+            let k = k_active.min(k_spec).max(1);
+            let batch = active.len() + spec_tasks.len();
+            let ctx_sum: u64 = active
+                .iter()
+                .map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv))
+                .chain(spec_tasks.iter().map(|t| self.gen_kv.seq_tokens(t.node)))
+                .sum();
+            let avg_ctx = ctx_sum / batch as u64 + k / 2;
+            let step_cost = self.gen_roof.decode_step(batch, avg_ctx);
+            let dt = step_cost.seconds * k as f64;
+            self.advance(dt, step_cost.compute_util, Phase::Generation);
+            self.breakdown.generator += dt;
+            self.stats.decoded_tokens += k * batch as u64;
+
+            // Apply k tokens to every member.
+            let mut deferred: Vec<usize> = Vec::new();
+            let mut emergency = false;
+            for &bi in &active {
+                match self.gen_kv.extend(self.beams[bi].kv, k) {
+                    Ok(()) => self.beams[bi].step_done += k,
+                    Err(KvError::InsufficientMemory { .. }) => {
+                        emergency = true;
+                        deferred.push(bi);
+                    }
+                    Err(e) => panic!("extend failed: {e}"),
+                }
+            }
+            if emergency {
+                // Abort speculation to relieve pressure, retry deferred.
+                self.abort_spec(&mut spec_tasks, &mut spec_started, true);
+                let mut still: Vec<usize> = Vec::new();
+                for bi in deferred {
+                    match self.gen_kv.extend(self.beams[bi].kv, k) {
+                        Ok(()) => self.beams[bi].step_done += k,
+                        Err(_) => still.push(bi),
+                    }
+                }
+                for bi in still {
+                    // Defer the beam: release it and re-queue; its
+                    // partial step stays cached and resumes later. A beam
+                    // that keeps failing cannot fit at all.
+                    let count = defer_counts.entry(bi).or_insert(0);
+                    *count += 1;
+                    if *count > 3 {
+                        return Err(EngineError::PathExceedsMemory {
+                            needed: self.gen_kv.blocks_needed(self.beams[bi].kv, 1),
+                            capacity: self.gen_kv.config().capacity_blocks(),
+                        });
+                    }
+                    self.gen_kv.unpin(self.beams[bi].kv);
+                    active.retain(|&x| x != bi);
+                    queue.push_back(bi);
+                }
+            }
+            let mut kept_spec: Vec<SpecTask> = Vec::new();
+            for mut task in spec_tasks.drain(..) {
+                match self.gen_kv.extend(task.node, k) {
+                    Ok(()) => {
+                        task.generated += k;
+                        self.stats.spec.spec_tokens += k;
+                        if task.generated >= task.target {
+                            self.finish_spec_branch(task, false);
+                        } else {
+                            kept_spec.push(task);
+                        }
+                    }
+                    Err(_) => {
+                        // Memory pressure kills the branch (the partial
+                        // head start is still recorded and unpinned).
+                        self.stats.spec.preempted_branches += 1;
+                        self.record_partial_spec(task);
+                    }
+                }
+            }
+            spec_tasks = kept_spec;
+
+            // Retire members that finished their step; their slots will
+            // be refilled at the top of the loop.
+            let mut still_active = Vec::with_capacity(active.len());
+            for bi in active {
+                if self.beams[bi].step_complete() {
+                    self.gen_kv.unpin(self.beams[bi].kv);
+                    finished_this_phase.push(bi);
+                } else {
+                    still_active.push(bi);
+                }
+            }
+            active = still_active;
+
+            if active.is_empty() && queue.is_empty() {
+                // Straggler done: strictly terminate speculation
+                // regardless of progress (Sec. 4.1.2).
+                self.abort_spec(&mut spec_tasks, &mut spec_started, false);
+                break;
+            }
+        }
+        Ok(ordered)
+    }
+
+    fn charge_gen_restore(&mut self, cost: &ftts_kv::PinCost) {
+        if cost.recompute_tokens > 0 {
+            let c = self.gen_roof.prefill(cost.recompute_tokens, 0);
+            self.advance(c.seconds, c.compute_util, Phase::Generation);
+            self.breakdown.recompute += c.seconds;
+        }
+        if cost.transfer_in_bytes > 0 {
+            let t = self.cfg.device.pcie_transfer_seconds(cost.transfer_in_bytes);
+            self.advance(t, 0.0, Phase::Generation);
+            self.breakdown.offload += t;
+        }
+    }
+
+    /// Quantile bins over the frontier's previous scores; returns each
+    /// frontier beam's speculative potential `M_i = B - j + 1`
+    /// (Sec. 4.1.1).
+    fn score_bins(&self, b: usize) -> std::collections::HashMap<usize, u64> {
+        let mut scored: Vec<(usize, f64)> = self
+            .frontier
+            .iter()
+            .map(|&i| (i, self.beams[i].prev_score))
+            .collect();
+        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        let n = scored.len().max(1);
+        scored
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (idx, _))| {
+                let bin = rank * b / n; // 0 = best bin
+                (idx, (b - bin) as u64)
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn refill_spec_slots(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+        bins: &std::collections::HashMap<usize, u64>,
+        finished: &[usize],
+        active: &[usize],
+        spec_tasks: &mut Vec<SpecTask>,
+        spec_started: &mut std::collections::HashMap<usize, u64>,
+        target_batch: usize,
+    ) {
+        let mut free_slots =
+            target_batch.saturating_sub(active.len() + spec_tasks.len());
+        if free_slots == 0 {
+            return;
+        }
+        // Candidates: finished, non-terminal beams with unstarted
+        // speculative potential, highest potential first.
+        let mut candidates: Vec<(u64, usize)> = finished
+            .iter()
+            .filter(|&&bi| !self.beams[bi].latent.terminal)
+            .filter_map(|&bi| {
+                let m = bins.get(&bi).copied().unwrap_or(1);
+                let started = spec_started.get(&bi).copied().unwrap_or(0);
+                (started < m).then_some((m - started, bi))
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.cmp(a));
+        for (_, bi) in candidates {
+            while free_slots > 0 {
+                let started = spec_started.get(&bi).copied().unwrap_or(0);
+                let m = bins.get(&bi).copied().unwrap_or(1);
+                if started >= m {
+                    break;
+                }
+                let branch = started;
+                let parent_latent = self.beams[bi].latent;
+                let plan = self.generator.plan_step(&self.problem, &parent_latent, branch);
+                let target = driver
+                    .step_token_cap(plan.latent.depth)
+                    .map_or(plan.n_tokens, |cap| plan.n_tokens.min(cap));
+                let eps = self.prm.child_eps(self.beams[bi].eps, plan.latent.key);
+                // Speculation is strictly opportunistic: it may only use
+                // memory that is *free*, never evict retained prefixes
+                // (that would trade real cache hits for speculative
+                // work), and it leaves a margin so the next iteration's
+                // admissions do not evict live paths either.
+                let leaf = self.beams[bi].kv;
+                let spec_blocks = target / self.cfg.block_size + 2;
+                let margin = self.gen_kv.config().capacity_blocks() / 8;
+                if self.gen_kv.free_blocks() < spec_blocks * 2 + margin {
+                    return; // no headroom for more speculation
+                }
+                let node = self.gen_kv.fork(leaf).expect("fork");
+                match self.gen_kv.pin(node) {
+                    Ok(cost) => self.charge_gen_restore(&cost),
+                    Err(_) => return,
+                }
+                *spec_started.entry(bi).or_insert(0) += 1;
+                self.stats.spec.spec_branches += 1;
+                spec_tasks.push(SpecTask { beam: bi, branch, node, plan, eps, target, generated: 0 });
+                free_slots -= 1;
+            }
+            if free_slots == 0 {
+                break;
+            }
+        }
+    }
+
+    /// A speculative branch completed its whole future step.
+    fn finish_spec_branch(&mut self, task: SpecTask, aborted: bool) {
+        self.gen_kv.unpin(task.node);
+        let beam = &mut self.beams[task.beam];
+        beam.spec.push(SpecBranch {
+            branch: task.branch,
+            node: task.node,
+            plan: StepPlan { n_tokens: task.target, ..task.plan },
+            eps: task.eps,
+            generated: task.generated,
+            complete: !aborted && task.generated >= task.target,
+            preverified: None,
+            ver_node: None,
+        });
+    }
+
+    /// Record a partially generated branch (still usable as head start).
+    fn record_partial_spec(&mut self, task: SpecTask) {
+        if task.generated > 0 {
+            self.finish_spec_branch(task, true);
+        } else {
+            self.gen_kv.unpin(task.node);
+        }
+    }
+
+    fn abort_spec(
+        &mut self,
+        spec_tasks: &mut Vec<SpecTask>,
+        _spec_started: &mut std::collections::HashMap<usize, u64>,
+        count_preempted: bool,
+    ) {
+        for task in spec_tasks.drain(..) {
+            if count_preempted {
+                self.stats.spec.preempted_branches += 1;
+            }
+            self.record_partial_spec(task);
+        }
+    }
+
+    /// Verify every beam that stepped this iteration (plus LookAhead
+    /// piggybacks), in scheduler order, batched by the memory plan.
+    fn verification_phase(&mut self, driver: &mut dyn SearchDriver, order: &[usize]) {
+        if self.plan.offload {
+            // Generator yields; verifier KV returns on demand via pins.
+            let bytes = self.gen_kv.swap_out_unpinned();
+            let t = self.cfg.device.pcie_transfer_seconds(bytes);
+            self.advance(t, 0.0, Phase::Verification);
+            self.breakdown.offload += t;
+        }
+        let verify_all = driver.verify_every_step();
+        let to_verify: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&bi| {
+                let b = &self.beams[bi];
+                b.preverified.is_none() && (verify_all || b.latent.terminal)
+            })
+            .collect();
+        // Beams skipped thanks to LookAhead still need their score set.
+        for &bi in order {
+            if let Some(score) = self.beams[bi].preverified {
+                self.beams[bi].score = Some(score);
+                self.stats.spec.lookahead_hits += 1;
+            }
+        }
+        let batch_size = self.plan.ver_batch.max(1);
+        let caching = self.cfg.ver_prefix_caching;
+        let lookahead = caching && self.cfg.spec.enabled && self.cfg.spec.lookahead;
+        for chunk in to_verify.chunks(batch_size) {
+            let mut new_tokens = 0u64;
+            let mut cached_tokens = 0u64;
+            let mut pinned: Vec<NodeId> = Vec::new();
+            for &bi in chunk {
+                if !caching {
+                    // Baseline verifier: every verification is an
+                    // independent request prefilling the entire path.
+                    new_tokens += self.gen_kv.seq_tokens(self.beams[bi].kv);
+                    continue;
+                }
+                // The beam's verifier anchor is its nearest mirrored
+                // ancestor (at worst the prompt); the gap covers this
+                // step plus any steps a past cache failure skipped.
+                let anchor = self.beams[bi].ver_kv.unwrap_or(self.ver_root);
+                let gap = self
+                    .gen_kv
+                    .seq_tokens(self.beams[bi].kv)
+                    .saturating_sub(self.ver_kv.seq_tokens(anchor))
+                    .max(1);
+                match self.mirror_verify(anchor, gap) {
+                    Some((node, recompute, transfer)) => {
+                        self.beams[bi].ver_kv = Some(node);
+                        new_tokens += gap + recompute;
+                        cached_tokens += self
+                            .ver_kv
+                            .seq_tokens(node)
+                            .saturating_sub(gap + recompute);
+                        if transfer > 0 {
+                            let t = self.cfg.device.pcie_transfer_seconds(transfer);
+                            self.advance(t, 0.0, Phase::Verification);
+                            self.breakdown.offload += t;
+                        }
+                        pinned.push(node);
+                        // LookAhead: a complete speculative continuation
+                        // is verified in the same pass (Sec. 4.1.3).
+                        if lookahead {
+                            if let Some(spec0) =
+                                self.beams[bi].spec.iter().position(|s| s.branch == 0 && s.complete)
+                            {
+                                let (spec_tokens, quality, spec_eps) = {
+                                    let s = &self.beams[bi].spec[spec0];
+                                    (s.generated, s.plan.latent.quality, s.eps)
+                                };
+                                if let Some((snode, srec, _)) =
+                                    self.mirror_verify(node, spec_tokens)
+                                {
+                                    new_tokens += spec_tokens + srec;
+                                    pinned.push(snode);
+                                    let score = self.prm.score(quality, spec_eps);
+                                    let s = &mut self.beams[bi].spec[spec0];
+                                    s.preverified = Some(score);
+                                    s.ver_node = Some(snode);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Verifier cache cannot host the path right now:
+                        // stateless full-path prefill. The anchor is kept
+                        // so descendants can re-enter the cache later.
+                        let full = self.gen_kv.seq_tokens(self.beams[bi].kv);
+                        new_tokens += full;
+                    }
+                }
+            }
+            let members = chunk.len().max(1);
+            let cost = self.ver_roof.prefill_batch(
+                members,
+                new_tokens / members as u64,
+                cached_tokens / members as u64,
+            );
+            self.advance(cost.seconds, cost.compute_util, Phase::Verification);
+            self.breakdown.verifier += cost.seconds;
+            self.stats.verified_tokens += new_tokens;
+            for node in pinned {
+                self.ver_kv.unpin(node);
+            }
+        }
+        // Reveal scores (the verifier's output) for all verified beams.
+        for &bi in &to_verify {
+            let b = &mut self.beams[bi];
+            b.score = Some(self.prm.score(b.latent.quality, b.eps));
+        }
+        // Unverified beams (Best-of-N intermediate steps) carry their
+        // previous score forward for bookkeeping.
+        for &bi in order {
+            if self.beams[bi].score.is_none() {
+                self.beams[bi].score = Some(self.beams[bi].prev_score);
+            }
+        }
+    }
+
+    /// Mirror one step into the verifier cache: fork from the parent's
+    /// verifier node, pin, extend. Returns `(node, recompute_tokens,
+    /// transfer_bytes)`, or `None` if the verifier cache cannot host it.
+    fn mirror_verify(
+        &mut self,
+        parent: NodeId,
+        step_tokens: u64,
+    ) -> Option<(NodeId, u64, u64)> {
+        let node = self.ver_kv.fork(parent).ok()?;
+        match self.ver_kv.pin(node) {
+            Ok(cost) => match self.ver_kv.extend(node, step_tokens) {
+                Ok(()) => Some((node, cost.recompute_tokens, cost.transfer_in_bytes)),
+                Err(_) => {
+                    self.ver_kv.unpin(node);
+                    None
+                }
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Move terminal beams out of the frontier, recording outcomes.
+    fn retire_terminals(&mut self) {
+        let mut remaining = Vec::with_capacity(self.frontier.len());
+        for &bi in &self.frontier {
+            if self.beams[bi].latent.terminal {
+                let b = &mut self.beams[bi];
+                b.state = BeamState::Completed;
+                b.completed_at = Some(self.clock);
+                let tokens =
+                    self.gen_kv.seq_tokens(b.kv).saturating_sub(self.problem.prompt_tokens);
+                let answer = b.latent.answer;
+                self.stats.beams.push(BeamOutcome {
+                    tokens,
+                    completion_time: self.clock,
+                    answer,
+                    score: b.score.unwrap_or(0.0),
+                    correct: answer == Some(self.problem.correct_answer()),
+                });
+            } else {
+                remaining.push(bi);
+            }
+        }
+        self.frontier = remaining;
+    }
+
+    /// Expand selected beams into children, applying speculative
+    /// inheritance and truncation (Alg. 1, lines 18–19).
+    fn branch(
+        &mut self,
+        picks: &[(usize, usize)],
+        driver: &mut dyn SearchDriver,
+        initial: bool,
+    ) -> Result<(), EngineError> {
+        let selected: std::collections::HashSet<usize> =
+            picks.iter().map(|&(i, _)| i).collect();
+        // Prune unselected frontier beams; their speculative work is lost
+        // and its KV is released immediately so it cannot crowd out live
+        // prefixes.
+        for &bi in &self.frontier.clone() {
+            if !selected.contains(&bi) {
+                self.beams[bi].state = BeamState::Pruned;
+                self.discard_leftover_spec(bi);
+            }
+        }
+        let mut next_frontier = Vec::new();
+        for &(parent_idx, children) in picks {
+            debug_assert!(matches!(self.beams[parent_idx].state, BeamState::Active));
+            for j in 0..children as u64 {
+                let child = self.make_child(parent_idx, j, driver, initial)?;
+                next_frontier.push(child);
+            }
+            self.beams[parent_idx].state = BeamState::Pruned; // expanded
+            self.discard_leftover_spec(parent_idx);
+        }
+        self.frontier = next_frontier;
+        Ok(())
+    }
+
+    /// Free the KV of speculative branches that were not consumed by any
+    /// child (dead speculative work).
+    fn discard_leftover_spec(&mut self, bi: usize) {
+        let leftovers: Vec<NodeId> =
+            self.beams[bi].spec.drain(..).map(|s| s.node).collect();
+        for node in leftovers {
+            self.gen_kv.discard(node);
+        }
+    }
+
+    fn make_child(
+        &mut self,
+        parent_idx: usize,
+        j: u64,
+        driver: &mut dyn SearchDriver,
+        initial: bool,
+    ) -> Result<usize, EngineError> {
+        let (parent_latent, parent_eps, parent_score, parent_kv, parent_ver, subtree, parent_id) = {
+            let p = &self.beams[parent_idx];
+            (p.latent, p.eps, p.score.unwrap_or(0.5), p.kv, p.ver_kv, p.subtree, p.id)
+        };
+        let spec_pos = self.beams[parent_idx].spec.iter().position(|s| s.branch == j);
+        let spec = spec_pos.map(|pos| self.beams[parent_idx].spec.remove(pos));
+
+        let plan = match &spec {
+            Some(s) => s.plan,
+            None => self.generator.plan_step(&self.problem, &parent_latent, j),
+        };
+        let step_target = driver
+            .step_token_cap(plan.latent.depth)
+            .map_or(plan.n_tokens, |cap| plan.n_tokens.min(cap));
+        let eps = match &spec {
+            Some(s) => s.eps,
+            None => self.prm.child_eps(parent_eps, plan.latent.key),
+        };
+
+        let (kv_node, head_start, preverified, ver_node) = match spec {
+            Some(s) if s.branch == 0 => {
+                // The original keeps its speculative tokens intact.
+                self.stats.spec.spec_tokens_used += s.generated;
+                let pre = if s.complete { s.preverified } else { None };
+                let vnode = if pre.is_some() { s.ver_node } else { None };
+                (s.node, s.generated, pre, vnode)
+            }
+            Some(s) => {
+                // Duplicates keep a truncated prefix, drawn around R
+                // (Alg. 1 line 19). The kept tokens are block-copied into
+                // the duplicate's own node — a device-side copy with
+                // negligible latency — so the donor speculative node can
+                // be discarded instead of lingering as a residency
+                // dependency.
+                let mut rng = stream(&[plan.latent.key, 0x7234_6CA7]);
+                let ratio = normal(
+                    &mut rng,
+                    self.cfg.spec.truncation_ratio,
+                    self.cfg.spec.truncation_sigma,
+                )
+                .clamp(0.0, 1.0);
+                let keep = ((s.generated as f64 * ratio).round() as u64).min(s.generated);
+                let node = self.gen_kv.fork(parent_kv).expect("fork");
+                let mut applied = 0;
+                if keep > 0 {
+                    // Only copy when the source path is still resident;
+                    // otherwise the head start is simply lost.
+                    if let Ok(cost) = self.gen_kv.pin(node) {
+                        if cost.is_hit() && self.gen_kv.extend(node, keep).is_ok() {
+                            applied = keep;
+                        }
+                        self.gen_kv.unpin(node);
+                    }
+                }
+                self.stats.spec.spec_tokens_used += applied;
+                self.gen_kv.discard(s.node);
+                (node, applied, None, None)
+            }
+            None => {
+                let node = self.gen_kv.fork(parent_kv).expect("fork");
+                (node, 0, None, None)
+            }
+        };
+
+        let id = BeamId(self.beams.len() as u32);
+        let subtree = if initial { self.born_counter - 1 } else { subtree };
+        self.born_counter += 1;
+        let beam = Beam {
+            id,
+            parent: Some(parent_id),
+            subtree,
+            kv: kv_node,
+            ver_kv: ver_node.or(parent_ver),
+            latent: plan.latent,
+            eps,
+            score: None,
+            prev_score: parent_score,
+            step_target,
+            step_done: head_start.min(step_target),
+            preverified,
+            state: BeamState::Active,
+            spec: Vec::new(),
+            completed_at: None,
+        };
+        self.beams.push(beam);
+        Ok(self.beams.len() - 1)
+    }
+
+    fn finish(mut self) -> RunStats {
+        self.stats.gen_cache = *self.gen_kv.stats();
+        self.stats.ver_cache = *self.ver_kv.stats();
+        self.stats.trace = self.trace.take();
+        self.stats
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-run statistics.
+
+use ftts_hw::UtilizationTrace;
+use ftts_kv::CacheStats;
+use ftts_metrics::{precise_goodput, BeamOutcome, CompletionRecord, LatencyBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// Counters specific to Speculative Beam Extension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Speculative tokens generated in filled slots.
+    pub spec_tokens: u64,
+    /// Speculative tokens actually reused as head starts.
+    pub spec_tokens_used: u64,
+    /// Speculative branches started.
+    pub spec_branches: u64,
+    /// Steps whose verification was skipped thanks to LookAhead.
+    pub lookahead_hits: u64,
+    /// Speculative branches aborted by preemption.
+    pub preempted_branches: u64,
+}
+
+impl SpecStats {
+    /// Fraction of speculative tokens that turned out useful.
+    pub fn efficiency(&self) -> f64 {
+        if self.spec_tokens == 0 {
+            0.0
+        } else {
+            self.spec_tokens_used as f64 / self.spec_tokens as f64
+        }
+    }
+}
+
+/// Everything measured over one request.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Outcome of every completed beam.
+    pub beams: Vec<BeamOutcome>,
+    /// End-to-end completion record.
+    pub completion: CompletionRecord,
+    /// Number of TTS iterations executed.
+    pub iterations: u32,
+    /// Total tokens decoded by the generator (speculation included).
+    pub decoded_tokens: u64,
+    /// Total tokens prefilled by the verifier.
+    pub verified_tokens: u64,
+    /// Generator KV-cache counters.
+    pub gen_cache: CacheStats,
+    /// Verifier KV-cache counters.
+    pub ver_cache: CacheStats,
+    /// Speculation counters.
+    pub spec: SpecStats,
+    /// Utilization trace (present when tracing was enabled).
+    pub trace: Option<UtilizationTrace>,
+    /// Ground-truth answer for accuracy computation.
+    pub correct_answer: u32,
+}
+
+impl RunStats {
+    /// Precise goodput over the completed beams (paper Sec. 6.1).
+    pub fn goodput(&self) -> f64 {
+        precise_goodput(&self.beams)
+    }
+
+    /// End-to-end completion latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.completion.latency
+    }
+
+    /// Phase breakdown.
+    pub fn breakdown(&self) -> &LatencyBreakdown {
+        &self.completion.breakdown
+    }
+
+    /// Final answers with scores, for majority voting.
+    pub fn answers(&self) -> Vec<(u32, f64)> {
+        self.beams
+            .iter()
+            .filter_map(|b| b.answer.map(|a| (a, b.score)))
+            .collect()
+    }
+
+    /// `(score, correct)` pairs for Pass@N.
+    pub fn candidates(&self) -> Vec<(f64, bool)> {
+        self.beams.iter().map(|b| (b.score, b.correct)).collect()
+    }
+
+    /// Whether majority voting picks the right answer (Top-1).
+    pub fn top1_correct(&self) -> bool {
+        ftts_metrics::top1_majority(&self.answers()) == Some(self.correct_answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_efficiency_guards_zero() {
+        assert_eq!(SpecStats::default().efficiency(), 0.0);
+        let s = SpecStats { spec_tokens: 100, spec_tokens_used: 40, ..Default::default() };
+        assert!((s.efficiency() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_metrics_flow_through() {
+        let stats = RunStats {
+            beams: vec![
+                BeamOutcome {
+                    tokens: 200,
+                    completion_time: 4.0,
+                    answer: Some(0),
+                    score: 0.8,
+                    correct: true,
+                },
+                BeamOutcome {
+                    tokens: 100,
+                    completion_time: 2.0,
+                    answer: Some(3),
+                    score: 0.4,
+                    correct: false,
+                },
+            ],
+            correct_answer: 0,
+            ..Default::default()
+        };
+        assert_eq!(stats.goodput(), 50.0);
+        assert_eq!(stats.answers().len(), 2);
+        assert_eq!(stats.candidates().len(), 2);
+        // One vote each; tie breaks toward higher score -> answer 0.
+        assert!(stats.top1_correct());
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the serving loop with a minimal beam-search driver.
+
+use ftts_engine::{
+    Engine, EngineConfig, FifoOrder, ModelPairing, ScoredBeam, SearchDriver, SelectCtx,
+    SpecConfig, StaticSplitPlanner,
+};
+use ftts_hw::GpuDevice;
+use ftts_workload::Dataset;
+
+/// Plain beam search: keep the top n/B beams, expand each into B children.
+struct PlainBeam {
+    n: usize,
+    b: usize,
+}
+
+impl SearchDriver for PlainBeam {
+    fn branching(&self) -> usize {
+        self.b
+    }
+
+    fn select(&mut self, frontier: &[ScoredBeam], _ctx: &SelectCtx) -> Vec<(ftts_engine::BeamId, usize)> {
+        let mut ranked: Vec<&ScoredBeam> = frontier.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        let keep = (self.n / self.b).max(1).min(ranked.len());
+        ranked[..keep].iter().map(|s| (s.id, self.b)).collect()
+    }
+}
+
+fn engine(spec: SpecConfig, fraction: f64, seed: u64, trace: bool) -> Engine {
+    let mut cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    cfg.spec = spec;
+    // LookAhead piggybacks on the verifier's cross-iteration cache.
+    cfg.ver_prefix_caching = spec.enabled && spec.lookahead;
+    cfg.memory_fraction = fraction;
+    cfg.seed = seed;
+    cfg.trace = trace;
+    Engine::new(cfg, Box::new(FifoOrder), Box::new(StaticSplitPlanner))
+}
+
+fn problem(idx: usize) -> ftts_model::ProblemSpec {
+    Dataset::Aime2024.problems(idx + 1, 42)[idx]
+}
+
+#[test]
+fn run_completes_and_records_outcomes() {
+    let mut eng = engine(SpecConfig::disabled(), 0.9, 1, false);
+    let mut driver = PlainBeam { n: 16, b: 4 };
+    let stats = eng.run(&problem(0), 16, &mut driver).unwrap();
+    assert!(!stats.beams.is_empty(), "some beams must complete");
+    assert!(stats.latency() > 0.0);
+    assert!(stats.goodput() > 0.0);
+    assert!(stats.iterations > 0);
+    assert!(stats.decoded_tokens > 0);
+    assert!(stats.verified_tokens > 0);
+    // Generator and verifier both contribute latency.
+    assert!(stats.breakdown().generator > 0.0);
+    assert!(stats.breakdown().verifier > 0.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let collect = || {
+        let mut eng = engine(SpecConfig::disabled(), 0.9, 7, false);
+        let mut driver = PlainBeam { n: 8, b: 4 };
+        eng.run(&problem(1), 8, &mut driver).unwrap()
+    };
+    let a = collect();
+    let b = collect();
+    assert_eq!(a.beams.len(), b.beams.len());
+    assert_eq!(a.latency(), b.latency());
+    for (x, y) in a.beams.iter().zip(&b.beams) {
+        assert_eq!(x.tokens, y.tokens);
+        assert_eq!(x.answer, y.answer);
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn speculation_preserves_the_reasoning_tree_exactly() {
+    // The central algorithmic-equivalence property (paper Sec. 4.1):
+    // identical selected paths, answers and scores; only timing differs.
+    let run = |spec: SpecConfig| {
+        let mut eng = engine(spec, 0.9, 11, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        eng.run(&problem(2), 16, &mut driver).unwrap()
+    };
+    let base = run(SpecConfig::disabled());
+    let fast = run(SpecConfig::fasttts_default());
+    assert_eq!(base.beams.len(), fast.beams.len());
+    for (x, y) in base.beams.iter().zip(&fast.beams) {
+        assert_eq!(x.tokens, y.tokens, "path lengths must match");
+        assert_eq!(x.answer, y.answer, "answers must match");
+        assert_eq!(x.score, y.score, "scores must match");
+    }
+    assert!(fast.spec.spec_tokens > 0, "speculation must have happened");
+    assert!(
+        fast.latency() < base.latency(),
+        "speculation should reduce latency: {} vs {}",
+        fast.latency(),
+        base.latency()
+    );
+}
+
+#[test]
+fn lookahead_skips_verifications() {
+    let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 3, false);
+    let mut driver = PlainBeam { n: 32, b: 4 };
+    let stats = eng.run(&problem(0), 32, &mut driver).unwrap();
+    assert!(stats.spec.lookahead_hits > 0, "some steps should be pre-verified");
+}
+
+#[test]
+fn memory_pressure_causes_evictions_but_completes() {
+    let mut eng = engine(SpecConfig::disabled(), 0.32, 5, false);
+    let mut driver = PlainBeam { n: 64, b: 4 };
+    let stats = eng.run(&problem(0), 64, &mut driver).unwrap();
+    assert!(stats.gen_cache.evicted_blocks > 0, "64 beams at 40% memory must evict");
+    assert!(stats.breakdown().recompute > 0.0, "evictions cost recompute time");
+    assert!(!stats.beams.is_empty());
+}
+
+#[test]
+fn preemption_deadline_disables_speculation() {
+    let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 3, false);
+    let mut driver = PlainBeam { n: 16, b: 4 };
+    let stats = eng
+        .run_with_deadline(&problem(0), 16, &mut driver, 0.0)
+        .unwrap();
+    assert_eq!(stats.spec.spec_tokens, 0, "deadline at t=0 forbids all speculation");
+}
+
+#[test]
+fn trace_records_both_phases() {
+    let mut eng = engine(SpecConfig::disabled(), 0.9, 1, true);
+    let mut driver = PlainBeam { n: 8, b: 4 };
+    let stats = eng.run(&problem(0), 8, &mut driver).unwrap();
+    let trace = stats.trace.expect("trace enabled");
+    assert!(!trace.is_empty());
+    assert!(trace.phase_seconds(ftts_hw::Phase::Generation) > 0.0);
+    assert!(trace.phase_seconds(ftts_hw::Phase::Verification) > 0.0);
+    // Prefill (verification) achieves higher compute utilization than
+    // bandwidth-bound decode — the contrast of Fig. 4.
+    let gen_util = trace.mean_util(Some(ftts_hw::Phase::Generation));
+    let ver_util = trace.mean_util(Some(ftts_hw::Phase::Verification));
+    assert!(ver_util > gen_util, "verify {ver_util} vs generate {gen_util}");
+}
+
+#[test]
+fn larger_n_generates_more_tokens() {
+    let run_tokens = |n: usize| {
+        let mut eng = engine(SpecConfig::disabled(), 0.9, 1, false);
+        let mut driver = PlainBeam { n, b: 4 };
+        eng.run(&problem(3), n, &mut driver).unwrap().decoded_tokens
+    };
+    assert!(run_tokens(32) > 2 * run_tokens(8));
+}
+
+#[test]
+fn infeasible_memory_reports_path_exceeds() {
+    let mut cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    // Weights + reserve exceed the usable fraction: KV budget is zero.
+    cfg.memory_fraction = 0.26;
+    let mut eng = Engine::new(cfg, Box::new(FifoOrder), Box::new(StaticSplitPlanner));
+    let mut driver = PlainBeam { n: 8, b: 4 };
+    let err = eng.run(&problem(0), 8, &mut driver);
+    assert!(err.is_err(), "a ~0-byte KV budget cannot serve");
+}

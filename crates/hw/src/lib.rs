@@ -1,0 +1,52 @@
+//! Hardware and model cost specifications for the FastTTS simulation stack.
+//!
+//! This crate is the foundation of the reproduction: it describes *what the
+//! paper's testbed looks like in numbers* and exposes a roofline latency
+//! model, the same first-principles performance law the paper's own
+//! Asymmetric Multi-Model Memory Allocation uses (Sec. 4.3.1):
+//!
+//! ```text
+//! T_roof = max(FLOPs / P, Bytes / BW)
+//! ```
+//!
+//! The three building blocks are:
+//!
+//! * [`GpuDevice`] — peak compute, memory bandwidth, VRAM and PCIe numbers
+//!   for the edge GPUs the paper evaluates (RTX 4090 / 4070 Ti / 3070 Ti)
+//!   plus cloud reference parts.
+//! * [`ModelSpec`] — architecture-accurate transformer shapes for the
+//!   paper's generators and verifiers (Qwen2.5-Math-1.5B/7B,
+//!   Math-Shepherd-Mistral-7B, Skywork-o1-PRM-1.5B), from which parameter
+//!   counts, weight bytes, per-token KV bytes and FLOPs are derived.
+//! * [`Roofline`] — batched prefill / decode step latencies and the
+//!   utilization accounting used for the paper's Nsight-style traces
+//!   (Fig. 4 and Fig. 17).
+//!
+//! # Example
+//!
+//! ```
+//! use ftts_hw::{GpuDevice, ModelSpec, Roofline};
+//!
+//! let dev = GpuDevice::rtx4090();
+//! let model = ModelSpec::qwen25_math_1_5b();
+//! let roof = Roofline::new(dev, model);
+//!
+//! // A single-sequence decode step is memory-bound: it must stream the
+//! // full weights once, so it takes a few milliseconds on a 4090.
+//! let step = roof.decode_step(1, 1024);
+//! assert!(step.seconds > 1e-3 && step.seconds < 10e-3);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod model;
+mod roofline;
+mod trace;
+mod units;
+
+pub use device::{DeviceClass, GpuDevice};
+pub use model::{ModelKind, ModelSpec};
+pub use roofline::{KernelCost, Phase, Roofline};
+pub use trace::{UtilSample, UtilizationTrace};
+pub use units::{GIB, GB, MIB, MB};

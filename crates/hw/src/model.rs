@@ -1,0 +1,334 @@
+//! Transformer architecture specifications.
+//!
+//! Parameter counts, weight bytes, per-token KV-cache bytes and FLOP
+//! counts are all derived from the real architectures of the models the
+//! paper serves (Sec. 6.1 / Artifact B.3.5), so the cost model reflects
+//! each model's genuine arithmetic intensity. Notably the Qwen2.5 family
+//! uses aggressive grouped-query attention (2–4 KV heads), giving the
+//! small generator a tiny per-token KV footprint, while the
+//! Math-Shepherd-Mistral-7B verifier carries 8 KV heads and a 128 KiB/token
+//! cache — the asymmetry behind the paper's Fig. 6 and Sec. 4.3.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional role a model plays in a TTS serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Autoregressive generator (policy model) producing thinking steps.
+    Generator,
+    /// Discriminative process reward model scoring partial solutions in a
+    /// single prefill pass (the paper's preferred verifier class).
+    DiscriminativePrm,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::Generator => write!(f, "generator"),
+            ModelKind::DiscriminativePrm => write!(f, "discriminative-prm"),
+        }
+    }
+}
+
+/// Architecture description of a decoder-only transformer.
+///
+/// # Example
+///
+/// ```
+/// use ftts_hw::ModelSpec;
+/// let m = ModelSpec::qwen25_math_1_5b();
+/// // Qwen2.5-Math-1.5B really is ~1.5 billion parameters.
+/// assert!((m.param_count() as f64 / 1e9 - 1.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Hugging Face style model identifier.
+    pub name: String,
+    /// Role of the model in the serving system.
+    pub kind: ModelKind,
+    /// Number of transformer layers.
+    pub n_layers: u32,
+    /// Model (residual stream) width.
+    pub hidden: u32,
+    /// Number of query heads.
+    pub n_heads: u32,
+    /// Number of key/value heads (GQA).
+    pub n_kv_heads: u32,
+    /// Per-head dimension.
+    pub head_dim: u32,
+    /// MLP intermediate width (SwiGLU assumed: 3 matrices).
+    pub intermediate: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Whether the unembedding is tied to the embedding matrix.
+    pub tied_embeddings: bool,
+    /// Bytes per weight/activation element (2 = BF16).
+    pub dtype_bytes: u32,
+    /// Weight quantization in bits (16 = none). Weight-only quantization
+    /// shrinks the weight sweep (and frees KV memory) without touching
+    /// the KV cache dtype — the orthogonal efficiency lever the paper
+    /// notes FastTTS composes with (Sec. 6.4).
+    pub weight_bits: u32,
+}
+
+impl ModelSpec {
+    /// Qwen2.5-Math-1.5B-Instruct — the paper's small edge generator.
+    pub fn qwen25_math_1_5b() -> Self {
+        Self {
+            name: "Qwen2.5-Math-1.5B-Instruct".to_string(),
+            kind: ModelKind::Generator,
+            n_layers: 28,
+            hidden: 1536,
+            n_heads: 12,
+            n_kv_heads: 2,
+            head_dim: 128,
+            intermediate: 8960,
+            vocab: 151_936,
+            tied_embeddings: true,
+            dtype_bytes: 2,
+            weight_bits: 16,
+        }
+    }
+
+    /// Qwen2.5-Math-7B-Instruct — generator for the generator-heavy
+    /// (7B+1.5B) configuration.
+    pub fn qwen25_math_7b() -> Self {
+        Self {
+            name: "Qwen2.5-Math-7B-Instruct".to_string(),
+            kind: ModelKind::Generator,
+            n_layers: 28,
+            hidden: 3584,
+            n_heads: 28,
+            n_kv_heads: 4,
+            head_dim: 128,
+            intermediate: 18_944,
+            vocab: 152_064,
+            tied_embeddings: false,
+            dtype_bytes: 2,
+            weight_bits: 16,
+        }
+    }
+
+    /// Math-Shepherd-Mistral-7B-PRM — verifier for the verifier-heavy
+    /// (1.5B+7B) configuration.
+    pub fn math_shepherd_7b() -> Self {
+        Self {
+            name: "Math-Shepherd-Mistral-7B-PRM".to_string(),
+            kind: ModelKind::DiscriminativePrm,
+            n_layers: 32,
+            hidden: 4096,
+            n_heads: 32,
+            n_kv_heads: 8,
+            head_dim: 128,
+            intermediate: 14_336,
+            vocab: 32_000,
+            tied_embeddings: false,
+            dtype_bytes: 2,
+            weight_bits: 16,
+        }
+    }
+
+    /// Skywork-o1-Open-PRM-Qwen-2.5-1.5B — verifier for the
+    /// memory-constrained (1.5B+1.5B) configuration.
+    pub fn skywork_prm_1_5b() -> Self {
+        Self {
+            name: "Skywork-o1-Open-PRM-Qwen-2.5-1.5B".to_string(),
+            kind: ModelKind::DiscriminativePrm,
+            ..Self::qwen25_math_1_5b()
+        }
+    }
+
+    /// Attention parameters per layer (Q, K, V, O projections).
+    fn attn_params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        let q_dim = (self.n_heads * self.head_dim) as u64;
+        let kv_dim = (self.n_kv_heads * self.head_dim) as u64;
+        h * q_dim + 2 * h * kv_dim + q_dim * h
+    }
+
+    /// MLP parameters per layer (SwiGLU gate/up/down).
+    fn mlp_params_per_layer(&self) -> u64 {
+        3 * self.hidden as u64 * self.intermediate as u64
+    }
+
+    /// Total parameter count derived from the architecture.
+    pub fn param_count(&self) -> u64 {
+        let per_layer =
+            self.attn_params_per_layer() + self.mlp_params_per_layer() + 2 * self.hidden as u64;
+        let embed = self.vocab as u64 * self.hidden as u64;
+        let embed_total = if self.tied_embeddings { embed } else { 2 * embed };
+        self.n_layers as u64 * per_layer + embed_total + self.hidden as u64
+    }
+
+    /// Weight-only quantized variant of this model (e.g. 8 or 4 bits).
+    /// KV cache and activations stay at `dtype_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` is one of 4, 8 or 16.
+    pub fn quantized(mut self, bits: u32) -> Self {
+        assert!(matches!(bits, 4 | 8 | 16), "unsupported weight quantization: {bits} bits");
+        self.weight_bits = bits;
+        if bits < 16 {
+            self.name = format!("{}-W{}", self.name, bits);
+        }
+        self
+    }
+
+    /// Bytes of VRAM occupied by the weights (respecting weight-only
+    /// quantization).
+    pub fn weight_bytes(&self) -> u64 {
+        self.param_count() * self.weight_bits as u64 / 8
+    }
+
+    /// Bytes of KV cache written per token (all layers, K and V).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.n_layers as u64
+            * self.n_kv_heads as u64
+            * self.head_dim as u64
+            * self.dtype_bytes as u64
+    }
+
+    /// Bytes of KV cache for a sequence of `tokens` tokens — the paper's
+    /// `KVBytes(1, S)` (Sec. 4.3.1).
+    pub fn kv_bytes(&self, tokens: u64) -> u64 {
+        tokens * self.kv_bytes_per_token()
+    }
+
+    /// FLOPs for decoding one token at context length `ctx`
+    /// (weight GEMMs + attention over the cached context).
+    pub fn decode_flops_per_token(&self, ctx: u64) -> f64 {
+        let gemm = 2.0 * self.param_count() as f64;
+        let attn = 4.0 * self.n_layers as f64 * (self.n_heads * self.head_dim) as f64 * ctx as f64;
+        gemm + attn
+    }
+
+    /// FLOPs for prefilling `tokens` new tokens on top of `cached` cached
+    /// tokens (causal attention; the quadratic term only spans new keys
+    /// plus the cached prefix).
+    pub fn prefill_flops(&self, tokens: u64, cached: u64) -> f64 {
+        let t = tokens as f64;
+        let gemm = 2.0 * self.param_count() as f64 * t;
+        let q_dim = (self.n_heads * self.head_dim) as f64;
+        // Each new token attends to `cached + its causal prefix` keys.
+        let avg_keys = cached as f64 + (t + 1.0) / 2.0;
+        let attn = 4.0 * self.n_layers as f64 * q_dim * t * avg_keys;
+        gemm + attn
+    }
+
+    /// Short label used in figures, e.g. `"1.5B"` or `"7B"` (marketing
+    /// sizes truncate rather than round: 7.6B parameters is a "7B" model).
+    pub fn size_label(&self) -> String {
+        let b = self.param_count() as f64 / 1e9;
+        if b < 3.0 {
+            format!("{:.1}B", b)
+        } else {
+            format!("{:.0}B", b.floor())
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{} | {}]", self.name, self.size_label(), self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qwen_1_5b_param_count_matches_marketing() {
+        let m = ModelSpec::qwen25_math_1_5b();
+        let b = m.param_count() as f64 / 1e9;
+        assert!((1.4..1.7).contains(&b), "got {b}B");
+    }
+
+    #[test]
+    fn qwen_7b_param_count_matches_marketing() {
+        let m = ModelSpec::qwen25_math_7b();
+        let b = m.param_count() as f64 / 1e9;
+        assert!((7.0..8.0).contains(&b), "got {b}B");
+    }
+
+    #[test]
+    fn mistral_7b_param_count_matches_marketing() {
+        let m = ModelSpec::math_shepherd_7b();
+        let b = m.param_count() as f64 / 1e9;
+        assert!((7.0..7.6).contains(&b), "got {b}B");
+    }
+
+    #[test]
+    fn kv_bytes_per_token_reflect_gqa() {
+        // Qwen 1.5B has 2 KV heads * 128 dim * 28 layers * 2 (K,V) * 2 bytes.
+        assert_eq!(ModelSpec::qwen25_math_1_5b().kv_bytes_per_token(), 28_672);
+        // Mistral 7B: 8 KV heads -> 128 KiB per token.
+        assert_eq!(ModelSpec::math_shepherd_7b().kv_bytes_per_token(), 131_072);
+    }
+
+    #[test]
+    fn weight_bytes_are_two_bytes_per_param() {
+        let m = ModelSpec::qwen25_math_7b();
+        assert_eq!(m.weight_bytes(), 2 * m.param_count());
+    }
+
+    #[test]
+    fn quantization_shrinks_weights_only() {
+        let full = ModelSpec::qwen25_math_7b();
+        let w8 = ModelSpec::qwen25_math_7b().quantized(8);
+        let w4 = ModelSpec::qwen25_math_7b().quantized(4);
+        assert_eq!(w8.weight_bytes(), full.weight_bytes() / 2);
+        assert_eq!(w4.weight_bytes(), full.weight_bytes() / 4);
+        // KV cache and compute are untouched by weight-only quantization.
+        assert_eq!(w4.kv_bytes_per_token(), full.kv_bytes_per_token());
+        assert_eq!(w4.param_count(), full.param_count());
+        assert!(w4.name.ends_with("-W4"));
+        assert_eq!(ModelSpec::qwen25_math_7b().quantized(16).name, full.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported weight quantization")]
+    fn odd_quantization_bits_panic() {
+        ModelSpec::qwen25_math_1_5b().quantized(3);
+    }
+
+    #[test]
+    fn decode_flops_grow_with_context() {
+        let m = ModelSpec::qwen25_math_1_5b();
+        assert!(m.decode_flops_per_token(4096) > m.decode_flops_per_token(0));
+        // The GEMM term dominates at short context.
+        let base = m.decode_flops_per_token(0);
+        assert!((base - 2.0 * m.param_count() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn prefill_flops_superlinear_in_tokens() {
+        let m = ModelSpec::qwen25_math_1_5b();
+        let one = m.prefill_flops(512, 0);
+        let two = m.prefill_flops(1024, 0);
+        assert!(two > 2.0 * one, "causal attention term must be superlinear");
+    }
+
+    #[test]
+    fn prefill_flops_account_for_cached_prefix() {
+        let m = ModelSpec::qwen25_math_1_5b();
+        assert!(m.prefill_flops(128, 1024) > m.prefill_flops(128, 0));
+    }
+
+    #[test]
+    fn skywork_shares_qwen_architecture() {
+        let g = ModelSpec::qwen25_math_1_5b();
+        let v = ModelSpec::skywork_prm_1_5b();
+        assert_eq!(g.kv_bytes_per_token(), v.kv_bytes_per_token());
+        assert_eq!(v.kind, ModelKind::DiscriminativePrm);
+    }
+
+    #[test]
+    fn size_labels_are_compact() {
+        assert_eq!(ModelSpec::qwen25_math_1_5b().size_label(), "1.5B");
+        assert!(ModelSpec::math_shepherd_7b().size_label().ends_with('B'));
+        let display = ModelSpec::qwen25_math_7b().to_string();
+        assert!(display.contains("generator"));
+    }
+}

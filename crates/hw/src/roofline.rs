@@ -1,0 +1,314 @@
+//! Roofline latency model for batched prefill and decode kernels.
+//!
+//! This implements the paper's Sec. 4.3.1 performance law,
+//! `T_roof = max(FLOPs/P, Bytes/BW)`, specialized to the two kernel shapes
+//! a TTS serving system executes:
+//!
+//! * **Prefill** (verification): large GEMMs over whole sequences —
+//!   compute-bound almost immediately, hence the verifier saturates with
+//!   under 1 GB of KV cache (Fig. 6, left).
+//! * **Decode** (generation): one token per sequence per step — every
+//!   iteration must stream the full weights plus the batch's KV cache, so
+//!   throughput keeps improving with batch size (and thus KV memory) far
+//!   longer (Fig. 6, right).
+//!
+//! Each returned [`KernelCost`] also carries the compute-utilization
+//! fraction used to reconstruct the paper's Nsight traces (Fig. 4 / 17).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GpuDevice, ModelSpec};
+
+/// Which serving phase a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Generator decode (token-by-token generation).
+    Generation,
+    /// Verifier prefill (reasoning-step scoring).
+    Verification,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Generation => write!(f, "generation"),
+            Phase::Verification => write!(f, "verification"),
+        }
+    }
+}
+
+/// Cost of one simulated kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Wall-clock seconds under the roofline.
+    pub seconds: f64,
+    /// Total floating point work, in FLOPs.
+    pub flops: f64,
+    /// Total bytes moved to/from HBM.
+    pub bytes: f64,
+    /// Fraction of *peak* tensor throughput achieved in `[0, 1]`.
+    pub compute_util: f64,
+    /// Whether the compute term of the roofline dominated the memory term.
+    pub compute_bound: bool,
+}
+
+impl KernelCost {
+    /// A zero-cost kernel (empty batch).
+    pub fn zero() -> Self {
+        Self { seconds: 0.0, flops: 0.0, bytes: 0.0, compute_util: 0.0, compute_bound: false }
+    }
+}
+
+/// Roofline cost model for one model running on one device.
+///
+/// # Example
+///
+/// ```
+/// use ftts_hw::{GpuDevice, ModelSpec, Roofline};
+/// let roof = Roofline::new(GpuDevice::rtx4090(), ModelSpec::qwen25_math_1_5b());
+/// // Larger decode batches amortize the weight sweep: total batch
+/// // throughput rises even though the step takes slightly longer.
+/// let b1 = roof.decode_step(1, 512);
+/// let b64 = roof.decode_step(64, 512);
+/// assert!(b64.seconds < 64.0 * b1.seconds);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    device: GpuDevice,
+    model: ModelSpec,
+}
+
+impl Roofline {
+    /// Create a cost model for `model` running on `device`.
+    pub fn new(device: GpuDevice, model: ModelSpec) -> Self {
+        Self { device, model }
+    }
+
+    /// Device this model runs on.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Model being costed.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    fn roofline_seconds(&self, flops: f64, bytes: f64) -> f64 {
+        let t_compute = flops / self.device.effective_flops();
+        let t_memory = bytes / self.device.effective_bandwidth();
+        t_compute.max(t_memory)
+    }
+
+    fn cost(&self, flops: f64, bytes: f64) -> KernelCost {
+        if flops <= 0.0 && bytes <= 0.0 {
+            return KernelCost::zero();
+        }
+        let seconds = self.roofline_seconds(flops, bytes);
+        let compute_util = if seconds > 0.0 {
+            (flops / seconds / self.device.peak_flops).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let compute_bound = flops / self.device.effective_flops()
+            >= bytes / self.device.effective_bandwidth();
+        KernelCost { seconds, flops, bytes, compute_util, compute_bound }
+    }
+
+    /// Cost of one decode iteration: `batch` sequences each produce one
+    /// token, with mean cached context `avg_ctx` tokens.
+    ///
+    /// Bytes = one full weight sweep (shared by the batch) + reading each
+    /// sequence's KV cache + writing one new KV entry per sequence.
+    pub fn decode_step(&self, batch: usize, avg_ctx: u64) -> KernelCost {
+        if batch == 0 {
+            return KernelCost::zero();
+        }
+        let b = batch as f64;
+        let flops = b * self.model.decode_flops_per_token(avg_ctx);
+        let kv_per_token = self.model.kv_bytes_per_token() as f64;
+        let bytes = self.model.weight_bytes() as f64
+            + b * avg_ctx as f64 * kv_per_token
+            + b * kv_per_token;
+        self.cost(flops, bytes)
+    }
+
+    /// Cost of prefilling one sequence: `new_tokens` fresh tokens on top
+    /// of a `cached_tokens`-long cached prefix.
+    pub fn prefill(&self, new_tokens: u64, cached_tokens: u64) -> KernelCost {
+        self.prefill_batch(1, new_tokens, cached_tokens)
+    }
+
+    /// Cost of prefilling `batch` sequences, each adding `new_per_seq`
+    /// fresh tokens on top of a `cached_per_seq`-long cached prefix.
+    ///
+    /// Attention is per-sequence: each new token attends to its own
+    /// cached prefix plus its causal predecessors, never across batch
+    /// members — getting this wrong overstates verifier cost
+    /// quadratically in the batch size.
+    pub fn prefill_batch(
+        &self,
+        batch: usize,
+        new_per_seq: u64,
+        cached_per_seq: u64,
+    ) -> KernelCost {
+        if batch == 0 || new_per_seq == 0 {
+            return KernelCost::zero();
+        }
+        let flops =
+            batch as f64 * self.model.prefill_flops(new_per_seq, cached_per_seq);
+        let kv_per_token = self.model.kv_bytes_per_token() as f64;
+        // Weights once, read the reused prefix KV, write KV for new tokens.
+        let bytes = self.model.weight_bytes() as f64
+            + batch as f64 * cached_per_seq as f64 * kv_per_token
+            + batch as f64 * new_per_seq as f64 * kv_per_token;
+        self.cost(flops, bytes)
+    }
+
+    /// Batch decode throughput in tokens/second at the given batch size
+    /// and context (used by the memory-allocation search, Fig. 10).
+    pub fn decode_throughput(&self, batch: usize, avg_ctx: u64) -> f64 {
+        let c = self.decode_step(batch, avg_ctx);
+        if c.seconds == 0.0 {
+            0.0
+        } else {
+            batch as f64 / c.seconds
+        }
+    }
+
+    /// Batch prefill throughput in tokens/second for sequences of length
+    /// `seq` processed `batch` at a time.
+    pub fn prefill_throughput(&self, batch: usize, seq: u64) -> f64 {
+        let tokens = batch as u64 * seq;
+        let c = self.prefill_batch(batch, seq, 0);
+        if c.seconds == 0.0 {
+            0.0
+        } else {
+            tokens as f64 / c.seconds
+        }
+    }
+
+    /// Maximum decode batch size representable in `kv_budget_bytes` of KV
+    /// cache at per-sequence context `ctx`.
+    pub fn max_decode_batch(&self, kv_budget_bytes: u64, ctx: u64) -> usize {
+        let per_seq = self.model.kv_bytes(ctx).max(1);
+        (kv_budget_bytes / per_seq) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roof_1_5b() -> Roofline {
+        Roofline::new(GpuDevice::rtx4090(), ModelSpec::qwen25_math_1_5b())
+    }
+
+    #[test]
+    fn single_stream_decode_is_bandwidth_bound() {
+        let c = roof_1_5b().decode_step(1, 256);
+        // The weight sweep dominates: ~3.1 GB over ~806 GB/s ≈ 3.8 ms.
+        assert!(c.seconds > 3e-3 && c.seconds < 6e-3, "got {}", c.seconds);
+        assert!(c.compute_util < 0.10, "decode must be low-util, got {}", c.compute_util);
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_at_modest_batch() {
+        let c = roof_1_5b().prefill(8 * 640, 0);
+        assert!(c.compute_util > 0.4, "prefill util too low: {}", c.compute_util);
+        assert!(c.compute_bound);
+        assert!(!roof_1_5b().decode_step(1, 256).compute_bound);
+    }
+
+    #[test]
+    fn decode_throughput_increases_with_batch() {
+        let roof = roof_1_5b();
+        let mut last = 0.0;
+        for b in [1usize, 4, 16, 64, 256] {
+            let thr = roof.decode_throughput(b, 512);
+            assert!(thr > last, "throughput must rise with batch size");
+            last = thr;
+        }
+    }
+
+    #[test]
+    fn decode_throughput_saturates_sublinearly() {
+        let roof = roof_1_5b();
+        let t64 = roof.decode_throughput(64, 2048);
+        let t512 = roof.decode_throughput(512, 2048);
+        assert!(t512 < 8.0 * t64, "KV traffic must bend the curve");
+    }
+
+    #[test]
+    fn prefill_saturates_much_faster_than_decode() {
+        // Reproduces the *shape* of Fig. 6: fraction of asymptotic
+        // throughput reached with a fixed small KV budget is far higher
+        // for prefill than for decode.
+        let roof = roof_1_5b();
+        let kv_budget = crate::GB; // 1 GB
+        let seq = 640u64;
+        let b_pre = roof.max_decode_batch(kv_budget, seq).max(1);
+        let pre_frac =
+            roof.prefill_throughput(b_pre, seq) / roof.prefill_throughput(4096, seq);
+        let dec_ctx = 512u64;
+        let b_dec = roof.max_decode_batch(kv_budget, dec_ctx).max(1);
+        let dec_frac =
+            roof.decode_throughput(b_dec, dec_ctx) / roof.decode_throughput(65_536, dec_ctx);
+        assert!(pre_frac > 0.8, "prefill should hit >80% with 1 GB, got {pre_frac}");
+        assert!(dec_frac < pre_frac, "decode must saturate slower: {dec_frac} vs {pre_frac}");
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let roof = roof_1_5b();
+        assert_eq!(roof.decode_step(0, 100), KernelCost::zero());
+        assert_eq!(roof.prefill(0, 100), KernelCost::zero());
+        assert_eq!(roof.decode_throughput(0, 100), 0.0);
+    }
+
+    #[test]
+    fn max_decode_batch_respects_budget() {
+        let roof = roof_1_5b();
+        let ctx = 1024u64;
+        let b = roof.max_decode_batch(2 * crate::GB, ctx);
+        let used = b as u64 * roof.model().kv_bytes(ctx);
+        assert!(used <= 2 * crate::GB);
+        let next = (b as u64 + 1) * roof.model().kv_bytes(ctx);
+        assert!(next > 2 * crate::GB);
+    }
+
+    #[test]
+    fn bigger_model_is_slower() {
+        let small = roof_1_5b().decode_step(8, 512).seconds;
+        let big = Roofline::new(GpuDevice::rtx4090(), ModelSpec::qwen25_math_7b())
+            .decode_step(8, 512)
+            .seconds;
+        assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    fn cached_prefix_reduces_prefill_cost() {
+        let roof = roof_1_5b();
+        let cold = roof.prefill(1024, 0);
+        let warm = roof.prefill(256, 768);
+        assert!(warm.seconds < cold.seconds);
+    }
+
+    #[test]
+    fn batched_prefill_attends_per_sequence() {
+        let roof = roof_1_5b();
+        // 8 sequences of 640 tokens do strictly less attention work than
+        // one 5120-token sequence.
+        let batched = roof.prefill_batch(8, 640, 0);
+        let monolith = roof.prefill(8 * 640, 0);
+        assert!(batched.flops < monolith.flops);
+        assert!(batched.seconds < monolith.seconds);
+        assert_eq!(roof.prefill_batch(0, 100, 0), KernelCost::zero());
+    }
+
+    #[test]
+    fn phase_display_is_stable() {
+        assert_eq!(Phase::Generation.to_string(), "generation");
+        assert_eq!(Phase::Verification.to_string(), "verification");
+    }
+}

@@ -1,0 +1,22 @@
+//! Byte-quantity constants shared across the workspace.
+
+/// One decimal megabyte (10^6 bytes), as used in GPU marketing bandwidth.
+pub const MB: u64 = 1_000_000;
+/// One decimal gigabyte (10^9 bytes).
+pub const GB: u64 = 1_000_000_000;
+/// One binary mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+/// One binary gibibyte (2^30 bytes), as used for VRAM capacities.
+pub const GIB: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_units_are_larger_than_decimal() {
+        assert!(GIB > GB);
+        assert!(MIB > MB);
+        assert_eq!(GIB, 1024 * MIB);
+    }
+}

@@ -1,0 +1,794 @@
+//! The KV-cache facade: residency, pinning, eviction and offload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::BlockPool;
+use crate::stats::CacheStats;
+use crate::tree::{PrefixTree, Residency};
+use crate::NodeId;
+
+/// Configuration of a [`KvCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvCacheConfig {
+    /// Tokens per KV block (vLLM default is 16).
+    pub block_size: u64,
+    /// GPU memory budget for this cache, in bytes.
+    pub capacity_bytes: u64,
+    /// KV bytes written per token (from `ModelSpec::kv_bytes_per_token`).
+    pub bytes_per_token: u64,
+    /// Whether forks share ancestor blocks (prefix caching). Disable to
+    /// model the "w/o prefix cache" baseline of Fig. 5.
+    pub prefix_sharing: bool,
+}
+
+impl KvCacheConfig {
+    /// Bytes per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_size * self.bytes_per_token
+    }
+
+    /// Capacity expressed in whole blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes().max(1)
+    }
+}
+
+/// Errors returned by cache operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The pool cannot satisfy an allocation even after evicting
+    /// everything evictable. Carries (blocks needed, blocks obtainable).
+    InsufficientMemory {
+        /// Blocks the operation required.
+        needed: u64,
+        /// Blocks free plus evictable at the time of failure.
+        obtainable: u64,
+    },
+    /// `extend` called on a node that already has children.
+    ExtendNonLeaf(NodeId),
+    /// Operation requires the node to be pinned and GPU-resident.
+    NotResident(NodeId),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::InsufficientMemory { needed, obtainable } => {
+                write!(f, "insufficient KV memory: need {needed} blocks, obtainable {obtainable}")
+            }
+            KvError::ExtendNonLeaf(id) => write!(f, "cannot extend non-leaf node {id}"),
+            KvError::NotResident(id) => write!(f, "node {id} is not pinned and resident"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Cost incurred by making a pinned path resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinCost {
+    /// Tokens that must be recomputed (re-prefilled) because their blocks
+    /// were evicted.
+    pub recompute_tokens: u64,
+    /// Bytes that must be transferred back from host memory (offload).
+    pub transfer_in_bytes: u64,
+    /// Fresh blocks allocated (including copy-on-write boundary copies).
+    pub allocated_blocks: u64,
+}
+
+impl PinCost {
+    /// Whether the pin was free (everything already resident).
+    pub fn is_hit(&self) -> bool {
+        self.recompute_tokens == 0 && self.transfer_in_bytes == 0
+    }
+
+    /// Accumulate another cost into this one.
+    pub fn merge(&mut self, other: PinCost) {
+        self.recompute_tokens += other.recompute_tokens;
+        self.transfer_in_bytes += other.transfer_in_bytes;
+        self.allocated_blocks += other.allocated_blocks;
+    }
+}
+
+/// A paged, prefix-shared KV cache with LRU eviction and host offload.
+///
+/// See the crate-level documentation for the model; the engine drives it
+/// through five verbs: [`root`](KvCache::root) / [`fork`](KvCache::fork)
+/// create sequences, [`pin`](KvCache::pin) makes a path resident (paying
+/// recompute/transfer costs), [`extend`](KvCache::extend) appends decoded
+/// tokens, and [`unpin`](KvCache::unpin) returns the path to evictable
+/// cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvCache {
+    config: KvCacheConfig,
+    tree: PrefixTree,
+    pool: BlockPool,
+    stats: CacheStats,
+}
+
+impl KvCache {
+    /// Create an empty cache.
+    pub fn new(config: KvCacheConfig) -> Self {
+        let tree = PrefixTree::new(config.block_size, config.prefix_sharing);
+        let pool = BlockPool::new(config.capacity_blocks());
+        Self { config, tree, pool, stats: CacheStats::default() }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &KvCacheConfig {
+        &self.config
+    }
+
+    /// Cumulative event counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Blocks currently resident on the GPU.
+    pub fn gpu_blocks_used(&self) -> u64 {
+        self.pool.used()
+    }
+
+    /// Bytes currently resident on the GPU.
+    pub fn gpu_bytes_used(&self) -> u64 {
+        self.pool.used() * self.config.block_bytes()
+    }
+
+    /// Peak GPU blocks ever resident.
+    pub fn peak_blocks_used(&self) -> u64 {
+        self.pool.peak_used()
+    }
+
+    /// Number of nodes in the prefix tree.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Repartition this cache's capacity at run time (Asymmetric
+    /// Multi-Model Memory Allocation adjusts budgets on state changes).
+    pub fn set_capacity_bytes(&mut self, capacity_bytes: u64) {
+        self.config.capacity_bytes = capacity_bytes;
+        self.pool.resize(self.config.capacity_blocks());
+    }
+
+    /// Create a new independent sequence (a prompt) of `tokens` tokens.
+    /// The node starts absent; `pin` it before use.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today, but returns `Result` for interface stability
+    /// with `fork`.
+    pub fn root(&mut self, tokens: u64) -> Result<NodeId, KvError> {
+        Ok(self.tree.add_root(tokens))
+    }
+
+    /// Fork a child continuing after all of `parent`'s tokens.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; see [`KvCache::root`].
+    pub fn fork(&mut self, parent: NodeId) -> Result<NodeId, KvError> {
+        let keep = self.tree.node(parent).n_tokens;
+        self.fork_at(parent, keep)
+    }
+
+    /// Fork a child inheriting only the first `keep_tokens` of `parent`'s
+    /// own tokens — used when a duplicate keeps a truncated speculative
+    /// prefix (Alg. 1, line 19).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; see [`KvCache::root`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_tokens` exceeds the parent's own token count.
+    pub fn fork_at(&mut self, parent: NodeId, keep_tokens: u64) -> Result<NodeId, KvError> {
+        Ok(self.tree.fork_at(parent, keep_tokens))
+    }
+
+    /// Sequence length in tokens of the path ending at `node`.
+    pub fn seq_tokens(&self, node: NodeId) -> u64 {
+        self.tree.seq_tokens(node)
+    }
+
+    /// Tokens owned by `node` itself (appended after its fork point).
+    pub fn own_tokens(&self, node: NodeId) -> u64 {
+        self.tree.node(node).n_tokens
+    }
+
+    /// Shared prefix length in tokens between two sequences (the paper's
+    /// `P(c_i, c_j)`).
+    pub fn shared_prefix(&self, a: NodeId, b: NodeId) -> u64 {
+        self.tree.shared_prefix(a, b)
+    }
+
+    /// Current residency of a node.
+    pub fn residency(&self, node: NodeId) -> Residency {
+        self.tree.node(node).residency
+    }
+
+    /// Whether the node is pinned.
+    pub fn is_pinned(&self, node: NodeId) -> bool {
+        self.tree.node(node).pin_count > 0
+    }
+
+    /// Blocks obtainable right now: free plus evictable.
+    pub fn obtainable_blocks(&self) -> u64 {
+        self.pool.free_blocks() + self.evictable_blocks()
+    }
+
+    /// Blocks free right now without evicting anything.
+    pub fn free_blocks(&self) -> u64 {
+        self.pool.free_blocks()
+    }
+
+    fn evictable_blocks(&self) -> u64 {
+        self.tree
+            .nodes
+            .iter()
+            .filter(|n| n.residency == Residency::Gpu && n.pin_count == 0)
+            .map(|n| n.owned_blocks)
+            .sum()
+    }
+
+    /// Evict least-recently-used unpinned subtrees until `n` blocks can
+    /// be allocated, then allocate them.
+    fn alloc_with_eviction(&mut self, n: u64) -> Result<(), KvError> {
+        if self.pool.try_alloc(n) {
+            self.stats.allocated_blocks += n;
+            return Ok(());
+        }
+        loop {
+            // Candidates: GPU-resident, unpinned, no GPU children
+            // (leaf-first keeps prefixes alive longest, like vLLM's
+            // prefix-cache eviction).
+            let mut candidates: Vec<(u64, NodeId)> = self
+                .tree
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, node)| {
+                    node.residency == Residency::Gpu
+                        && node.pin_count == 0
+                        && node.gpu_children == 0
+                })
+                .map(|(i, node)| (node.last_used, NodeId(i as u32)))
+                .collect();
+            if candidates.is_empty() {
+                return Err(KvError::InsufficientMemory {
+                    needed: n,
+                    obtainable: self.pool.free_blocks() + self.evictable_blocks(),
+                });
+            }
+            candidates.sort_unstable();
+            for (_, id) in candidates {
+                self.evict_node(id);
+                if self.pool.try_alloc(n) {
+                    self.stats.allocated_blocks += n;
+                    return Ok(());
+                }
+            }
+            // Evicting leaves may have exposed new candidates; loop.
+        }
+    }
+
+    fn evict_node(&mut self, id: NodeId) {
+        let (blocks, tokens, parent) = {
+            let node = self.tree.node_mut(id);
+            debug_assert_eq!(node.residency, Residency::Gpu);
+            debug_assert_eq!(node.pin_count, 0);
+            debug_assert_eq!(node.gpu_children, 0);
+            node.residency = Residency::Absent;
+            let blocks = node.owned_blocks;
+            node.owned_blocks = 0;
+            (blocks, node.n_tokens, node.parent)
+        };
+        self.pool.free(blocks);
+        self.stats.evicted_blocks += blocks;
+        self.stats.evicted_tokens += tokens;
+        if self.config.prefix_sharing {
+            if let Some(p) = parent {
+                self.tree.node_mut(p).gpu_children -= 1;
+            }
+        }
+    }
+
+    /// Make one node GPU-resident, assuming its prefix (if shared) is
+    /// already resident. Returns the cost.
+    fn restore_node(&mut self, id: NodeId) -> Result<PinCost, KvError> {
+        let (residency, pad, n_tokens) = {
+            let node = self.tree.node(id);
+            (node.residency, node.pad, node.n_tokens)
+        };
+        let mut cost = PinCost::default();
+        match residency {
+            Residency::Gpu => {}
+            Residency::Host => {
+                let blocks = self.tree.blocks_for(pad, n_tokens);
+                self.alloc_with_eviction(blocks)?;
+                cost.transfer_in_bytes = blocks * self.config.block_bytes();
+                cost.allocated_blocks = blocks;
+                self.stats.swapped_in_blocks += blocks;
+                self.finish_restore(id, blocks);
+            }
+            Residency::Absent => {
+                let blocks = self.tree.blocks_for(pad, n_tokens);
+                self.alloc_with_eviction(blocks)?;
+                // Recompute the node's own tokens; with sharing disabled
+                // the duplicated prefix (`pad`) must be recomputed too.
+                cost.recompute_tokens =
+                    if self.config.prefix_sharing { n_tokens } else { pad + n_tokens };
+                cost.allocated_blocks = blocks;
+                self.stats.recomputed_tokens += cost.recompute_tokens;
+                self.finish_restore(id, blocks);
+            }
+        }
+        self.tree.touch(id);
+        Ok(cost)
+    }
+
+    fn finish_restore(&mut self, id: NodeId, blocks: u64) {
+        let parent = {
+            let node = self.tree.node_mut(id);
+            node.residency = Residency::Gpu;
+            node.owned_blocks = blocks;
+            node.parent
+        };
+        // Without sharing each sequence is self-contained, so parents
+        // impose no leaf-first eviction constraint.
+        if self.config.prefix_sharing {
+            if let Some(p) = parent {
+                self.tree.node_mut(p).gpu_children += 1;
+            }
+        }
+    }
+
+    /// Pin the sequence ending at `leaf`: increment pin counts along the
+    /// residency path and make every node on it GPU-resident, evicting
+    /// other subtrees as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::InsufficientMemory`] (with pins rolled back) if
+    /// the pool cannot hold the path even after evicting everything
+    /// evictable.
+    pub fn pin(&mut self, leaf: NodeId) -> Result<PinCost, KvError> {
+        let path = self.tree.residency_path(leaf);
+        for &id in &path {
+            self.tree.node_mut(id).pin_count += 1;
+        }
+        let mut total = PinCost::default();
+        for &id in &path {
+            match self.restore_node(id) {
+                Ok(cost) => total.merge(cost),
+                Err(e) => {
+                    for &undo in &path {
+                        self.tree.node_mut(undo).pin_count -= 1;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Release a pin taken by [`KvCache::pin`]. The path stays resident
+    /// as evictable cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is not currently pinned.
+    pub fn unpin(&mut self, leaf: NodeId) {
+        for id in self.tree.residency_path(leaf) {
+            let node = self.tree.node_mut(id);
+            assert!(node.pin_count > 0, "unpin of unpinned node {id}");
+            node.pin_count -= 1;
+        }
+    }
+
+    /// Append `tokens` decoded tokens to a pinned, resident leaf,
+    /// allocating boundary blocks as the span grows.
+    ///
+    /// # Errors
+    ///
+    /// * [`KvError::ExtendNonLeaf`] if the node already forked children.
+    /// * [`KvError::NotResident`] if the node is not pinned on the GPU.
+    /// * [`KvError::InsufficientMemory`] if growth blocks cannot be
+    ///   obtained; the node's tokens are unchanged in that case.
+    pub fn extend(&mut self, leaf: NodeId, tokens: u64) -> Result<(), KvError> {
+        let (n_children, pin_count, residency, pad, n_tokens, owned) = {
+            let node = self.tree.node(leaf);
+            (
+                node.n_children,
+                node.pin_count,
+                node.residency,
+                node.pad,
+                node.n_tokens,
+                node.owned_blocks,
+            )
+        };
+        if n_children > 0 {
+            return Err(KvError::ExtendNonLeaf(leaf));
+        }
+        if pin_count == 0 || residency != Residency::Gpu {
+            return Err(KvError::NotResident(leaf));
+        }
+        if tokens == 0 {
+            return Ok(());
+        }
+        let new_owned = self.tree.blocks_for(pad, n_tokens + tokens);
+        let delta = new_owned - owned;
+        if delta > 0 {
+            self.alloc_with_eviction(delta)?;
+        }
+        // First physical materialization of a forked node performs the
+        // copy-on-write boundary copy.
+        if owned == 0 && pad > 0 {
+            self.stats.cow_blocks += pad.div_ceil(self.config.block_size);
+        }
+        let node = self.tree.node_mut(leaf);
+        node.n_tokens += tokens;
+        node.owned_blocks = new_owned;
+        self.tree.touch(leaf);
+        Ok(())
+    }
+
+    /// Blocks that `pin(leaf)` followed by `extend(leaf, extra_tokens)`
+    /// would need to allocate right now.
+    pub fn blocks_needed(&self, leaf: NodeId, extra_tokens: u64) -> u64 {
+        let mut needed = 0;
+        for id in self.tree.residency_path(leaf) {
+            let node = self.tree.node(id);
+            if node.residency != Residency::Gpu {
+                needed += self.tree.blocks_for(node.pad, node.n_tokens);
+            }
+        }
+        let leaf_node = self.tree.node(leaf);
+        let with_growth = self.tree.blocks_for(leaf_node.pad, leaf_node.n_tokens + extra_tokens);
+        let current = if leaf_node.residency == Residency::Gpu {
+            leaf_node.owned_blocks
+        } else {
+            self.tree.blocks_for(leaf_node.pad, leaf_node.n_tokens)
+        };
+        needed + (with_growth - current)
+    }
+
+    /// Whether pinning `leaf` and growing it by `extra_tokens` can
+    /// succeed without evicting any *currently pinned* path.
+    pub fn would_fit(&self, leaf: NodeId, extra_tokens: u64) -> bool {
+        self.blocks_needed(leaf, extra_tokens) <= self.obtainable_blocks_for(leaf)
+    }
+
+    /// Blocks obtainable for pinning `leaf`: free plus evictable,
+    /// excluding resident-but-unpinned blocks on `leaf`'s own path (those
+    /// would be pinned, not evicted).
+    pub fn obtainable_blocks_for(&self, leaf: NodeId) -> u64 {
+        let path_unpinned: u64 = self
+            .tree
+            .residency_path(leaf)
+            .iter()
+            .map(|&id| {
+                let n = self.tree.node(id);
+                if n.residency == Residency::Gpu && n.pin_count == 0 { n.owned_blocks } else { 0 }
+            })
+            .sum();
+        (self.pool.free_blocks() + self.evictable_blocks()).saturating_sub(path_unpinned)
+    }
+
+    /// Voluntarily free a dead node's blocks (e.g. unconsumed
+    /// speculative work) so it cannot crowd out live prefixes under LRU.
+    /// No-op unless the node is GPU-resident, unpinned and childless
+    /// (shared blocks must outlive their sharers). Returns blocks freed.
+    pub fn discard(&mut self, node: NodeId) -> u64 {
+        let (ok, blocks, parent) = {
+            let n = self.tree.node(node);
+            (
+                n.residency == Residency::Gpu && n.pin_count == 0 && n.gpu_children == 0
+                    && n.n_children == 0,
+                n.owned_blocks,
+                n.parent,
+            )
+        };
+        if !ok {
+            return 0;
+        }
+        {
+            let n = self.tree.node_mut(node);
+            n.residency = Residency::Absent;
+            n.owned_blocks = 0;
+        }
+        self.pool.free(blocks);
+        self.stats.discarded_blocks += blocks;
+        if self.config.prefix_sharing {
+            if let Some(p) = parent {
+                self.tree.node_mut(p).gpu_children -= 1;
+            }
+        }
+        blocks
+    }
+
+    /// Swap every unpinned GPU-resident node to host memory, freeing its
+    /// blocks. Returns the number of bytes moved (for PCIe costing).
+    pub fn swap_out_unpinned(&mut self) -> u64 {
+        let ids: Vec<NodeId> = self
+            .tree
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.residency == Residency::Gpu && n.pin_count == 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let mut blocks = 0;
+        for id in ids {
+            let (owned, parent) = {
+                let node = self.tree.node_mut(id);
+                node.residency = Residency::Host;
+                let owned = node.owned_blocks;
+                node.owned_blocks = 0;
+                (owned, node.parent)
+            };
+            self.pool.free(owned);
+            blocks += owned;
+            if self.config.prefix_sharing {
+                if let Some(p) = parent {
+                    self.tree.node_mut(p).gpu_children -= 1;
+                }
+            }
+        }
+        self.stats.swapped_out_blocks += blocks;
+        blocks * self.config.block_bytes()
+    }
+
+    /// GPU-resident tokens (physical, including copy-on-write pads).
+    pub fn resident_tokens(&self) -> u64 {
+        self.tree
+            .nodes
+            .iter()
+            .filter(|n| n.residency == Residency::Gpu)
+            .map(|n| n.pad + n.n_tokens)
+            .sum()
+    }
+
+    /// Logical tokens represented on the GPU (excluding duplicated pads)
+    /// — comparing this with [`KvCache::resident_tokens`] quantifies
+    /// prefix-sharing savings (Fig. 5, left).
+    pub fn logical_resident_tokens(&self) -> u64 {
+        self.tree
+            .nodes
+            .iter()
+            .filter(|n| n.residency == Residency::Gpu)
+            .map(|n| n.n_tokens)
+            .sum()
+    }
+
+    /// Unique tokens in the union of the paths ending at `leaves` — the
+    /// working set a cache must retain to serve all of them without
+    /// recomputation. With prefix sharing this is the (deduplicated)
+    /// tree size; without it, the plain sum of path lengths.
+    pub fn unique_path_tokens(&self, leaves: &[NodeId]) -> u64 {
+        if !self.config.prefix_sharing {
+            return leaves.iter().map(|&l| self.seq_tokens(l)).sum();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for &leaf in leaves {
+            for id in self.tree.logical_path(leaf) {
+                if seen.insert(id) {
+                    total += self.tree.node(id).n_tokens;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity_blocks: u64) -> KvCache {
+        KvCache::new(KvCacheConfig {
+            block_size: 16,
+            capacity_bytes: capacity_blocks * 16 * 4,
+            bytes_per_token: 4,
+            prefix_sharing: true,
+        })
+    }
+
+    #[test]
+    fn pin_allocates_and_reports_recompute() {
+        let mut kv = cache(100);
+        let r = kv.root(64).unwrap();
+        let cost = kv.pin(r).unwrap();
+        assert_eq!(cost.recompute_tokens, 64);
+        assert_eq!(cost.allocated_blocks, 4);
+        assert_eq!(kv.gpu_blocks_used(), 4);
+        // Re-pin is a hit.
+        let again = kv.pin(r).unwrap();
+        assert!(again.is_hit());
+        kv.unpin(r);
+        kv.unpin(r);
+    }
+
+    #[test]
+    fn extend_grows_blocks_lazily() {
+        let mut kv = cache(100);
+        let r = kv.root(16).unwrap();
+        kv.pin(r).unwrap();
+        assert_eq!(kv.gpu_blocks_used(), 1);
+        kv.extend(r, 1).unwrap();
+        assert_eq!(kv.gpu_blocks_used(), 2);
+        for _ in 0..15 {
+            kv.extend(r, 1).unwrap();
+        }
+        assert_eq!(kv.gpu_blocks_used(), 2);
+        kv.extend(r, 1).unwrap();
+        assert_eq!(kv.gpu_blocks_used(), 3);
+    }
+
+    #[test]
+    fn fork_shares_blocks_and_cow_copies_boundary() {
+        let mut kv = cache(100);
+        let r = kv.root(20).unwrap(); // 2 blocks, second holds 4 tokens
+        kv.pin(r).unwrap();
+        let c = kv.fork(r).unwrap();
+        kv.pin(c).unwrap();
+        assert_eq!(kv.gpu_blocks_used(), 2, "fork is lazy");
+        kv.extend(c, 1).unwrap();
+        // COW: child copies the partial boundary block (pad 4 + 1 token).
+        assert_eq!(kv.gpu_blocks_used(), 3);
+        assert_eq!(kv.stats().cow_blocks, 1);
+    }
+
+    #[test]
+    fn aligned_fork_needs_no_cow() {
+        let mut kv = cache(100);
+        let r = kv.root(32).unwrap();
+        kv.pin(r).unwrap();
+        let c = kv.fork(r).unwrap();
+        kv.pin(c).unwrap();
+        kv.extend(c, 1).unwrap();
+        assert_eq!(kv.stats().cow_blocks, 0);
+        assert_eq!(kv.gpu_blocks_used(), 3);
+    }
+
+    #[test]
+    fn eviction_prefers_lru_unpinned_leaves() {
+        let mut kv = cache(6);
+        let r = kv.root(32).unwrap(); // 2 blocks
+        kv.pin(r).unwrap();
+        let a = kv.fork(r).unwrap();
+        let b = kv.fork(r).unwrap();
+        kv.pin(a).unwrap();
+        kv.extend(a, 32).unwrap(); // 2 blocks
+        kv.unpin(a);
+        kv.pin(b).unwrap();
+        kv.extend(b, 32).unwrap(); // 2 blocks -> pool full (6)
+        // A third child needs space; `a` (LRU, unpinned leaf) is evicted.
+        let c = kv.fork(r).unwrap();
+        kv.pin(c).unwrap();
+        kv.extend(c, 32).unwrap();
+        assert_eq!(kv.residency(a), Residency::Absent);
+        assert_eq!(kv.residency(b), Residency::Gpu);
+        assert_eq!(kv.residency(r), Residency::Gpu, "shared prefix survives");
+        assert!(kv.stats().evicted_blocks >= 2);
+        // Re-pinning `a` recomputes its own 32 tokens only.
+        kv.unpin(b);
+        kv.unpin(c);
+        let cost = kv.pin(a).unwrap();
+        assert_eq!(cost.recompute_tokens, 32);
+    }
+
+    #[test]
+    fn pin_fails_cleanly_when_over_capacity() {
+        let mut kv = cache(3);
+        let r = kv.root(100).unwrap(); // needs 7 blocks > 3
+        let err = kv.pin(r).unwrap_err();
+        assert!(matches!(err, KvError::InsufficientMemory { .. }));
+        assert!(!kv.is_pinned(r), "pins must be rolled back");
+        assert_eq!(kv.gpu_blocks_used(), 0, "all-or-nothing per node");
+    }
+
+    #[test]
+    fn extend_rejects_non_leaf_and_unpinned() {
+        let mut kv = cache(100);
+        let r = kv.root(8).unwrap();
+        kv.pin(r).unwrap();
+        let _child = kv.fork(r).unwrap();
+        assert_eq!(kv.extend(r, 1), Err(KvError::ExtendNonLeaf(r)));
+        let lone = kv.root(8).unwrap();
+        assert_eq!(kv.extend(lone, 1), Err(KvError::NotResident(lone)));
+    }
+
+    #[test]
+    fn swap_out_moves_to_host_and_pin_transfers_back() {
+        let mut kv = cache(100);
+        let r = kv.root(64).unwrap();
+        kv.pin(r).unwrap();
+        kv.unpin(r);
+        let bytes = kv.swap_out_unpinned();
+        assert_eq!(bytes, 4 * 16 * 4);
+        assert_eq!(kv.residency(r), Residency::Host);
+        assert_eq!(kv.gpu_blocks_used(), 0);
+        let cost = kv.pin(r).unwrap();
+        assert_eq!(cost.recompute_tokens, 0, "swap-in needs no recompute");
+        assert_eq!(cost.transfer_in_bytes, bytes);
+    }
+
+    #[test]
+    fn no_sharing_mode_duplicates_prefixes() {
+        let mut kv = KvCache::new(KvCacheConfig {
+            block_size: 16,
+            capacity_bytes: 100 * 16 * 4,
+            bytes_per_token: 4,
+            prefix_sharing: false,
+        });
+        let r = kv.root(32).unwrap();
+        kv.pin(r).unwrap();
+        let a = kv.fork(r).unwrap();
+        kv.pin(a).unwrap();
+        kv.extend(a, 16).unwrap();
+        // Child owns the full 48-token copy: 3 blocks + root's 2.
+        assert_eq!(kv.gpu_blocks_used(), 5);
+        assert!(kv.resident_tokens() > kv.logical_resident_tokens());
+    }
+
+    #[test]
+    fn would_fit_and_blocks_needed_agree_with_pin() {
+        let mut kv = cache(4);
+        let r = kv.root(32).unwrap();
+        assert_eq!(kv.blocks_needed(r, 0), 2);
+        assert!(kv.would_fit(r, 0));
+        assert!(kv.would_fit(r, 32));
+        assert!(!kv.would_fit(r, 33), "4 blocks cannot hold 65 tokens");
+        kv.pin(r).unwrap();
+        assert_eq!(kv.blocks_needed(r, 0), 0);
+    }
+
+    #[test]
+    fn shared_prefix_is_exposed() {
+        let mut kv = cache(100);
+        let r = kv.root(40).unwrap();
+        let a = kv.fork(r).unwrap();
+        let b = kv.fork(r).unwrap();
+        assert_eq!(kv.shared_prefix(a, b), 40);
+    }
+
+    #[test]
+    fn unique_path_tokens_dedups_shared_prefixes() {
+        let mut kv = cache(100);
+        let r = kv.root(40).unwrap();
+        let a = kv.fork(r).unwrap();
+        let b = kv.fork(r).unwrap();
+        kv.pin(a).unwrap();
+        kv.pin(b).unwrap();
+        kv.extend(a, 10).unwrap();
+        kv.extend(b, 20).unwrap();
+        assert_eq!(kv.unique_path_tokens(&[a, b]), 70);
+        assert_eq!(kv.unique_path_tokens(&[a]), 50);
+        assert_eq!(kv.unique_path_tokens(&[]), 0);
+    }
+
+    #[test]
+    fn unique_path_tokens_without_sharing_sums_paths() {
+        let mut kv = KvCache::new(KvCacheConfig {
+            block_size: 16,
+            capacity_bytes: 100 * 16 * 4,
+            bytes_per_token: 4,
+            prefix_sharing: false,
+        });
+        let r = kv.root(40).unwrap();
+        let a = kv.fork(r).unwrap();
+        let b = kv.fork(r).unwrap();
+        assert_eq!(kv.unique_path_tokens(&[a, b]), 80);
+    }
+
+    #[test]
+    fn capacity_resize_applies_to_pool() {
+        let mut kv = cache(10);
+        kv.set_capacity_bytes(2 * 16 * 4);
+        let r = kv.root(64).unwrap();
+        assert!(kv.pin(r).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Fixed-capacity block pool.
+
+use serde::{Deserialize, Serialize};
+
+/// A counting allocator over a fixed budget of KV blocks.
+///
+/// The simulation does not need physical block identities — only exact
+/// occupancy accounting — so the pool tracks counts. All block ownership
+/// bookkeeping (which node owns how many blocks) lives in the prefix tree.
+///
+/// # Example
+///
+/// ```
+/// use ftts_kv::BlockPool;
+/// let mut pool = BlockPool::new(10);
+/// assert!(pool.try_alloc(7));
+/// assert!(!pool.try_alloc(4));
+/// pool.free(3);
+/// assert!(pool.try_alloc(4));
+/// assert_eq!(pool.used(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPool {
+    capacity: u64,
+    used: u64,
+    peak_used: u64,
+}
+
+impl BlockPool {
+    /// Create a pool holding `capacity` blocks.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, peak_used: 0 }
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Blocks currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Blocks currently free (zero while occupancy exceeds a shrunken
+    /// capacity).
+    pub fn free_blocks(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// High-water mark of allocation.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Attempt to allocate `n` blocks; returns `false` (allocating
+    /// nothing) if fewer than `n` are free.
+    #[must_use]
+    pub fn try_alloc(&mut self, n: u64) -> bool {
+        if self.used + n > self.capacity {
+            return false;
+        }
+        self.used += n;
+        self.peak_used = self.peak_used.max(self.used);
+        true
+    }
+
+    /// Return `n` blocks to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of allocated blocks (a
+    /// double-free in the caller's bookkeeping).
+    pub fn free(&mut self, n: u64) {
+        assert!(n <= self.used, "freeing {n} blocks but only {} allocated", self.used);
+        self.used -= n;
+    }
+
+    /// Resize the pool capacity (used when the memory allocator
+    /// repartitions KV between generator and verifier at run time).
+    ///
+    /// Shrinking below current occupancy is allowed; the pool simply
+    /// reports no free blocks until enough are freed.
+    pub fn resize(&mut self, capacity: u64) {
+        self.capacity = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut p = BlockPool::new(5);
+        assert!(p.try_alloc(5));
+        assert_eq!(p.free_blocks(), 0);
+        p.free(5);
+        assert_eq!(p.free_blocks(), 5);
+        assert_eq!(p.peak_used(), 5);
+    }
+
+    #[test]
+    fn failed_alloc_changes_nothing() {
+        let mut p = BlockPool::new(3);
+        assert!(p.try_alloc(2));
+        assert!(!p.try_alloc(2));
+        assert_eq!(p.used(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut p = BlockPool::new(3);
+        assert!(p.try_alloc(1));
+        p.free(2);
+    }
+
+    #[test]
+    fn resize_can_shrink_below_occupancy() {
+        let mut p = BlockPool::new(10);
+        assert!(p.try_alloc(8));
+        p.resize(4);
+        assert_eq!(p.free_blocks(), 0);
+        assert!(!p.try_alloc(1));
+        p.free(8);
+        assert!(p.try_alloc(4));
+    }
+}

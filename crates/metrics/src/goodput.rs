@@ -1,0 +1,97 @@
+//! Precise Goodput (paper Sec. 6.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one reasoning beam (one root-to-leaf path that reached a
+/// terminal state).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeamOutcome {
+    /// Generated tokens along this beam's path (excluding the prompt and
+    /// excluding tokens merely *copied* at branch time — copying is not
+    /// generation, which is the point of the metric).
+    pub tokens: u64,
+    /// Seconds from request start until this beam reached its terminal
+    /// state.
+    pub completion_time: f64,
+    /// Final answer extracted from the beam, if any.
+    pub answer: Option<u32>,
+    /// Final verifier score of the completed path.
+    pub score: f64,
+    /// Whether the answer matches ground truth.
+    pub correct: bool,
+}
+
+/// Precise Goodput := average token length per beam / average beam
+/// completion time.
+///
+/// Averaging both numerator and denominator over all beams prevents a
+/// single slow straggler from dominating and prevents inflation by
+/// collecting many copied paths (paper Sec. 6.1).
+///
+/// Returns 0 for an empty set.
+///
+/// # Example
+///
+/// ```
+/// use ftts_metrics::{precise_goodput, BeamOutcome};
+/// let beams = vec![
+///     BeamOutcome { tokens: 100, completion_time: 2.0, answer: None, score: 0.5, correct: false },
+///     BeamOutcome { tokens: 300, completion_time: 6.0, answer: None, score: 0.5, correct: false },
+/// ];
+/// // avg tokens 200 / avg time 4 s = 50 tok/s
+/// assert_eq!(precise_goodput(&beams), 50.0);
+/// ```
+pub fn precise_goodput(beams: &[BeamOutcome]) -> f64 {
+    if beams.is_empty() {
+        return 0.0;
+    }
+    let avg_tokens = beams.iter().map(|b| b.tokens as f64).sum::<f64>() / beams.len() as f64;
+    let avg_time =
+        beams.iter().map(|b| b.completion_time).sum::<f64>() / beams.len() as f64;
+    if avg_time <= 0.0 {
+        return 0.0;
+    }
+    avg_tokens / avg_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beam(tokens: u64, time: f64) -> BeamOutcome {
+        BeamOutcome { tokens, completion_time: time, answer: None, score: 0.0, correct: false }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(precise_goodput(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_beam() {
+        assert_eq!(precise_goodput(&[beam(500, 10.0)]), 50.0);
+    }
+
+    #[test]
+    fn robust_to_path_count_inflation() {
+        // Duplicating beams (copying at branch time) leaves the metric
+        // unchanged — unlike total-token throughput.
+        let one = vec![beam(100, 4.0)];
+        let many = vec![beam(100, 4.0); 32];
+        assert_eq!(precise_goodput(&one), precise_goodput(&many));
+    }
+
+    #[test]
+    fn straggler_does_not_dominate() {
+        let mut beams = vec![beam(100, 1.0); 9];
+        beams.push(beam(100, 100.0)); // straggler
+        let g = precise_goodput(&beams);
+        // avg time = 10.9 s, avg tokens 100 -> ~9.2 tok/s, not 1 tok/s.
+        assert!(g > 5.0 && g < 20.0);
+    }
+
+    #[test]
+    fn zero_time_is_guarded() {
+        assert_eq!(precise_goodput(&[beam(10, 0.0)]), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Completion latency and its phase breakdown (Fig. 13).
+
+use serde::{Deserialize, Serialize};
+
+/// Time attributed to each serving phase over a completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Seconds spent in generator decode (including speculative decode).
+    pub generator: f64,
+    /// Seconds spent in verifier prefill.
+    pub verifier: f64,
+    /// Seconds spent recomputing evicted prefixes (re-prefill on the
+    /// generator).
+    pub recompute: f64,
+    /// Seconds spent on host<->device KV transfers (offloading).
+    pub offload: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.generator + self.verifier + self.recompute + self.offload
+    }
+
+    /// Generator-side seconds (decode plus recompute — both run on the
+    /// generator worker, matching the unfilled portion of Fig. 13 bars).
+    pub fn generator_side(&self) -> f64 {
+        self.generator + self.recompute
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &LatencyBreakdown) {
+        self.generator += other.generator;
+        self.verifier += other.verifier;
+        self.recompute += other.recompute;
+        self.offload += other.offload;
+    }
+
+    /// Element-wise scaling (e.g. averaging over problems).
+    pub fn scaled(&self, k: f64) -> LatencyBreakdown {
+        LatencyBreakdown {
+            generator: self.generator * k,
+            verifier: self.verifier * k,
+            recompute: self.recompute * k,
+            offload: self.offload * k,
+        }
+    }
+}
+
+/// End-to-end record for one completed TTS request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// Wall-clock completion latency, seconds (includes queueing).
+    pub latency: f64,
+    /// Phase breakdown of busy time.
+    pub breakdown: LatencyBreakdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let b = LatencyBreakdown { generator: 1.0, verifier: 2.0, recompute: 0.5, offload: 0.25 };
+        assert_eq!(b.total(), 3.75);
+        assert_eq!(b.generator_side(), 1.5);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = LatencyBreakdown { generator: 1.0, ..Default::default() };
+        let b = LatencyBreakdown { generator: 2.0, verifier: 4.0, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.generator, 3.0);
+        assert_eq!(a.verifier, 4.0);
+        let half = a.scaled(0.5);
+        assert_eq!(half.generator, 1.5);
+        assert_eq!(half.verifier, 2.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(LatencyBreakdown::default().total(), 0.0);
+        assert_eq!(CompletionRecord::default().latency, 0.0);
+    }
+}

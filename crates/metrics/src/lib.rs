@@ -1,0 +1,30 @@
+//! Evaluation metrics for TTS serving systems.
+//!
+//! Implements the paper's metrics exactly as defined in Sec. 6.1:
+//!
+//! * **Precise Goodput** — `avg token length per beam / avg beam
+//!   completion time` ([`precise_goodput`]). Robust to straggler paths
+//!   and to branch-time text copying, unlike raw throughput.
+//! * **Completion latency** — end-to-end time per completed request, with
+//!   a generator/verifier breakdown ([`LatencyBreakdown`], Fig. 13).
+//! * **Top-1 accuracy** — majority voting over collected answers
+//!   ([`top1_majority`], Fig. 14a).
+//! * **Pass@N** — whether any of the top-N verifier-ranked candidates is
+//!   correct ([`pass_at_n`], Fig. 14b).
+//!
+//! Plus small reporting utilities ([`Table`], [`Summary`]) used by the
+//! figure-regeneration benches.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod goodput;
+mod latency;
+mod report;
+mod summary;
+
+pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
+pub use goodput::{precise_goodput, BeamOutcome};
+pub use latency::{CompletionRecord, LatencyBreakdown};
+pub use report::{fmt, Table};
+pub use summary::Summary;

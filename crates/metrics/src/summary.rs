@@ -1,0 +1,91 @@
+//! Scalar summaries used across the figure harnesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a sample of f64 values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns an all-zero summary for empty input.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { n: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0 };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = |q: f64| -> f64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        Self {
+            n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: rank(0.50),
+            p95: rank(0.95),
+        }
+    }
+
+    /// Geometric mean of strictly positive values; 0 if any value is
+    /// non-positive or the slice is empty. Used for "average speedup"
+    /// claims like the paper's 2.2×.
+    pub fn geomean(values: &[f64]) -> f64 {
+        if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+            return 0.0;
+        }
+        (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_basics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn p95_tracks_tail() {
+        let values: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&values);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn geomean_of_speedups() {
+        let g = Summary::geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(Summary::geomean(&[]), 0.0);
+        assert_eq!(Summary::geomean(&[1.0, -2.0]), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal distribution sampling.
+//!
+//! Implemented by hand (Box–Muller) rather than pulling in `rand_distr`,
+//! keeping the dependency set to the approved offline list.
+
+use rand::Rng;
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample `N(mu, sigma)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// Sample a log-normal with the given *median* and log-space `sigma`,
+/// clipped to `[min, max]` and rounded to a token count.
+///
+/// The log-normal's heavy upper tail is what produces the paper's extreme
+/// average-vs-maximum step-length disparity (Fig. 3, right).
+pub fn lognormal_clipped<R: Rng + ?Sized>(
+    rng: &mut R,
+    median: f64,
+    sigma: f64,
+    min: u64,
+    max: u64,
+) -> u64 {
+    assert!(median > 0.0 && sigma >= 0.0, "invalid log-normal parameters");
+    assert!(min <= max, "empty clip range");
+    let x = (median.ln() + sigma * standard_normal(rng)).exp();
+    (x.round() as u64).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_respects_clip() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let v = lognormal_clipped(&mut r, 150.0, 1.0, 8, 1200);
+            assert!((8..=1200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_has_heavy_tail() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<u64> =
+            (0..n).map(|_| lognormal_clipped(&mut r, 150.0, 1.0, 8, 4096)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let max = *samples.iter().max().unwrap() as f64;
+        // Paper Fig. 3 (right): max step length is several times the mean.
+        assert!(max / mean > 4.0, "tail not heavy enough: mean {mean}, max {max}");
+        // Median should be near the nominal median.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[n / 2] as f64;
+        assert!((median / 150.0 - 1.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(lognormal_clipped(&mut r, 64.0, 0.0, 1, 1000), 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clip range")]
+    fn inverted_clip_panics() {
+        let mut r = rng();
+        lognormal_clipped(&mut r, 64.0, 1.0, 10, 5);
+    }
+}

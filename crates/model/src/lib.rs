@@ -1,0 +1,58 @@
+//! Synthetic model behaviour for the FastTTS simulation.
+//!
+//! The systems phenomena FastTTS optimizes — straggler steps, prefix
+//! sharing, memory pressure — do not depend on what the tokens *say*;
+//! they depend on how many tokens each thinking step produces, how the
+//! reasoning tree branches, and how verifier scores steer the search.
+//! This crate therefore replaces transformer inference with a calibrated,
+//! fully deterministic stochastic process:
+//!
+//! * [`SyntheticGenerator`] draws each thinking step's **token count**
+//!   from a heavy-tailed log-normal (matching the avg-vs-max disparity of
+//!   paper Fig. 3 right), evolves a **latent quality** random walk per
+//!   path, decides **termination**, and emits a final **answer** whose
+//!   correctness probability is a logistic function of quality.
+//! * [`SyntheticPrm`] scores a step as `sigmoid(quality + noise)` where
+//!   the noise follows an AR(1) process across consecutive steps — the
+//!   score correlation the paper's Speculative Candidate Selection
+//!   exploits (Sec. 4.1.1) — with noise magnitude set by verifier
+//!   capacity.
+//!
+//! Everything is keyed by stable path keys ([`key_child`]), so a step's
+//! outcome is identical regardless of *when* or *in which batch* the
+//! engine simulates it. This is what makes FastTTS's algorithmic
+//! equivalence exactly testable.
+//!
+//! # Example
+//!
+//! ```
+//! use ftts_model::{GeneratorProfile, ProblemSpec, StepProfile, SyntheticGenerator};
+//!
+//! let gen = SyntheticGenerator::new(GeneratorProfile::qwen25_math_1_5b());
+//! let problem = ProblemSpec {
+//!     seed: 7,
+//!     difficulty: 1.2,
+//!     prompt_tokens: 120,
+//!     answer_space: 64,
+//!     decoy_concentration: 1.2,
+//!     steps: StepProfile::aime(),
+//! };
+//! let root = gen.root_latent(&problem);
+//! let step = gen.plan_step(&problem, &root, 1);
+//! assert!(step.n_tokens >= problem.steps.min_tokens);
+//! assert!(step.n_tokens <= problem.steps.max_tokens);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod generator;
+mod prm;
+mod rng;
+
+pub use dist::{lognormal_clipped, normal, standard_normal};
+pub use generator::{
+    GeneratorProfile, NodeLatent, ProblemSpec, StepPlan, StepProfile, SyntheticGenerator,
+};
+pub use prm::{PrmProfile, SyntheticPrm};
+pub use rng::{key_child, mix64, stream};

@@ -1,0 +1,185 @@
+//! The synthetic discriminative process reward model (PRM).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::standard_normal;
+use crate::rng::stream;
+
+/// Behavioural parameters of a discriminative PRM.
+///
+/// `noise_sigma` controls how faithfully scores track latent quality: the
+/// 7B Math-Shepherd verifier is sharper than the 1.5B Skywork verifier,
+/// which is how verifier capacity shows up in search accuracy (Fig. 14).
+/// `autocorrelation` is the AR(1) coefficient tying consecutive steps'
+/// score noise together — the correlation the paper cites (Sec. 4.1.1,
+/// "verifier scores between consecutive steps are often correlated") and
+/// which SelectSPEC uses as a zero-overhead retention proxy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrmProfile {
+    /// Display name (matches the `ftts-hw` spec name).
+    pub name: String,
+    /// Stationary standard deviation of score noise, in logits.
+    pub noise_sigma: f64,
+    /// AR(1) coefficient of score noise across consecutive steps.
+    pub autocorrelation: f64,
+}
+
+impl PrmProfile {
+    /// Math-Shepherd-Mistral-7B-PRM: sharp scores.
+    pub fn math_shepherd_7b() -> Self {
+        Self {
+            name: "Math-Shepherd-Mistral-7B-PRM".to_string(),
+            noise_sigma: 0.85,
+            autocorrelation: 0.95,
+        }
+    }
+
+    /// Skywork-o1-Open-PRM-Qwen-2.5-1.5B: noisier scores.
+    pub fn skywork_1_5b() -> Self {
+        Self {
+            name: "Skywork-o1-Open-PRM-Qwen-2.5-1.5B".to_string(),
+            noise_sigma: 1.15,
+            autocorrelation: 0.95,
+        }
+    }
+}
+
+/// Deterministic synthetic PRM.
+///
+/// A discriminative PRM scores a partial solution in one prefill pass
+/// (paper Sec. 2.2); here the score is `sigmoid(quality + eps)` with
+/// `eps` an AR(1) noise process keyed by the node's stable path key, so
+/// the score a node receives does not depend on when it is verified —
+/// exactly what LookAhead Verification needs to stay algorithmically
+/// equivalent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticPrm {
+    profile: PrmProfile,
+}
+
+impl SyntheticPrm {
+    /// Create a verifier with the given profile.
+    pub fn new(profile: PrmProfile) -> Self {
+        Self { profile }
+    }
+
+    /// The behaviour profile.
+    pub fn profile(&self) -> &PrmProfile {
+        &self.profile
+    }
+
+    /// Initial noise state for a fresh reasoning path (the prompt).
+    pub fn root_eps(&self, problem_seed: u64) -> f64 {
+        let mut rng = stream(&[problem_seed, 0x5EED_0E55]);
+        self.profile.noise_sigma * standard_normal(&mut rng)
+    }
+
+    /// Evolve the AR(1) noise for the child step keyed `child_key`.
+    pub fn child_eps(&self, parent_eps: f64, child_key: u64) -> f64 {
+        let rho = self.profile.autocorrelation;
+        let innovation_sigma = self.profile.noise_sigma * (1.0 - rho * rho).sqrt();
+        let mut rng = stream(&[child_key, 0xEB5_11FE]);
+        rho * parent_eps + innovation_sigma * standard_normal(&mut rng)
+    }
+
+    /// Score a step given its latent quality and noise state; in (0, 1).
+    pub fn score(&self, quality: f64, eps: f64) -> f64 {
+        1.0 / (1.0 + (-(quality + eps)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::key_child;
+
+    #[test]
+    fn score_is_monotone_in_quality() {
+        let prm = SyntheticPrm::new(PrmProfile::math_shepherd_7b());
+        assert!(prm.score(1.0, 0.0) > prm.score(0.0, 0.0));
+        assert!(prm.score(0.0, 0.0) > prm.score(-1.0, 0.0));
+        let s = prm.score(0.3, 0.1);
+        assert!((0.0..1.0).contains(&s));
+    }
+
+    #[test]
+    fn child_eps_is_deterministic() {
+        let prm = SyntheticPrm::new(PrmProfile::skywork_1_5b());
+        let a = prm.child_eps(0.4, 123);
+        let b = prm.child_eps(0.4, 123);
+        assert_eq!(a, b);
+        assert_ne!(a, prm.child_eps(0.4, 124));
+    }
+
+    #[test]
+    fn noise_is_stationary_under_ar1() {
+        let prm = SyntheticPrm::new(PrmProfile::skywork_1_5b());
+        let mut eps = prm.root_eps(7);
+        let mut sum_sq = 0.0;
+        let n = 20_000;
+        let mut key = 1u64;
+        for _ in 0..n {
+            key = key_child(key, 0);
+            eps = prm.child_eps(eps, key);
+            sum_sq += eps * eps;
+        }
+        let sd = (sum_sq / n as f64).sqrt();
+        let target = prm.profile().noise_sigma;
+        assert!(
+            (sd / target - 1.0).abs() < 0.1,
+            "stationary sd {sd} should approach {target}"
+        );
+    }
+
+    #[test]
+    fn consecutive_scores_are_correlated() {
+        // The basis of SelectSPEC: parent score predicts child score.
+        let prm = SyntheticPrm::new(PrmProfile::math_shepherd_7b());
+        let n = 5_000;
+        let mut parent_eps: Vec<f64> = Vec::with_capacity(n);
+        let mut child_eps: Vec<f64> = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let p = prm.root_eps(i);
+            let c = prm.child_eps(p, key_child(i, 0));
+            parent_eps.push(p);
+            child_eps.push(c);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mp = mean(&parent_eps);
+        let mc = mean(&child_eps);
+        let mut cov = 0.0;
+        let mut vp = 0.0;
+        let mut vc = 0.0;
+        for i in 0..n {
+            cov += (parent_eps[i] - mp) * (child_eps[i] - mc);
+            vp += (parent_eps[i] - mp).powi(2);
+            vc += (child_eps[i] - mc).powi(2);
+        }
+        let corr = cov / (vp.sqrt() * vc.sqrt());
+        let rho = prm.profile().autocorrelation;
+        assert!((corr - rho).abs() < 0.06, "empirical corr {corr} vs rho {rho}");
+    }
+
+    #[test]
+    fn sharper_verifier_ranks_quality_better() {
+        // With lower noise, score ordering should agree with quality
+        // ordering more often — the 7B-vs-1.5B verifier gap.
+        let sharp = SyntheticPrm::new(PrmProfile::math_shepherd_7b());
+        let noisy = SyntheticPrm::new(PrmProfile::skywork_1_5b());
+        let agreement = |prm: &SyntheticPrm| -> f64 {
+            let mut agree = 0;
+            let n = 4_000;
+            for i in 0..n as u64 {
+                let qa = 0.5;
+                let qb = -0.5;
+                let ea = prm.child_eps(0.0, key_child(i, 0));
+                let eb = prm.child_eps(0.0, key_child(i, 1));
+                if prm.score(qa, ea) > prm.score(qb, eb) {
+                    agree += 1;
+                }
+            }
+            agree as f64 / n as f64
+        };
+        assert!(agreement(&sharp) > agreement(&noisy));
+    }
+}

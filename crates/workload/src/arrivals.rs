@@ -1,0 +1,116 @@
+//! Request arrival patterns.
+//!
+//! The paper's headline experiments use batch size 1 ("interactive edge
+//! scenarios", Sec. 6.1), but the two-phase preemptible scheduler
+//! (Sec. 4.1.2) is defined by how it reacts to *new requests arriving
+//! mid-speculation*. These generators produce arrival timelines to
+//! exercise that path.
+
+use ftts_model::{stream, ProblemSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One request arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestArrival {
+    /// Arrival time in seconds since experiment start.
+    pub at: f64,
+    /// The problem the request asks to solve.
+    pub problem: ProblemSpec,
+}
+
+/// How requests arrive at the serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// A single request at t=0 (the paper's interactive setting).
+    Interactive,
+    /// Poisson arrivals with the given mean rate (requests/second).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate: f64,
+    },
+    /// All requests arrive at once at the given time.
+    Burst {
+        /// Burst instant in seconds.
+        at: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Produce an arrival timeline for `problems`, deterministically from
+    /// `seed`. Arrival times are non-decreasing.
+    pub fn schedule(self, problems: &[ProblemSpec], seed: u64) -> Vec<RequestArrival> {
+        match self {
+            ArrivalPattern::Interactive => problems
+                .iter()
+                .enumerate()
+                .map(|(i, p)| RequestArrival { at: i as f64 * 1e9, problem: *p })
+                .collect(),
+            ArrivalPattern::Poisson { rate } => {
+                assert!(rate > 0.0, "poisson rate must be positive");
+                let mut rng = stream(&[seed, 0xA881_7A15]);
+                let mut t = 0.0;
+                problems
+                    .iter()
+                    .map(|p| {
+                        let u: f64 = rng.gen::<f64>().max(1e-12);
+                        t += -u.ln() / rate;
+                        RequestArrival { at: t, problem: *p }
+                    })
+                    .collect()
+            }
+            ArrivalPattern::Burst { at } => problems
+                .iter()
+                .map(|p| RequestArrival { at, problem: *p })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    #[test]
+    fn interactive_spaces_requests_effectively_infinitely() {
+        let ps = Dataset::Aime2024.problems(3, 1);
+        let arrivals = ArrivalPattern::Interactive.schedule(&ps, 0);
+        assert_eq!(arrivals.len(), 3);
+        assert_eq!(arrivals[0].at, 0.0);
+        assert!(arrivals[1].at > 1e8);
+    }
+
+    #[test]
+    fn poisson_is_monotone_and_deterministic() {
+        let ps = Dataset::Amc2023.problems(20, 5);
+        let a = ArrivalPattern::Poisson { rate: 0.5 }.schedule(&ps, 9);
+        let b = ArrivalPattern::Poisson { rate: 0.5 }.schedule(&ps, 9);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_controls_density() {
+        let ps = Dataset::Amc2023.problems(200, 5);
+        let slow = ArrivalPattern::Poisson { rate: 0.1 }.schedule(&ps, 9);
+        let fast = ArrivalPattern::Poisson { rate: 10.0 }.schedule(&ps, 9);
+        assert!(slow.last().unwrap().at > fast.last().unwrap().at * 10.0);
+    }
+
+    #[test]
+    fn burst_arrives_simultaneously() {
+        let ps = Dataset::Math500.problems(4, 2);
+        let arrivals = ArrivalPattern::Burst { at: 3.5 }.schedule(&ps, 0);
+        assert!(arrivals.iter().all(|a| a.at == 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson rate")]
+    fn zero_rate_panics() {
+        let ps = Dataset::Math500.problems(1, 2);
+        ArrivalPattern::Poisson { rate: 0.0 }.schedule(&ps, 0);
+    }
+}

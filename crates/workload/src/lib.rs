@@ -1,0 +1,35 @@
+//! Synthetic benchmark workloads for the FastTTS evaluation.
+//!
+//! The paper evaluates on AIME-2024 and AMC-2023 (Sec. 6.1), MATH-500 for
+//! the motivation study (Fig. 3), and HumanEval for generality (Fig. 15).
+//! Real problem texts are irrelevant to the serving-system behaviour; what
+//! matters is each dataset's **difficulty distribution** (drives accuracy
+//! bands), **answer-space shape** (drives majority voting), **prompt
+//! length**, and **step-length profile** (drives workload irregularity).
+//! [`Dataset`] captures those four properties per benchmark and generates
+//! deterministic [`ProblemSpec`]s from them.
+//!
+//! [`ArrivalPattern`] generates request arrival timelines for the
+//! multi-request/preemption experiments (two-phase scheduling, Sec. 4.1.2).
+//!
+//! # Example
+//!
+//! ```
+//! use ftts_workload::Dataset;
+//!
+//! let problems = Dataset::Aime2024.problems(8, 42);
+//! assert_eq!(problems.len(), 8);
+//! // AIME problems are harder than AMC ones on average.
+//! let aime_mean: f64 = problems.iter().map(|p| p.difficulty).sum::<f64>() / 8.0;
+//! let amc: Vec<_> = Dataset::Amc2023.problems(8, 42);
+//! let amc_mean: f64 = amc.iter().map(|p| p.difficulty).sum::<f64>() / 8.0;
+//! assert!(aime_mean > amc_mean);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod dataset;
+
+pub use arrivals::{ArrivalPattern, RequestArrival};
+pub use dataset::Dataset;

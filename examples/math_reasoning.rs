@@ -1,0 +1,45 @@
+//! Math-reasoning workload: evaluate FastTTS on an AIME-like problem set
+//! with accuracy metrics — the paper's core application (Sec. 6.1-6.3).
+//!
+//! ```sh
+//! cargo run --release --example math_reasoning
+//! ```
+
+use fasttts::metrics::pass_at_n;
+use fasttts::{Dataset, GpuDevice, ModelPairing, SearchKind, TtsServer};
+
+fn main() -> Result<(), fasttts::EngineError> {
+    let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b());
+    let problems = Dataset::Aime2024.problems(10, 7);
+    let n = 32;
+
+    println!("serving {} AIME-like problems with n={n} beams (1.5B generator + 7B PRM)\n", problems.len());
+    let mut top1 = 0;
+    let mut pass8 = 0;
+    let mut goodput = 0.0;
+    let mut latency = 0.0;
+    for (i, p) in problems.iter().enumerate() {
+        let out = server.serve(p, n, SearchKind::BeamSearch)?;
+        let correct = out.top1_correct();
+        top1 += usize::from(correct);
+        pass8 += usize::from(pass_at_n(&out.stats.candidates(), 8));
+        goodput += out.goodput();
+        latency += out.latency();
+        println!(
+            "problem {:>2}: difficulty {:.2}  answer {:?}  {}  ({:.1} tok/s, {:.1} s, {} paths)",
+            i,
+            p.difficulty,
+            out.answer,
+            if correct { "correct" } else { "wrong" },
+            out.goodput(),
+            out.latency(),
+            out.stats.beams.len(),
+        );
+    }
+    let k = problems.len() as f64;
+    println!();
+    println!("top-1 (majority vote): {}/{}", top1, problems.len());
+    println!("pass@8 (verifier-ranked): {}/{}", pass8, problems.len());
+    println!("mean goodput: {:.1} tok/s   mean latency: {:.1} s", goodput / k, latency / k);
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: serve one math problem with FastTTS and compare against
+//! the vLLM baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fasttts::{Dataset, GpuDevice, ModelPairing, SearchKind, TtsServer};
+
+fn main() -> Result<(), fasttts::EngineError> {
+    // A synthetic AIME-2024-like problem (see ftts-workload for how
+    // datasets are modelled).
+    let problem = Dataset::Aime2024.problems(1, 42)[0];
+
+    // The paper's memory-constrained edge setup: a 24 GB RTX 4090
+    // hosting a 1.5B generator plus a 1.5B process reward model.
+    let device = GpuDevice::rtx4090();
+    let models = ModelPairing::pair_1_5b_1_5b();
+
+    let baseline = TtsServer::vllm_baseline(device.clone(), models.clone());
+    let fasttts = TtsServer::fasttts(device, models);
+
+    let n = 32; // parallel reasoning beams
+    let slow = baseline.serve(&problem, n, SearchKind::BeamSearch)?;
+    let fast = fasttts.serve(&problem, n, SearchKind::BeamSearch)?;
+
+    println!("problem difficulty: {:.2} (quality logits)", problem.difficulty);
+    println!();
+    println!("                      baseline    FastTTS");
+    println!("goodput (tok/s)       {:>8.1}   {:>8.1}", slow.goodput(), fast.goodput());
+    println!("latency (s)           {:>8.1}   {:>8.1}", slow.latency(), fast.latency());
+    println!(
+        "verifier latency (s)  {:>8.1}   {:>8.1}",
+        slow.stats.breakdown().verifier,
+        fast.stats.breakdown().verifier
+    );
+    println!(
+        "speculated tokens     {:>8}   {:>8}",
+        slow.stats.spec.spec_tokens, fast.stats.spec.spec_tokens
+    );
+    println!();
+    println!("answers match (algorithmic equivalence): {}", slow.answer == fast.answer);
+    println!(
+        "speedup: {:.2}x goodput, {:.0}% lower latency",
+        fast.goodput() / slow.goodput(),
+        100.0 * (1.0 - fast.latency() / slow.latency())
+    );
+    Ok(())
+}

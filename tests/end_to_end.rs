@@ -1,0 +1,91 @@
+//! End-to-end integration across the whole stack: every model pairing,
+//! dataset and search algorithm serves successfully, and FastTTS's
+//! headline performance claims hold in aggregate.
+
+use fasttts::metrics::Summary;
+use fasttts::{Dataset, GpuDevice, ModelPairing, SearchKind, TtsServer};
+
+#[test]
+fn full_matrix_serves() {
+    for pairing in [
+        ModelPairing::pair_1_5b_1_5b(),
+        ModelPairing::pair_1_5b_7b(),
+        ModelPairing::pair_7b_1_5b(),
+    ] {
+        for dataset in [Dataset::Aime2024, Dataset::HumanEval] {
+            let server = TtsServer::fasttts(GpuDevice::rtx4090(), pairing.clone());
+            let problem = dataset.problems(1, 3)[0];
+            let out = server
+                .serve(&problem, 8, SearchKind::BeamSearch)
+                .unwrap_or_else(|e| panic!("{} on {dataset}: {e}", pairing.label()));
+            assert!(out.goodput() > 0.0);
+            assert!(!out.stats.beams.is_empty());
+        }
+    }
+}
+
+#[test]
+fn fasttts_wins_goodput_in_aggregate() {
+    // The paper's headline: higher goodput across configurations. On a
+    // small grid the geomean must clearly exceed 1.
+    let mut speedups = Vec::new();
+    for pairing in [ModelPairing::pair_1_5b_1_5b(), ModelPairing::pair_1_5b_7b()] {
+        let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing.clone());
+        let fast = TtsServer::fasttts(GpuDevice::rtx4090(), pairing.clone());
+        for n in [16usize, 64] {
+            for problem in Dataset::Aime2024.problems(2, 23) {
+                let b = base.serve(&problem, n, SearchKind::BeamSearch).unwrap();
+                let f = fast.serve(&problem, n, SearchKind::BeamSearch).unwrap();
+                speedups.push(f.goodput() / b.goodput());
+            }
+        }
+    }
+    let geomean = Summary::geomean(&speedups);
+    assert!(geomean > 1.1, "aggregate speedup too small: {geomean:.2} ({speedups:?})");
+}
+
+#[test]
+fn fasttts_cuts_verifier_latency_sharply() {
+    // Paper Sec. 6.2: verifier latency reduced by 75-85% on average.
+    let pairing = ModelPairing::pair_1_5b_7b();
+    let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing.clone());
+    let fast = TtsServer::fasttts(GpuDevice::rtx4090(), pairing);
+    let problem = Dataset::Aime2024.problems(1, 29)[0];
+    let b = base.serve(&problem, 64, SearchKind::BeamSearch).unwrap();
+    let f = fast.serve(&problem, 64, SearchKind::BeamSearch).unwrap();
+    let cut = 1.0 - f.stats.breakdown().verifier / b.stats.breakdown().verifier;
+    assert!(cut > 0.5, "verifier cut only {:.0}%", 100.0 * cut);
+}
+
+#[test]
+fn memory_constrained_setting_serves_at_forty_percent() {
+    // The paper's 1.5B+1.5B configuration restricts the system to 40% of
+    // GPU memory (Sec. 6.1).
+    let mut server =
+        TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    server.config_mut().memory_fraction = 0.4;
+    let problem = Dataset::Amc2023.problems(1, 31)[0];
+    let out = server.serve(&problem, 64, SearchKind::BeamSearch).unwrap();
+    assert!(out.goodput() > 0.0);
+}
+
+#[test]
+fn accuracy_bands_match_the_paper() {
+    // Coarse accuracy sanity on small samples: AMC clearly easier than
+    // AIME; the 7B generator clearly better than the 1.5B one.
+    let count_correct = |pairing: ModelPairing, dataset: Dataset| -> usize {
+        let server = TtsServer::fasttts(GpuDevice::rtx4090(), pairing);
+        dataset
+            .problems(12, 53)
+            .iter()
+            .filter(|p| {
+                server.serve(p, 16, SearchKind::BeamSearch).unwrap().top1_correct()
+            })
+            .count()
+    };
+    let amc_small = count_correct(ModelPairing::pair_1_5b_1_5b(), Dataset::Amc2023);
+    let aime_small = count_correct(ModelPairing::pair_1_5b_1_5b(), Dataset::Aime2024);
+    let amc_big = count_correct(ModelPairing::pair_7b_1_5b(), Dataset::Amc2023);
+    assert!(amc_small > aime_small, "AMC {amc_small} vs AIME {aime_small}");
+    assert!(amc_big >= amc_small, "7B {amc_big} vs 1.5B {amc_small}");
+}

@@ -1,0 +1,72 @@
+//! The paper's central correctness claim, tested as a property: FastTTS
+//! is *algorithmically equivalent* to the baseline — same reasoning
+//! tree, same scores, same answers — under arbitrary configurations.
+//! Only the timeline may differ.
+
+use fasttts::{AblationFlags, Dataset, GpuDevice, ModelPairing, SearchKind, TtsServer};
+use proptest::prelude::*;
+
+fn serve(flags: AblationFlags, dataset: Dataset, pidx: usize, n: usize, kind: SearchKind, seed: u64) -> fasttts::ServeOutcome {
+    let mut server =
+        TtsServer::with_flags(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b(), flags);
+    server.config_mut().seed = seed;
+    let problem = dataset.problems(pidx + 1, 17)[pidx];
+    server.serve(&problem, n, kind).expect("serve")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fasttts_preserves_outcomes_exactly(
+        pidx in 0usize..6,
+        n in prop::sample::select(vec![8usize, 16, 32]),
+        kind in prop::sample::select(vec![
+            SearchKind::BeamSearch,
+            SearchKind::Dvts,
+            SearchKind::DynamicBranching,
+        ]),
+        dataset in prop::sample::select(vec![Dataset::Aime2024, Dataset::Amc2023]),
+        seed in 0u64..1000,
+    ) {
+        let base = serve(AblationFlags::baseline(), dataset, pidx, n, kind, seed);
+        let fast = serve(AblationFlags::fasttts(), dataset, pidx, n, kind, seed);
+        prop_assert_eq!(base.beams().len(), fast.beams().len());
+        for (b, f) in base.beams().iter().zip(fast.beams()) {
+            prop_assert_eq!(b.tokens, f.tokens, "path lengths");
+            prop_assert_eq!(b.answer, f.answer, "answers");
+            prop_assert_eq!(b.score, f.score, "scores");
+            prop_assert_eq!(b.correct, f.correct);
+        }
+        prop_assert_eq!(base.answer, fast.answer, "majority vote");
+    }
+
+    #[test]
+    fn every_single_flag_is_outcome_neutral(
+        pidx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let combos = [
+            AblationFlags { prefix_aware: true, ..AblationFlags::baseline() },
+            AblationFlags { asym_memory: true, ..AblationFlags::baseline() },
+            AblationFlags { speculation: true, ..AblationFlags::baseline() },
+        ];
+        let base = serve(AblationFlags::baseline(), Dataset::Amc2023, pidx, 16, SearchKind::BeamSearch, seed);
+        for flags in combos {
+            let other = serve(flags, Dataset::Amc2023, pidx, 16, SearchKind::BeamSearch, seed);
+            prop_assert_eq!(base.answer, other.answer, "{:?}", flags);
+            prop_assert_eq!(base.beams().len(), other.beams().len());
+        }
+    }
+}
+
+/// Convenience accessor used by the property tests.
+trait Beams {
+    fn beams(&self) -> &[fasttts::metrics::BeamOutcome];
+}
+
+impl Beams for fasttts::ServeOutcome {
+    fn beams(&self) -> &[fasttts::metrics::BeamOutcome] {
+        &self.stats.beams
+    }
+}

@@ -1,0 +1,90 @@
+//! Miniature versions of the paper's figure-level claims, run as fast
+//! regression tests so the benches can't silently drift.
+
+use fasttts::engine::SpecConfig;
+use fasttts::{
+    AblationFlags, Dataset, GpuDevice, ModelPairing, ModelSpec, Roofline, SearchKind, TtsServer,
+};
+
+#[test]
+fn fig6_prefill_saturates_long_before_decode() {
+    let roof = Roofline::new(GpuDevice::rtx4090(), ModelSpec::qwen25_math_1_5b());
+    let gb = 1u64 << 30;
+    let b_pre = roof.max_decode_batch(gb, 640).max(1);
+    let b_dec = roof.max_decode_batch(gb, 512).max(1);
+    let pre_frac = roof.prefill_throughput(b_pre, 640)
+        / roof.prefill_throughput(roof.max_decode_batch(24 * gb, 640), 640);
+    let dec_frac = roof.decode_throughput(b_dec, 512)
+        / roof.decode_throughput(roof.max_decode_batch(24 * gb, 512), 512);
+    assert!(pre_frac > 0.8, "prefill at 1 GB: {pre_frac:.2}");
+    assert!(dec_frac < 0.8, "decode at 1 GB: {dec_frac:.2}");
+}
+
+#[test]
+fn fig16_ablation_ladder_is_cumulative() {
+    // P ≤ P+M ≤ P+M+S in goodput (allowing small noise at each rung).
+    let problem = Dataset::Aime2024.problems(1, 71)[0];
+    let mut goodputs = Vec::new();
+    let base = TtsServer::with_flags(
+        GpuDevice::rtx4090(),
+        ModelPairing::pair_1_5b_7b(),
+        AblationFlags::baseline(),
+    );
+    let bg = base.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput();
+    for (_, flags) in AblationFlags::ladder() {
+        let server =
+            TtsServer::with_flags(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b(), flags);
+        goodputs.push(server.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput());
+    }
+    assert!(goodputs[0] >= bg * 0.95, "P should not lose: {goodputs:?} vs {bg}");
+    assert!(goodputs[2] > goodputs[0], "S must add over P: {goodputs:?}");
+    assert!(goodputs[2] > bg * 1.2, "full ladder must clearly win: {goodputs:?} vs {bg}");
+}
+
+#[test]
+fn fig17_truncation_ratio_high_beats_zero() {
+    let problem = Dataset::Aime2024.problems(1, 81)[0];
+    let run = |r: f64| {
+        let mut server =
+            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        server.config_mut().spec =
+            SpecConfig { truncation_ratio: r, ..SpecConfig::fasttts_default() };
+        server.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput()
+    };
+    let r0 = run(0.0);
+    let r85 = run(0.85);
+    assert!(
+        r85 > r0,
+        "retaining speculative work must help: R=0.85 {r85:.1} vs R=0 {r0:.1}"
+    );
+}
+
+#[test]
+fn fig4_verification_utilization_exceeds_generation() {
+    let mut server =
+        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    server.config_mut().trace = true;
+    let problem = Dataset::Aime2024.problems(1, 5)[0];
+    let out = server.serve(&problem, 32, SearchKind::BeamSearch).unwrap();
+    let trace = out.stats.trace.unwrap();
+    let g = trace.mean_util(Some(fasttts::hw::Phase::Generation));
+    let v = trace.mean_util(Some(fasttts::hw::Phase::Verification));
+    assert!(v > 2.0 * g, "verify {v:.2} vs generate {g:.2}");
+}
+
+#[test]
+fn fig12_speedup_grows_with_n() {
+    let problem = Dataset::Aime2024.problems(1, 12)[0];
+    let pairing = ModelPairing::pair_1_5b_7b();
+    let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing.clone());
+    let fast = TtsServer::fasttts(GpuDevice::rtx4090(), pairing);
+    let speedup = |n: usize| {
+        let b = base.serve(&problem, n, SearchKind::BeamSearch).unwrap().goodput();
+        let f = fast.serve(&problem, n, SearchKind::BeamSearch).unwrap().goodput();
+        f / b
+    };
+    let small = speedup(8);
+    let large = speedup(128);
+    assert!(small > 1.0, "even n=8 must win: {small:.2}");
+    assert!(large > small, "gain must grow with n: {small:.2} -> {large:.2}");
+}

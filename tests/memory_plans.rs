@@ -1,0 +1,82 @@
+//! Memory-allocation behaviour across devices and budgets: plans always
+//! fit, offloading rescues tiny budgets, and infeasible configurations
+//! fail loudly instead of thrashing forever.
+
+use fasttts::engine::{MemoryPlanner, PlanContext, StaticSplitPlanner};
+use fasttts::{
+    AblationFlags, Dataset, EngineConfig, GpuDevice, ModelPairing, RooflinePlanner, SearchKind,
+    TtsServer,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both planners always return plans within budget, for any state.
+    #[test]
+    fn planners_respect_budgets(
+        budget_mb in 64u64..16_384,
+        n in 1usize..512,
+        avg_ctx in 128u64..4096,
+        step in 16u64..1024,
+        caching in any::<bool>(),
+    ) {
+        let cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b());
+        let ctx = PlanContext {
+            kv_budget_bytes: budget_mb * 1024 * 1024,
+            n_beams: n,
+            avg_ctx,
+            step_tokens: step,
+            ver_seq: avg_ctx + step,
+            tree_tokens: n as u64 * step + avg_ctx,
+            ver_caching: caching,
+        };
+        let mut static_split = StaticSplitPlanner;
+        prop_assert!(static_split.plan(&cfg, &ctx).fits(ctx.kv_budget_bytes));
+        let mut roofline = RooflinePlanner::new();
+        prop_assert!(roofline.plan(&cfg, &ctx).fits(ctx.kv_budget_bytes));
+        let mut offload = RooflinePlanner::with_offload();
+        prop_assert!(offload.plan(&cfg, &ctx).fits(ctx.kv_budget_bytes));
+    }
+}
+
+#[test]
+fn offloading_rescues_the_3070ti() {
+    // On 8 GB the two 1.5B models leave ~0.5-1 GB of KV; FastTTS with
+    // offloading must still serve a real search.
+    let device = GpuDevice::rtx3070ti();
+    let mut server = TtsServer::with_flags(
+        device,
+        ModelPairing::pair_1_5b_1_5b(),
+        AblationFlags::fasttts_offload(),
+    );
+    server.config_mut().memory_fraction = 0.93;
+    let problem = Dataset::Aime2024.problems(1, 41)[0];
+    let out = server.serve(&problem, 16, SearchKind::BeamSearch).expect("must serve");
+    assert!(out.goodput() > 0.0);
+}
+
+#[test]
+fn infeasible_budget_errors_instead_of_hanging() {
+    let mut server =
+        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    server.config_mut().memory_fraction = 0.26; // weights alone exceed this
+    let problem = Dataset::Aime2024.problems(1, 43)[0];
+    let result = server.serve(&problem, 8, SearchKind::BeamSearch);
+    assert!(result.is_err());
+    let msg = result.unwrap_err().to_string();
+    assert!(msg.contains("KV blocks"), "unhelpful error: {msg}");
+}
+
+#[test]
+fn dynamic_replanning_tracks_frontier_growth() {
+    // The roofline planner is invoked per iteration; a larger frontier
+    // must never produce a plan that breaks the budget.
+    let mut server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_7b_1_5b());
+    server.config_mut().memory_fraction = 0.9;
+    let problem = Dataset::Aime2024.problems(1, 47)[0];
+    for n in [8usize, 64, 256] {
+        let out = server.serve(&problem, n, SearchKind::BeamSearch).expect("serve");
+        assert!(out.goodput() > 0.0, "n={n}");
+    }
+}
