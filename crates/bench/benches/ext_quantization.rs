@@ -15,8 +15,8 @@ use ftts_workload::Dataset;
 
 fn pairing_with_bits(bits: u32) -> ModelPairing {
     let mut p = ModelPairing::pair_1_5b_1_5b();
-    p.gen_spec = p.gen_spec.quantized(bits);
-    p.ver_spec = p.ver_spec.quantized(bits);
+    p.gen_spec = p.gen_spec.as_ref().clone().quantized(bits).into();
+    p.ver_spec = p.ver_spec.as_ref().clone().quantized(bits).into();
     p
 }
 
@@ -24,7 +24,10 @@ fn main() {
     let problem = Dataset::Aime2024.problems(1, 3)[0];
     let n = 64;
     let mut t = Table::new(vec![
-        "weights", "baseline (tok/s)", "FastTTS (tok/s)", "FastTTS vs W16 baseline",
+        "weights",
+        "baseline (tok/s)",
+        "FastTTS (tok/s)",
+        "FastTTS vs W16 baseline",
     ]);
     let w16_base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing_with_bits(16))
         .serve(&problem, n, SearchKind::BeamSearch)
@@ -34,8 +37,14 @@ fn main() {
         let pairing = pairing_with_bits(bits);
         let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing.clone());
         let fast = TtsServer::fasttts(GpuDevice::rtx4090(), pairing);
-        let bg = base.serve(&problem, n, SearchKind::BeamSearch).expect("base").goodput();
-        let fg = fast.serve(&problem, n, SearchKind::BeamSearch).expect("fast").goodput();
+        let bg = base
+            .serve(&problem, n, SearchKind::BeamSearch)
+            .expect("base")
+            .goodput();
+        let fg = fast
+            .serve(&problem, n, SearchKind::BeamSearch)
+            .expect("fast")
+            .goodput();
         t.row(vec![
             format!("W{bits}"),
             format!("{bg:.1}"),

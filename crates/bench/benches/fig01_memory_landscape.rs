@@ -11,7 +11,12 @@ use ftts_workload::Dataset;
 fn main() {
     // (a) Memory landscape. Cloud models are described by their public
     // total/activated parameter counts.
-    let mut t = Table::new(vec!["model", "params", "weights (GB)", "fits 4090 (24 GB)?"]);
+    let mut t = Table::new(vec![
+        "model",
+        "params",
+        "weights (GB)",
+        "fits 4090 (24 GB)?",
+    ]);
     for spec in [
         ModelSpec::qwen25_math_1_5b(),
         ModelSpec::skywork_prm_1_5b(),
@@ -43,10 +48,17 @@ fn main() {
     // (b) Latency of TTS on the edge, baseline vs FastTTS, sweeping the
     // compute budget n. Cloud first-answer latencies from the paper's
     // sources (Artificial Analysis, Sec. 1).
-    let (base, fast) =
-        server_pair(GpuDevice::rtx4090(), ftts_engine::ModelPairing::pair_1_5b_1_5b());
+    let (base, fast) = server_pair(
+        GpuDevice::rtx4090(),
+        ftts_engine::ModelPairing::pair_1_5b_1_5b(),
+    );
     let problems = Dataset::Aime2024.problems(2, 11);
-    let mut t = Table::new(vec!["n", "baseline latency (s)", "FastTTS latency (s)", "top-1"]);
+    let mut t = Table::new(vec![
+        "n",
+        "baseline latency (s)",
+        "FastTTS latency (s)",
+        "top-1",
+    ]);
     for n in [16usize, 64, 256] {
         let mut bl = 0.0;
         let mut fl = 0.0;

@@ -15,7 +15,11 @@ fn main() {
     let (base, _fast) = server_pair(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b());
     let problems = Dataset::Math500.problems(20, 7);
     let mut t = Table::new(vec!["method", "accuracy (%)", "latency (s)"]);
-    for kind in [SearchKind::BestOfN, SearchKind::BeamSearch, SearchKind::Dvts] {
+    for kind in [
+        SearchKind::BestOfN,
+        SearchKind::BeamSearch,
+        SearchKind::Dvts,
+    ] {
         let mut correct = 0;
         let mut latency = 0.0;
         for p in &problems {

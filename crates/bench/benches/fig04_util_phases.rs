@@ -10,11 +10,12 @@ use ftts_search::SearchKind;
 use ftts_workload::Dataset;
 
 fn main() {
-    let mut server =
-        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let mut server = TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
     server.config_mut().trace = true;
     let problem = Dataset::Aime2024.problems(1, 5)[0];
-    let out = server.serve(&problem, 64, SearchKind::BeamSearch).expect("serve");
+    let out = server
+        .serve(&problem, 64, SearchKind::BeamSearch)
+        .expect("serve");
     let trace = out.stats.trace.expect("trace enabled");
 
     let gen_mean = 100.0 * trace.mean_util(Some(Phase::Generation));
@@ -33,8 +34,8 @@ fn main() {
     let gen_span: f64 = samples[..first_ver].iter().map(|s| s.duration).sum();
     let mut t = Table::new(vec!["phase-time decile", "generation util (%)"]);
     let mut acc = 0.0;
-    let mut bucket = vec![0.0f64; 10];
-    let mut weight = vec![0.0f64; 10];
+    let mut bucket = [0.0f64; 10];
+    let mut weight = [0.0f64; 10];
     for s in &samples[..first_ver] {
         let idx = ((acc / gen_span) * 10.0).min(9.0) as usize;
         bucket[idx] += s.util * s.duration;
@@ -48,5 +49,8 @@ fn main() {
     t.print("generation-phase utilization over time (first TTS iteration)");
     println!("paper: utilization peaks at the start of generation, then progressively decays");
     println!("       while verification sustains uniform high utilization");
-    assert!(ver_mean > gen_mean, "verification must out-utilize generation");
+    assert!(
+        ver_mean > gen_mean,
+        "verification must out-utilize generation"
+    );
 }

@@ -28,7 +28,12 @@ fn frontier(kv: &mut KvCache, width: usize, branch: usize) -> Vec<OrderItem> {
     for j in 0..branch {
         for &p in &parents {
             let c = kv.fork(p).expect("fork");
-            items.push(OrderItem { index: items.len(), kv: c, parent_kv: Some(p), born_rank: rank });
+            items.push(OrderItem {
+                index: items.len(),
+                kv: c,
+                parent_kv: Some(p),
+                born_rank: rank,
+            });
             rank += 1;
             let _ = j;
         }
@@ -50,12 +55,18 @@ fn main() {
             TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
         server.config_mut().prefix_sharing = sharing;
         let problem = Dataset::Aime2024.problems(1, 9)[0];
-        let out = server.serve(&problem, 64, SearchKind::BeamSearch).expect("serve");
+        let out = server
+            .serve(&problem, 64, SearchKind::BeamSearch)
+            .expect("serve");
         // Peak block usage approximates "beams in memory".
         let peak_tokens = out.stats.gen_cache.allocated_blocks * 16;
         let logical = out.stats.decoded_tokens + 128;
         t.row(vec![
-            if sharing { "w/ prefix-cache".into() } else { "w/o prefix-cache".into() },
+            if sharing {
+                "w/ prefix-cache".into()
+            } else {
+                "w/o prefix-cache".into()
+            },
             peak_tokens.to_string(),
             logical.to_string(),
             format!("{:.2}", logical as f64 / peak_tokens.max(1) as f64),
@@ -72,7 +83,11 @@ fn main() {
         prefix_sharing: true,
     });
     let items = frontier(&mut kv, 16, 8);
-    let mut t = Table::new(vec!["policy", "adjacent shared-prefix tokens (total)", "vs random"]);
+    let mut t = Table::new(vec![
+        "policy",
+        "adjacent shared-prefix tokens (total)",
+        "vs random",
+    ]);
     let mut policies: Vec<Box<dyn OrderPolicy>> = vec![
         Box::new(RandomOrder::new(3)),
         Box::new(FifoOrder),

@@ -45,13 +45,25 @@ fn main() {
         ("decode", 1024, true),
     ] {
         let (cross, series) = crossover(&roof, seq, decode, 0.8);
-        t.row(vec![label.to_string(), seq.to_string(), format!("{cross:.2}")]);
+        t.row(vec![
+            label.to_string(),
+            seq.to_string(),
+            format!("{cross:.2}"),
+        ]);
         rows.push((label, seq, series));
     }
-    t.print("Fig. 6 — KV size needed to reach 80% of peak throughput (Qwen2.5-Math-1.5B, RTX 4090)");
+    t.print(
+        "Fig. 6 — KV size needed to reach 80% of peak throughput (Qwen2.5-Math-1.5B, RTX 4090)",
+    );
     println!("paper: prefill saturates at 0.39-0.98 GB; decoding needs 3.06-5.18 GB (5-10x more)");
 
-    let mut t = Table::new(vec!["KV (GB)", "prefill@640", "prefill@1152", "decode@512", "decode@1024"]);
+    let mut t = Table::new(vec![
+        "KV (GB)",
+        "prefill@640",
+        "prefill@1152",
+        "decode@512",
+        "decode@1024",
+    ]);
     let len = rows[0].2.len();
     for i in 0..len {
         let kv = rows[0].2[i].0;

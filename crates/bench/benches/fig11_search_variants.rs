@@ -10,8 +10,13 @@ use ftts_workload::Dataset;
 
 fn main() {
     let (base, fast) = server_pair(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
-    let mut t =
-        Table::new(vec!["algorithm", "n", "baseline (tok/s)", "FastTTS (tok/s)", "speedup"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "n",
+        "baseline (tok/s)",
+        "FastTTS (tok/s)",
+        "speedup",
+    ]);
     for kind in [
         SearchKind::BeamSearch,
         SearchKind::Dvts,

@@ -10,7 +10,12 @@ use ftts_workload::Dataset;
 
 fn main() {
     let mut t = Table::new(vec![
-        "config", "dataset", "n", "baseline (tok/s)", "FastTTS (tok/s)", "speedup",
+        "config",
+        "dataset",
+        "n",
+        "baseline (tok/s)",
+        "FastTTS (tok/s)",
+        "speedup",
     ]);
     let mut speedups = Vec::new();
     for pairing in pairings() {

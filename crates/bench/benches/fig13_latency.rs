@@ -30,9 +30,11 @@ fn main() {
                     run_set(&base, &problems, n, SearchKind::BeamSearch).expect("baseline");
                 let (_, fl, fouts) =
                     run_set(&fast, &problems, n, SearchKind::BeamSearch).expect("fasttts");
-                let mean = |outs: &[ftts_core::ServeOutcome], f: &dyn Fn(&ftts_metrics::LatencyBreakdown) -> f64| {
-                    outs.iter().map(|o| f(o.stats.breakdown())).sum::<f64>() / outs.len() as f64
-                };
+                let mean =
+                    |outs: &[ftts_core::ServeOutcome],
+                     f: &dyn Fn(&ftts_metrics::LatencyBreakdown) -> f64| {
+                        outs.iter().map(|o| f(o.stats.breakdown())).sum::<f64>() / outs.len() as f64
+                    };
                 let bgen = mean(&bouts, &|b| b.generator_side());
                 let bver = mean(&bouts, &|b| b.verifier);
                 let fgen = mean(&fouts, &|b| b.generator_side());

@@ -41,8 +41,10 @@ fn main() {
     // is correct, for growing attempt counts.
     let mut t = Table::new(vec!["dataset", "pass@1", "pass@4", "pass@16", "pass@64"]);
     for dataset in [Dataset::Aime2024, Dataset::Amc2023] {
-        let (_, fast) =
-            server_pair(GpuDevice::rtx4090(), ftts_engine::ModelPairing::pair_1_5b_7b());
+        let (_, fast) = server_pair(
+            GpuDevice::rtx4090(),
+            ftts_engine::ModelPairing::pair_1_5b_7b(),
+        );
         let problems = dataset.problems(12, 45);
         let mut hits = [0usize; 4];
         for p in &problems {

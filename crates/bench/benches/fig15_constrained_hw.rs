@@ -11,15 +11,35 @@ use ftts_workload::Dataset;
 
 fn main() {
     let mut t = Table::new(vec![
-        "device", "dataset", "n", "baseline (tok/s)", "FastTTS (tok/s)", "speedup",
+        "device",
+        "dataset",
+        "n",
+        "baseline (tok/s)",
+        "FastTTS (tok/s)",
+        "speedup",
     ]);
     let cases = [
-        (GpuDevice::rtx4070ti(), Dataset::Aime2024, AblationFlags::fasttts(), 0.9),
+        (
+            GpuDevice::rtx4070ti(),
+            Dataset::Aime2024,
+            AblationFlags::fasttts(),
+            0.9,
+        ),
         // The 3070 Ti cannot hold both models' KV comfortably: FastTTS
         // enables the offloading search space (paper: "Offloading is
         // used on the RTX 3070 Ti").
-        (GpuDevice::rtx3070ti(), Dataset::Aime2024, AblationFlags::fasttts_offload(), 0.93),
-        (GpuDevice::rtx4090(), Dataset::HumanEval, AblationFlags::fasttts(), 0.9),
+        (
+            GpuDevice::rtx3070ti(),
+            Dataset::Aime2024,
+            AblationFlags::fasttts_offload(),
+            0.93,
+        ),
+        (
+            GpuDevice::rtx4090(),
+            Dataset::HumanEval,
+            AblationFlags::fasttts(),
+            0.9,
+        ),
     ];
     for (device, dataset, flags, frac) in cases {
         for n in [8usize, 32, 128] {

@@ -10,7 +10,13 @@ use ftts_search::SearchKind;
 use ftts_workload::Dataset;
 
 fn main() {
-    let mut t = Table::new(vec!["config", "n", "P gain (%)", "M+P gain (%)", "M+P+S gain (%)"]);
+    let mut t = Table::new(vec![
+        "config",
+        "n",
+        "P gain (%)",
+        "M+P gain (%)",
+        "M+P+S gain (%)",
+    ]);
     for pairing in pairings() {
         let frac = memory_fraction(&pairing);
         // P and M only have work to do once the search width strains the

@@ -14,8 +14,14 @@ fn gen_util(server: &TtsServer, n: usize) -> f64 {
     let mut server = server.clone();
     server.config_mut().trace = true;
     let problem = Dataset::Aime2024.problems(1, 81)[0];
-    let out = server.serve(&problem, n, SearchKind::BeamSearch).expect("serve");
-    out.stats.trace.expect("trace").mean_util(Some(Phase::Generation)) * 100.0
+    let out = server
+        .serve(&problem, n, SearchKind::BeamSearch)
+        .expect("serve");
+    out.stats
+        .trace
+        .expect("trace")
+        .mean_util(Some(Phase::Generation))
+        * 100.0
 }
 
 fn main() {
@@ -23,13 +29,21 @@ fn main() {
     let (base, fast) = server_pair(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
     let mut t = Table::new(vec!["system", "mean generation util (%)"]);
     t.row(vec!["vLLM".into(), format!("{:.1}", gen_util(&base, 64))]);
-    t.row(vec!["FastTTS".into(), format!("{:.1}", gen_util(&fast, 64))]);
+    t.row(vec![
+        "FastTTS".into(),
+        format!("{:.1}", gen_util(&fast, 64)),
+    ]);
     t.print("Fig. 17 (left) — generation-phase compute utilization (n=64, AIME)");
     println!("paper: baseline utilization decays as beams finish; FastTTS keeps slots full");
 
     // Right: truncation ratio R.
     let mut t = Table::new(vec![
-        "dataset", "n", "baseline", "FastTTS R=0.0", "FastTTS R=0.85", "best speedup",
+        "dataset",
+        "n",
+        "baseline",
+        "FastTTS R=0.0",
+        "FastTTS R=0.85",
+        "best speedup",
     ]);
     for dataset in [Dataset::Aime2024, Dataset::Amc2023] {
         for n in [64usize, 128] {
@@ -39,8 +53,10 @@ fn main() {
             let mut r_results = Vec::new();
             for r in [0.0f64, 0.85] {
                 let mut server = fast.clone();
-                server.config_mut().spec =
-                    SpecConfig { truncation_ratio: r, ..SpecConfig::fasttts_default() };
+                server.config_mut().spec = SpecConfig {
+                    truncation_ratio: r,
+                    ..SpecConfig::fasttts_default()
+                };
                 let (g, _, _) =
                     run_set(&server, &problems, n, SearchKind::BeamSearch).expect("fast");
                 r_results.push(g);

@@ -36,7 +36,12 @@ fn kv_growth(policy: &mut dyn OrderPolicy) -> Vec<(usize, f64)> {
     for j in 0..4 {
         for &p in &parents {
             let c = kv.fork(p).expect("fork child");
-            items.push(OrderItem { index: items.len(), kv: c, parent_kv: Some(p), born_rank: rank });
+            items.push(OrderItem {
+                index: items.len(),
+                kv: c,
+                parent_kv: Some(p),
+                born_rank: rank,
+            });
             rank += 1;
             let _ = j;
         }
@@ -65,7 +70,12 @@ fn kv_growth(policy: &mut dyn OrderPolicy) -> Vec<(usize, f64)> {
 
 fn main() {
     // Left: KV growth by scheduling order.
-    let mut t = Table::new(vec!["beams admitted", "prefix-aware (GB)", "random (GB)", "worst (GB)"]);
+    let mut t = Table::new(vec![
+        "beams admitted",
+        "prefix-aware (GB)",
+        "random (GB)",
+        "worst (GB)",
+    ]);
     let aware = kv_growth(&mut PrefixAwareOrder::new());
     let random = kv_growth(&mut RandomOrder::new(5));
     let worst = kv_growth(&mut WorstCaseOrder::new());
@@ -89,17 +99,29 @@ fn main() {
         let pairing = ModelPairing::pair_1_5b_1_5b();
         let n = 128;
         let problems = problems_for(Dataset::Aime2024, n, 91);
-        let base = server_with(GpuDevice::rtx4090(), pairing.clone(), AblationFlags::baseline(), frac);
+        let base = server_with(
+            GpuDevice::rtx4090(),
+            pairing.clone(),
+            AblationFlags::baseline(),
+            frac,
+        );
         let p_only = server_with(
             GpuDevice::rtx4090(),
             pairing.clone(),
-            AblationFlags { prefix_aware: true, ..AblationFlags::baseline() },
+            AblationFlags {
+                prefix_aware: true,
+                ..AblationFlags::baseline()
+            },
             frac,
         );
         let mp = server_with(
             GpuDevice::rtx4090(),
             pairing.clone(),
-            AblationFlags { prefix_aware: true, asym_memory: true, ..AblationFlags::baseline() },
+            AblationFlags {
+                prefix_aware: true,
+                asym_memory: true,
+                ..AblationFlags::baseline()
+            },
             frac,
         );
         let (bg, _, _) = run_set(&base, &problems, n, SearchKind::BeamSearch).expect("baseline");
@@ -111,6 +133,8 @@ fn main() {
             format!("{:+.0}", 100.0 * (mg / bg - 1.0)),
         ]);
     }
-    t.print("Fig. 18 (right) — P and M+P goodput gains vs KV-memory budget (1.5B+1.5B, AIME, n=128)");
+    t.print(
+        "Fig. 18 (right) — P and M+P goodput gains vs KV-memory budget (1.5B+1.5B, AIME, n=128)",
+    );
     println!("paper: +58% (P) and +145% (M+P) at 1.5 GB, shrinking to ~+5% at 14 GB");
 }

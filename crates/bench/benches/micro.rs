@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ftts_core::{PrefixAwareOrder, RooflinePlanner};
-use ftts_engine::{
-    EngineConfig, MemoryPlanner, ModelPairing, OrderItem, OrderPolicy, PlanContext,
-};
+use ftts_engine::{EngineConfig, MemoryPlanner, ModelPairing, OrderItem, OrderPolicy, PlanContext};
 use ftts_hw::{GpuDevice, ModelSpec, Roofline, GB};
 use ftts_kv::{KvCache, KvCacheConfig};
 
@@ -40,7 +38,12 @@ fn frontier(kv: &mut KvCache, parents: usize, children: usize) -> Vec<OrderItem>
         kv.extend(p, 400).expect("extend");
         for _ in 0..children {
             let leaf = kv.fork(p).expect("fork child");
-            items.push(OrderItem { index: items.len(), kv: leaf, parent_kv: Some(p), born_rank: rank });
+            items.push(OrderItem {
+                index: items.len(),
+                kv: leaf,
+                parent_kv: Some(p),
+                born_rank: rank,
+            });
             rank += 1;
         }
     }

@@ -16,7 +16,11 @@ use ftts_workload::Dataset;
 
 /// The paper's three generator+verifier configurations (Sec. 6.1).
 pub fn pairings() -> [ModelPairing; 3] {
-    [ModelPairing::pair_1_5b_1_5b(), ModelPairing::pair_1_5b_7b(), ModelPairing::pair_7b_1_5b()]
+    [
+        ModelPairing::pair_1_5b_1_5b(),
+        ModelPairing::pair_1_5b_7b(),
+        ModelPairing::pair_7b_1_5b(),
+    ]
 }
 
 /// Memory fraction per pairing, following the paper: 0.9 for the
@@ -120,7 +124,10 @@ mod tests {
 
     #[test]
     fn problem_schedule_shrinks_with_n() {
-        assert!(problems_for(Dataset::Aime2024, 8, 1).len() > problems_for(Dataset::Aime2024, 512, 1).len());
+        assert!(
+            problems_for(Dataset::Aime2024, 8, 1).len()
+                > problems_for(Dataset::Aime2024, 512, 1).len()
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct EvalConfig {
 impl EvalConfig {
     /// A small default sweep for quick runs.
     pub fn quick(n: usize) -> Self {
-        Self { n, kind: SearchKind::BeamSearch, problems: 8, seed: 20240 }
+        Self {
+            n,
+            kind: SearchKind::BeamSearch,
+            problems: 8,
+            seed: 20240,
+        }
     }
 }
 
@@ -65,8 +70,12 @@ pub fn evaluate(
     let mut latencies = Vec::with_capacity(problems.len());
     let mut breakdown = LatencyBreakdown::default();
     let mut top1 = 0usize;
-    let ns: Vec<usize> =
-        [1usize, 4, 16, 64].iter().copied().filter(|&k| k < cfg.n).chain([cfg.n]).collect();
+    let ns: Vec<usize> = [1usize, 4, 16, 64]
+        .iter()
+        .copied()
+        .filter(|&k| k < cfg.n)
+        .chain([cfg.n])
+        .collect();
     let mut passes = vec![0usize; ns.len()];
     let mut spec_eff = 0.0;
     let mut evicted = 0u64;
@@ -93,7 +102,11 @@ pub fn evaluate(
         latency: latencies.iter().sum::<f64>() / count,
         breakdown: breakdown.scaled(1.0 / count),
         top1: top1 as f64 / count,
-        pass_at: ns.iter().zip(passes).map(|(&k, p)| (k, p as f64 / count)).collect(),
+        pass_at: ns
+            .iter()
+            .zip(passes)
+            .map(|(&k, p)| (k, p as f64 / count))
+            .collect(),
         spec_efficiency: spec_eff / count,
         evicted_blocks: evicted,
         goodput_summary: Summary::of(&goodputs),
@@ -108,9 +121,13 @@ mod tests {
 
     #[test]
     fn evaluate_aggregates_over_problems() {
-        let server =
-            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
-        let cfg = EvalConfig { n: 8, kind: SearchKind::BeamSearch, problems: 4, seed: 5 };
+        let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let cfg = EvalConfig {
+            n: 8,
+            kind: SearchKind::BeamSearch,
+            problems: 4,
+            seed: 5,
+        };
         let summary = evaluate(&server, Dataset::Amc2023, cfg).unwrap();
         assert!(summary.goodput > 0.0);
         assert!(summary.latency > 0.0);

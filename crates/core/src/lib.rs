@@ -27,6 +27,14 @@
 //! the Fig. 16/18 breakdowns. [`ServerSim`] replays request arrival
 //! streams with two-phase preemptive scheduling (Sec. 4.1.2).
 //!
+//! For evaluation at scale, the `sweep` module provides a parallel
+//! harness: [`ServerSim::run_parallel`] replays independent request
+//! streams across OS threads, and [`sweep`]/[`SweepJob`] fan a
+//! configuration grid out the same way — with results guaranteed (and
+//! tested) bit-identical to sequential execution thanks to the stack's
+//! stable-key deterministic seeding. See `sweep`'s module docs for the
+//! exact determinism rules.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -49,9 +57,11 @@ mod eval;
 mod memalloc;
 mod prefix_sched;
 mod server;
+mod sweep;
 
 pub use eval::{evaluate, EvalConfig, EvalSummary};
 pub use ftts_engine::{EngineError, SpecConfig};
 pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};
+pub use sweep::{parallel_map, sweep, SweepJob};

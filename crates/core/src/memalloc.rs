@@ -51,12 +51,16 @@ struct Demand {
 impl RooflinePlanner {
     /// Planner with offloading disabled.
     pub fn new() -> Self {
-        Self { allow_offload: false }
+        Self {
+            allow_offload: false,
+        }
     }
 
     /// Planner that may choose the offloading strategy.
     pub fn with_offload() -> Self {
-        Self { allow_offload: true }
+        Self {
+            allow_offload: true,
+        }
     }
 
     fn demand(config: &EngineConfig, ctx: &PlanContext) -> Demand {
@@ -98,11 +102,17 @@ impl RooflinePlanner {
         // cross-iteration verifier caching every verification re-prefills
         // the full input (the paper's `S`), so the miss rate is 1.
         let b_pre = ((v / d.ver_per_seq) as usize).clamp(1, n);
-        let miss_v = if ctx.ver_caching { Self::miss_rate(v, d.ver_tree) } else { 1.0 };
+        let miss_v = if ctx.ver_caching {
+            Self::miss_rate(v, d.ver_tree)
+        } else {
+            1.0
+        };
         let ver_tokens = ctx.step_tokens as f64 + miss_v * ctx.avg_ctx as f64;
         let pre_batches = (n as f64 / b_pre as f64).ceil();
         let cached = (ctx.avg_ctx as f64 * (1.0 - miss_v)) as u64;
-        let t_pre = ver.prefill_batch(b_pre, ver_tokens.round() as u64, cached).seconds;
+        let t_pre = ver
+            .prefill_batch(b_pre, ver_tokens.round() as u64, cached)
+            .seconds;
 
         // Generator: group serialization plus eviction-induced
         // recomputation.
@@ -113,15 +123,12 @@ impl RooflinePlanner {
         let miss_g = Self::miss_rate(g, d.gen_tree);
         let recompute_tokens = (miss_g * n as f64 * ctx.avg_ctx as f64).round() as u64;
         let t_recompute = if recompute_tokens > 0 {
-            gen.prefill_batch(n, recompute_tokens / n as u64 + 1, 0).seconds
+            gen.prefill_batch(n, recompute_tokens / n as u64 + 1, 0)
+                .seconds
         } else {
             0.0
         };
-        Some(
-            pre_batches * t_pre
-                + dec_batches * ctx.step_tokens as f64 * t_dec
-                + t_recompute,
-        )
+        Some(pre_batches * t_pre + dec_batches * ctx.step_tokens as f64 * t_dec + t_recompute)
     }
 
     /// Candidate verifier allocations: batch-aligned sizes (the paper's
@@ -168,19 +175,25 @@ impl RooflinePlanner {
             }
             // The decoder is memory-sensitive: it gets the remainder.
             let g = m - v;
-            let Some(t) = Self::t_tot(gen, ver, ctx, &d, v, g) else { continue };
+            let Some(t) = Self::t_tot(gen, ver, ctx, &d, v, g) else {
+                continue;
+            };
             let better = match &best {
                 None => true,
                 // Ties resolve toward the larger decoding allocation.
                 Some((p, t_best)) => {
-                    t < *t_best - 1e-12
-                        || ((t - *t_best).abs() <= 1e-12 && g > p.gen_kv_bytes)
+                    t < *t_best - 1e-12 || ((t - *t_best).abs() <= 1e-12 && g > p.gen_kv_bytes)
                 }
             };
             if better {
                 let b_pre = ((v / d.ver_per_seq) as usize).clamp(1, n);
                 best = Some((
-                    MemoryPlan { gen_kv_bytes: g, ver_kv_bytes: v, ver_batch: b_pre, offload: false },
+                    MemoryPlan {
+                        gen_kv_bytes: g,
+                        ver_kv_bytes: v,
+                        ver_batch: b_pre,
+                        offload: false,
+                    },
                     t,
                 ));
             }
@@ -205,7 +218,12 @@ impl RooflinePlanner {
         let moved = d.ver_tree.min(m) + d.gen_tree.min(m);
         let overhead = config.device.pcie_transfer_seconds(moved) * 2.0;
         let b_pre = ((m / d.ver_per_seq) as usize).clamp(1, n);
-        let plan = MemoryPlan { gen_kv_bytes: m, ver_kv_bytes: m, ver_batch: b_pre, offload: true };
+        let plan = MemoryPlan {
+            gen_kv_bytes: m,
+            ver_kv_bytes: m,
+            ver_batch: b_pre,
+            offload: true,
+        };
         Some((plan, t + overhead))
     }
 }

@@ -115,7 +115,10 @@ impl OrderPolicy for WorstCaseOrder {
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &i)| {
-                    (kv.shared_prefix(items[last].kv, items[i].kv), items[i].born_rank)
+                    (
+                        kv.shared_prefix(items[last].kv, items[i].kv),
+                        items[i].born_rank,
+                    )
                 })
                 .map(|(pos, _)| pos)
                 .unwrap();
@@ -197,10 +200,18 @@ mod tests {
     #[test]
     fn orders_are_permutations() {
         let (kv, items) = interleaved();
-        for policy in [&mut PrefixAwareOrder::new() as &mut dyn OrderPolicy, &mut WorstCaseOrder::new()] {
+        for policy in [
+            &mut PrefixAwareOrder::new() as &mut dyn OrderPolicy,
+            &mut WorstCaseOrder::new(),
+        ] {
             let mut order = policy.order(&items, &kv);
             order.sort_unstable();
-            assert_eq!(order, (0..items.len()).collect::<Vec<_>>(), "{}", policy.name());
+            assert_eq!(
+                order,
+                (0..items.len()).collect::<Vec<_>>(),
+                "{}",
+                policy.name()
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! The FastTTS serving facade and the multi-request stream simulator.
 
-use ftts_engine::{RandomOrder, 
-    Engine, EngineConfig, EngineError, MemoryPlanner, ModelPairing, OrderPolicy,
+use ftts_engine::{
+    Engine, EngineConfig, EngineError, MemoryPlanner, ModelPairing, OrderPolicy, RandomOrder,
     RunStats, SearchDriver, SpecConfig, StaticSplitPlanner,
 };
 use ftts_hw::GpuDevice;
@@ -30,24 +30,43 @@ pub struct AblationFlags {
 impl AblationFlags {
     /// The vLLM baseline: nothing on.
     pub fn baseline() -> Self {
-        Self { prefix_aware: false, asym_memory: false, speculation: false, offload: false }
+        Self {
+            prefix_aware: false,
+            asym_memory: false,
+            speculation: false,
+            offload: false,
+        }
     }
 
     /// Full FastTTS: everything on.
     pub fn fasttts() -> Self {
-        Self { prefix_aware: true, asym_memory: true, speculation: true, offload: false }
+        Self {
+            prefix_aware: true,
+            asym_memory: true,
+            speculation: true,
+            offload: false,
+        }
     }
 
     /// Full FastTTS plus the offloading search space (for ≤ 8 GB GPUs).
     pub fn fasttts_offload() -> Self {
-        Self { offload: true, ..Self::fasttts() }
+        Self {
+            offload: true,
+            ..Self::fasttts()
+        }
     }
 
     /// The cumulative ablation ladder of Fig. 16: P, then M+P, then
     /// M+P+S.
     pub fn ladder() -> [(&'static str, AblationFlags); 3] {
         [
-            ("P", AblationFlags { prefix_aware: true, ..AblationFlags::baseline() }),
+            (
+                "P",
+                AblationFlags {
+                    prefix_aware: true,
+                    ..AblationFlags::baseline()
+                },
+            ),
             (
                 "M+P",
                 AblationFlags {
@@ -109,9 +128,14 @@ impl ServeOutcome {
 /// A TTS serving system: a device, a generator/verifier pairing and a
 /// set of optimizations. This is the paper's "plug-and-play third-party
 /// library" surface.
+///
+/// The engine configuration is shared behind `Arc`: cloning a server or
+/// building a per-request [`Engine`] bumps a reference count instead of
+/// deep-cloning device/model descriptions, which keeps the serve loop's
+/// steady-state path allocation-light and makes parallel sweeps cheap.
 #[derive(Debug, Clone)]
 pub struct TtsServer {
-    config: EngineConfig,
+    config: std::sync::Arc<EngineConfig>,
     flags: AblationFlags,
 }
 
@@ -136,12 +160,18 @@ impl TtsServer {
     /// config's `spec` and verifier-caching fields are derived from
     /// `flags.speculation`.
     pub fn from_config(mut config: EngineConfig, flags: AblationFlags) -> Self {
-        config.spec =
-            if flags.speculation { SpecConfig::fasttts_default() } else { SpecConfig::disabled() };
+        config.spec = if flags.speculation {
+            SpecConfig::fasttts_default()
+        } else {
+            SpecConfig::disabled()
+        };
         // Incremental verifier caching is what LookAhead exploits; the
         // baseline re-prefills each verification (HF search-and-learn).
         config.ver_prefix_caching = flags.speculation;
-        Self { config, flags }
+        Self {
+            config: std::sync::Arc::new(config),
+            flags,
+        }
     }
 
     /// The active optimization flags.
@@ -151,13 +181,15 @@ impl TtsServer {
 
     /// The underlying engine configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.config.as_ref()
     }
 
     /// Mutable access for experiment-specific tweaks (memory fraction,
-    /// tracing, seeds, truncation ratio…).
+    /// tracing, seeds, truncation ratio…). Copy-on-write: if the config
+    /// is currently shared with live engines or server clones, this
+    /// clones it once before mutating.
     pub fn config_mut(&mut self) -> &mut EngineConfig {
-        &mut self.config
+        std::sync::Arc::make_mut(&mut self.config)
     }
 
     fn order_policy(&self) -> Box<dyn OrderPolicy> {
@@ -185,7 +217,11 @@ impl TtsServer {
 
     /// Build a fresh engine with this server's policies.
     pub fn engine(&self) -> Engine {
-        Engine::new(self.config.clone(), self.order_policy(), self.memory_planner())
+        Engine::new(
+            self.config.clone(),
+            self.order_policy(),
+            self.memory_planner(),
+        )
     }
 
     /// Serve one problem with `n` beams using a named search algorithm.
@@ -337,8 +373,7 @@ mod tests {
 
     #[test]
     fn serve_with_custom_driver() {
-        let server =
-            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
         let mut driver = ftts_search::BeamSearch::new(8, 4);
         let out = server.serve_with(&problem(), 8, &mut driver).unwrap();
         assert!(out.goodput() > 0.0);
@@ -346,8 +381,7 @@ mod tests {
 
     #[test]
     fn server_sim_orders_and_queues_requests() {
-        let server =
-            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
         let sim = ServerSim::new(server, 8, SearchKind::BeamSearch);
         let problems = Dataset::Amc2023.problems(3, 9);
         let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);

@@ -130,7 +130,14 @@ mod tests {
             subtree: 0,
             kv: node,
             ver_kv: None,
-            latent: NodeLatent { key: 1, approach: 1, quality: 0.0, depth: 1, terminal: false, answer: None },
+            latent: NodeLatent {
+                key: 1,
+                approach: 1,
+                quality: 0.0,
+                depth: 1,
+                terminal: false,
+                answer: None,
+            },
             eps: 0.0,
             score: None,
             prev_score: 0.5,

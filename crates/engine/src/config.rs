@@ -1,60 +1,86 @@
 //! Engine configuration.
 
+use std::sync::Arc;
+
 use ftts_hw::{GpuDevice, ModelSpec};
 use ftts_model::{GeneratorProfile, PrmProfile};
 use serde::{Deserialize, Serialize};
 
 /// A generator + verifier pairing: cost specs (`ftts-hw`) and behaviour
 /// profiles (`ftts-model`) for both models.
+///
+/// All four components are immutable per-request state and are held
+/// behind `Arc`, so cloning a pairing (which the serving facade does for
+/// every request) is four reference-count bumps, not a deep copy of
+/// model descriptions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelPairing {
     /// Generator architecture (costs).
-    pub gen_spec: ModelSpec,
+    pub gen_spec: Arc<ModelSpec>,
     /// Verifier architecture (costs).
-    pub ver_spec: ModelSpec,
+    pub ver_spec: Arc<ModelSpec>,
     /// Generator behaviour.
-    pub gen_profile: GeneratorProfile,
+    pub gen_profile: Arc<GeneratorProfile>,
     /// Verifier behaviour.
-    pub prm_profile: PrmProfile,
+    pub prm_profile: Arc<PrmProfile>,
 }
 
 impl ModelPairing {
+    /// Build a pairing from owned specs and profiles.
+    pub fn new(
+        gen_spec: ModelSpec,
+        ver_spec: ModelSpec,
+        gen_profile: GeneratorProfile,
+        prm_profile: PrmProfile,
+    ) -> Self {
+        Self {
+            gen_spec: Arc::new(gen_spec),
+            ver_spec: Arc::new(ver_spec),
+            gen_profile: Arc::new(gen_profile),
+            prm_profile: Arc::new(prm_profile),
+        }
+    }
+
     /// The paper's memory-constrained configuration: 1.5B generator +
     /// 1.5B verifier.
     pub fn pair_1_5b_1_5b() -> Self {
-        Self {
-            gen_spec: ModelSpec::qwen25_math_1_5b(),
-            ver_spec: ModelSpec::skywork_prm_1_5b(),
-            gen_profile: GeneratorProfile::qwen25_math_1_5b(),
-            prm_profile: PrmProfile::skywork_1_5b(),
-        }
+        Self::new(
+            ModelSpec::qwen25_math_1_5b(),
+            ModelSpec::skywork_prm_1_5b(),
+            GeneratorProfile::qwen25_math_1_5b(),
+            PrmProfile::skywork_1_5b(),
+        )
     }
 
     /// The paper's verifier-heavy configuration: 1.5B generator + 7B
     /// verifier.
     pub fn pair_1_5b_7b() -> Self {
-        Self {
-            gen_spec: ModelSpec::qwen25_math_1_5b(),
-            ver_spec: ModelSpec::math_shepherd_7b(),
-            gen_profile: GeneratorProfile::qwen25_math_1_5b(),
-            prm_profile: PrmProfile::math_shepherd_7b(),
-        }
+        Self::new(
+            ModelSpec::qwen25_math_1_5b(),
+            ModelSpec::math_shepherd_7b(),
+            GeneratorProfile::qwen25_math_1_5b(),
+            PrmProfile::math_shepherd_7b(),
+        )
     }
 
     /// The paper's generator-heavy configuration: 7B generator + 1.5B
     /// verifier.
     pub fn pair_7b_1_5b() -> Self {
-        Self {
-            gen_spec: ModelSpec::qwen25_math_7b(),
-            ver_spec: ModelSpec::skywork_prm_1_5b(),
-            gen_profile: GeneratorProfile::qwen25_math_7b(),
-            prm_profile: PrmProfile::skywork_1_5b(),
-        }
+        Self::new(
+            ModelSpec::qwen25_math_7b(),
+            ModelSpec::skywork_prm_1_5b(),
+            GeneratorProfile::qwen25_math_7b(),
+            PrmProfile::skywork_1_5b(),
+        )
     }
 
     /// Figure label, e.g. `"1.5B+7B"`.
     pub fn label(&self) -> String {
-        format!("{}+{}", self.gen_spec.size_label(), self.ver_spec.size_label())
+        format!(
+            "{}+{}",
+            self.gen_spec.size_label(),
+            self.ver_spec.size_label()
+        )
     }
 
     /// Combined weight bytes of both models.
@@ -83,12 +109,22 @@ pub struct SpecConfig {
 impl SpecConfig {
     /// Speculation disabled (the vLLM baseline).
     pub fn disabled() -> Self {
-        Self { enabled: false, truncation_ratio: 0.0, truncation_sigma: 0.0, lookahead: false }
+        Self {
+            enabled: false,
+            truncation_ratio: 0.0,
+            truncation_sigma: 0.0,
+            lookahead: false,
+        }
     }
 
     /// The paper's default FastTTS setting.
     pub fn fasttts_default() -> Self {
-        Self { enabled: true, truncation_ratio: 0.85, truncation_sigma: 0.08, lookahead: true }
+        Self {
+            enabled: true,
+            truncation_ratio: 0.85,
+            truncation_sigma: 0.08,
+            lookahead: true,
+        }
     }
 }
 
@@ -101,8 +137,8 @@ impl Default for SpecConfig {
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
-    /// Device to simulate.
-    pub device: GpuDevice,
+    /// Device to simulate (shared, never deep-cloned per request).
+    pub device: Arc<GpuDevice>,
     /// Generator + verifier models.
     pub models: ModelPairing,
     /// Fraction of VRAM the serving system may use, weights included
@@ -132,9 +168,9 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// A baseline-flavored config on the given device.
-    pub fn baseline(device: GpuDevice, models: ModelPairing) -> Self {
+    pub fn baseline(device: impl Into<Arc<GpuDevice>>, models: ModelPairing) -> Self {
         Self {
-            device,
+            device: device.into(),
             models,
             memory_fraction: 0.9,
             reserved_bytes: 512 * 1024 * 1024,
@@ -172,7 +208,10 @@ mod tests {
     fn kv_budget_subtracts_weights_and_reserve() {
         let cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
         let budget = cfg.kv_budget_bytes();
-        assert!(budget > 10 * (1 << 30), "two 1.5B models leave >10 GiB on a 4090");
+        assert!(
+            budget > 10 * (1 << 30),
+            "two 1.5B models leave >10 GiB on a 4090"
+        );
         let constrained = EngineConfig {
             memory_fraction: 0.4,
             ..EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b())

@@ -83,8 +83,13 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// The serving engine. See the crate docs for the execution model.
+///
+/// The configuration is held behind `Arc`: building an engine per
+/// request (as the serving facade does) shares one config allocation
+/// instead of deep-cloning device specs, model architectures and
+/// behaviour profiles every time.
 pub struct Engine {
-    config: EngineConfig,
+    config: std::sync::Arc<EngineConfig>,
     order: Box<dyn OrderPolicy>,
     planner: Box<dyn MemoryPlanner>,
 }
@@ -102,17 +107,22 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Build an engine with the given scheduling and memory policies.
+    /// Accepts an owned config or a shared `Arc` (no deep copy).
     pub fn new(
-        config: EngineConfig,
+        config: impl Into<std::sync::Arc<EngineConfig>>,
         order: Box<dyn OrderPolicy>,
         planner: Box<dyn MemoryPlanner>,
     ) -> Self {
-        Self { config, order, planner }
+        Self {
+            config: config.into(),
+            order,
+            planner,
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.config.as_ref()
     }
 
     /// Serve one TTS request with `n` parallel beams.
@@ -162,6 +172,61 @@ struct SpecTask {
     generated: u64,
 }
 
+/// Reusable per-iteration containers. The serve loop runs thousands of
+/// iterations per request; allocating these afresh in every generation /
+/// verification phase dominated the simulator's own runtime, so they are
+/// owned by [`Run`] and recycled (cleared, never shrunk) across
+/// iterations. Methods that need a container while also borrowing
+/// `self` mutably `mem::take` it and hand it back when done.
+#[derive(Default)]
+struct Scratch {
+    /// Order-policy input items (generation phase).
+    items: Vec<OrderItem>,
+    /// Frontier beam indices in scheduling order (generation phase
+    /// output, reused by the verification phase).
+    ordered: Vec<usize>,
+    /// Admission queue of frontier beam indices.
+    queue: std::collections::VecDeque<usize>,
+    /// Currently decoding beam indices.
+    active: Vec<usize>,
+    /// Beams that finished their step this phase.
+    finished: Vec<usize>,
+    /// Beams deferred by memory pressure within one segment.
+    deferred: Vec<usize>,
+    /// Beams still failing after speculation was aborted.
+    still_failing: Vec<usize>,
+    /// Survivors of the active set after a segment.
+    still_active: Vec<usize>,
+    /// Scored frontier view handed to the search driver.
+    scored: Vec<ScoredBeam>,
+    /// Selected (beam index, children) pairs.
+    picks: Vec<(usize, usize)>,
+    /// Frontier KV leaves (replanning).
+    leaves: Vec<NodeId>,
+    /// SelectSPEC score bins per frontier beam.
+    bins: std::collections::HashMap<usize, u64>,
+    /// Speculative branches started per beam this phase.
+    spec_started: std::collections::HashMap<usize, u64>,
+    /// Per-beam deferral counts (for the repeated-failure bailout).
+    defer_counts: std::collections::HashMap<usize, u32>,
+    /// In-flight speculative tasks.
+    spec_tasks: Vec<SpecTask>,
+    /// Retained speculative tasks while filtering (avoids realloc).
+    kept_spec: Vec<SpecTask>,
+    /// Beams needing verification this iteration.
+    to_verify: Vec<usize>,
+    /// Verifier nodes pinned for the current chunk.
+    pinned: Vec<NodeId>,
+    /// Frontier scratch for branching (old frontier recycled into new).
+    frontier_next: Vec<usize>,
+    /// (beam, score) pairs for score-bin ranking.
+    bin_ranking: Vec<(usize, f64)>,
+    /// Selected beam indices during branching.
+    selected: std::collections::HashSet<usize>,
+    /// Unconsumed speculative KV nodes being discarded.
+    spec_leftovers: Vec<NodeId>,
+}
+
 /// All per-request state.
 struct Run<'e> {
     cfg: &'e EngineConfig,
@@ -185,6 +250,7 @@ struct Run<'e> {
     plan: MemoryPlan,
     born_counter: u32,
     root_eps: f64,
+    scratch: Scratch,
 }
 
 impl<'e> Run<'e> {
@@ -207,13 +273,20 @@ impl<'e> Run<'e> {
             bytes_per_token: cfg.models.ver_spec.kv_bytes_per_token(),
             prefix_sharing: cfg.prefix_sharing,
         });
-        let problem = ProblemSpec { seed: ftts_model::mix64(problem.seed, cfg.seed), ..*problem };
+        let problem = ProblemSpec {
+            seed: ftts_model::mix64(problem.seed, cfg.seed),
+            ..*problem
+        };
         let generator = SyntheticGenerator::new(cfg.models.gen_profile.clone());
         let prm = SyntheticPrm::new(cfg.models.prm_profile.clone());
         let gen_root = gen_kv.root(problem.prompt_tokens).expect("root");
         let ver_root = ver_kv.root(problem.prompt_tokens).expect("ver root");
         let root_eps = prm.root_eps(problem.seed);
-        let trace = if cfg.trace { Some(UtilizationTrace::new()) } else { None };
+        let trace = if cfg.trace {
+            Some(UtilizationTrace::new())
+        } else {
+            None
+        };
         let mut run = Self {
             order: engine.order.as_mut(),
             planner: engine.planner.as_mut(),
@@ -229,12 +302,21 @@ impl<'e> Run<'e> {
             breakdown: LatencyBreakdown::default(),
             beams: Vec::new(),
             frontier: Vec::new(),
-            stats: RunStats { correct_answer: problem.correct_answer(), ..RunStats::default() },
+            stats: RunStats {
+                correct_answer: problem.correct_answer(),
+                ..RunStats::default()
+            },
             trace,
             spec_off_after,
-            plan: MemoryPlan { gen_kv_bytes: budget / 2, ver_kv_bytes: budget / 2, ver_batch: 8, offload: false },
+            plan: MemoryPlan {
+                gen_kv_bytes: budget / 2,
+                ver_kv_bytes: budget / 2,
+                ver_batch: 8,
+                offload: false,
+            },
             born_counter: 0,
             root_eps,
+            scratch: Scratch::default(),
             cfg: &engine.config,
         };
         // The prompt must be prefilled once by the generator before any
@@ -304,6 +386,7 @@ impl<'e> Run<'e> {
             self.replan(driver);
             let order = self.generation_phase(driver)?;
             self.verification_phase(driver, &order);
+            self.scratch.ordered = order;
             self.retire_terminals();
             if self.frontier.is_empty() {
                 break;
@@ -313,15 +396,17 @@ impl<'e> Run<'e> {
                 n_target: n,
                 completed: self.stats.beams.len(),
             };
-            let scored: Vec<ScoredBeam> = self
-                .frontier
-                .iter()
-                .map(|&i| self.scored_view(i))
-                .collect();
-            let picks = driver.select(&scored, &ctx);
-            let picks: Vec<(usize, usize)> =
-                picks.into_iter().map(|(id, c)| (id.0 as usize, c)).collect();
-            self.branch(&picks, driver, false)?;
+            let mut scored = std::mem::take(&mut self.scratch.scored);
+            scored.clear();
+            scored.extend(self.frontier.iter().map(|&i| self.scored_view(i)));
+            let selection = driver.select(&scored, &ctx);
+            self.scratch.scored = scored;
+            let mut picks = std::mem::take(&mut self.scratch.picks);
+            picks.clear();
+            picks.extend(selection.into_iter().map(|(id, c)| (id.0 as usize, c)));
+            let branched = self.branch(&picks, driver, false);
+            self.scratch.picks = picks;
+            branched?;
             iteration += 1;
         }
         self.stats.iterations = iteration;
@@ -347,12 +432,18 @@ impl<'e> Run<'e> {
         let avg_ctx = if self.frontier.is_empty() {
             self.problem.prompt_tokens
         } else {
-            self.frontier.iter().map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv)).sum::<u64>()
+            self.frontier
+                .iter()
+                .map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv))
+                .sum::<u64>()
                 / self.frontier.len() as u64
         };
         let step_tokens = self.problem.steps.median_tokens as u64;
-        let leaves: Vec<NodeId> = self.frontier.iter().map(|&i| self.beams[i].kv).collect();
+        let mut leaves = std::mem::take(&mut self.scratch.leaves);
+        leaves.clear();
+        leaves.extend(self.frontier.iter().map(|&i| self.beams[i].kv));
         let tree_tokens = self.gen_kv.unique_path_tokens(&leaves);
+        self.scratch.leaves = leaves;
         let ctx = PlanContext {
             kv_budget_bytes: self.cfg.kv_budget_bytes(),
             n_beams: self.frontier.len(),
@@ -376,7 +467,10 @@ impl<'e> Run<'e> {
 
     /// Run the generation phase; returns the scheduling order used (the
     /// verification phase reuses it for locality).
-    fn generation_phase(&mut self, driver: &mut dyn SearchDriver) -> Result<Vec<usize>, EngineError> {
+    fn generation_phase(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+    ) -> Result<Vec<usize>, EngineError> {
         // Offload: the verifier yields its KV while the generator runs.
         if self.plan.offload {
             let bytes = self.ver_kv.swap_out_unpinned();
@@ -384,44 +478,56 @@ impl<'e> Run<'e> {
             self.advance(t, 0.0, Phase::Generation);
             self.breakdown.offload += t;
         }
-        let items: Vec<OrderItem> = self
-            .frontier
-            .iter()
-            .enumerate()
-            .map(|(i, &bi)| {
-                let b = &self.beams[bi];
-                OrderItem {
-                    index: i,
-                    kv: b.kv,
-                    parent_kv: b.parent.map(|p| self.beams[p.0 as usize].kv),
-                    born_rank: b.id.0,
-                }
-            })
-            .collect();
+        let mut items = std::mem::take(&mut self.scratch.items);
+        items.clear();
+        items.extend(self.frontier.iter().enumerate().map(|(i, &bi)| {
+            let b = &self.beams[bi];
+            OrderItem {
+                index: i,
+                kv: b.kv,
+                parent_kv: b.parent.map(|p| self.beams[p.0 as usize].kv),
+                born_rank: b.id.0,
+            }
+        }));
         let perm = self.order.order(&items, &self.gen_kv);
         debug_assert_eq!(perm.len(), items.len());
-        let ordered: Vec<usize> = perm.iter().map(|&i| self.frontier[items[i].index]).collect();
+        let mut ordered = std::mem::take(&mut self.scratch.ordered);
+        ordered.clear();
+        ordered.extend(perm.iter().map(|&i| self.frontier[items[i].index]));
+        self.scratch.items = items;
 
-        let mut queue: std::collections::VecDeque<usize> = ordered.iter().copied().collect();
-        let mut active: Vec<usize> = Vec::new();
-        let mut finished_this_phase: Vec<usize> = Vec::new();
-        let mut spec_tasks: Vec<SpecTask> = Vec::new();
-        let mut spec_started: std::collections::HashMap<usize, u64> =
-            std::collections::HashMap::new();
-        let mut defer_counts: std::collections::HashMap<usize, u32> =
-            std::collections::HashMap::new();
+        let mut queue = std::mem::take(&mut self.scratch.queue);
+        queue.clear();
+        queue.extend(ordered.iter().copied());
+        let mut active = std::mem::take(&mut self.scratch.active);
+        active.clear();
+        let mut finished_this_phase = std::mem::take(&mut self.scratch.finished);
+        finished_this_phase.clear();
+        let mut spec_tasks = std::mem::take(&mut self.scratch.spec_tasks);
+        spec_tasks.clear();
+        let mut spec_started = std::mem::take(&mut self.scratch.spec_started);
+        spec_started.clear();
+        let mut defer_counts = std::mem::take(&mut self.scratch.defer_counts);
+        defer_counts.clear();
+        let mut deferred = std::mem::take(&mut self.scratch.deferred);
+        let mut still_failing = std::mem::take(&mut self.scratch.still_failing);
+        let mut still_active = std::mem::take(&mut self.scratch.still_active);
+        let mut kept_spec = std::mem::take(&mut self.scratch.kept_spec);
         let mut target_batch = 0usize;
-        let bins = self.score_bins(driver.branching().max(1));
+        self.compute_score_bins(driver.branching().max(1));
+        let bins = std::mem::take(&mut self.scratch.bins);
 
         loop {
             // Admission: fill with waiting paths first (Phase 1,
             // continuous beam batching).
-            let reserve: u64 =
-                active.iter().map(|&i| self.growth_blocks(&self.beams[i])).sum::<u64>()
-                    + spec_tasks
-                        .iter()
-                        .map(|t| (t.target - t.generated) / self.cfg.block_size + 2)
-                        .sum::<u64>();
+            let reserve: u64 = active
+                .iter()
+                .map(|&i| self.growth_blocks(&self.beams[i]))
+                .sum::<u64>()
+                + spec_tasks
+                    .iter()
+                    .map(|t| (t.target - t.generated) / self.cfg.block_size + 2)
+                    .sum::<u64>();
             while let Some(&cand) = queue.front() {
                 let (bkv, brem, bdone) = {
                     let beam = &self.beams[cand];
@@ -432,8 +538,8 @@ impl<'e> Run<'e> {
                     finished_this_phase.push(cand);
                     continue;
                 }
-                let needed = self.gen_kv.blocks_needed(bkv, brem)
-                    + self.growth_blocks(&self.beams[cand]);
+                let needed =
+                    self.gen_kv.blocks_needed(bkv, brem) + self.growth_blocks(&self.beams[cand]);
                 let obtainable = self.gen_kv.obtainable_blocks_for(bkv);
                 let fits = needed + reserve <= obtainable;
                 if fits || active.is_empty() {
@@ -481,9 +587,16 @@ impl<'e> Run<'e> {
             }
 
             // One segment: advance until the next completion event.
-            let k_active = active.iter().map(|&i| self.beams[i].remaining()).min().unwrap();
-            let k_spec =
-                spec_tasks.iter().map(|t| t.target - t.generated).min().unwrap_or(u64::MAX);
+            let k_active = active
+                .iter()
+                .map(|&i| self.beams[i].remaining())
+                .min()
+                .unwrap();
+            let k_spec = spec_tasks
+                .iter()
+                .map(|t| t.target - t.generated)
+                .min()
+                .unwrap_or(u64::MAX);
             let k = k_active.min(k_spec).max(1);
             let batch = active.len() + spec_tasks.len();
             let ctx_sum: u64 = active
@@ -499,7 +612,7 @@ impl<'e> Run<'e> {
             self.stats.decoded_tokens += k * batch as u64;
 
             // Apply k tokens to every member.
-            let mut deferred: Vec<usize> = Vec::new();
+            deferred.clear();
             let mut emergency = false;
             for &bi in &active {
                 match self.gen_kv.extend(self.beams[bi].kv, k) {
@@ -514,14 +627,14 @@ impl<'e> Run<'e> {
             if emergency {
                 // Abort speculation to relieve pressure, retry deferred.
                 self.abort_spec(&mut spec_tasks, &mut spec_started, true);
-                let mut still: Vec<usize> = Vec::new();
-                for bi in deferred {
+                still_failing.clear();
+                for &bi in &deferred {
                     match self.gen_kv.extend(self.beams[bi].kv, k) {
                         Ok(()) => self.beams[bi].step_done += k,
-                        Err(_) => still.push(bi),
+                        Err(_) => still_failing.push(bi),
                     }
                 }
-                for bi in still {
+                for &bi in &still_failing {
                     // Defer the beam: release it and re-queue; its
                     // partial step stays cached and resumes later. A beam
                     // that keeps failing cannot fit at all.
@@ -538,7 +651,7 @@ impl<'e> Run<'e> {
                     queue.push_back(bi);
                 }
             }
-            let mut kept_spec: Vec<SpecTask> = Vec::new();
+            kept_spec.clear();
             for mut task in spec_tasks.drain(..) {
                 match self.gen_kv.extend(task.node, k) {
                     Ok(()) => {
@@ -558,12 +671,12 @@ impl<'e> Run<'e> {
                     }
                 }
             }
-            spec_tasks = kept_spec;
+            std::mem::swap(&mut spec_tasks, &mut kept_spec);
 
             // Retire members that finished their step; their slots will
             // be refilled at the top of the loop.
-            let mut still_active = Vec::with_capacity(active.len());
-            for bi in active {
+            still_active.clear();
+            for &bi in &active {
                 if self.beams[bi].step_complete() {
                     self.gen_kv.unpin(self.beams[bi].kv);
                     finished_this_phase.push(bi);
@@ -571,7 +684,7 @@ impl<'e> Run<'e> {
                     still_active.push(bi);
                 }
             }
-            active = still_active;
+            std::mem::swap(&mut active, &mut still_active);
 
             if active.is_empty() && queue.is_empty() {
                 // Straggler done: strictly terminate speculation
@@ -580,6 +693,19 @@ impl<'e> Run<'e> {
                 break;
             }
         }
+        // Hand the containers back for the next iteration (error paths
+        // above skip this; the run is over then anyway).
+        self.scratch.queue = queue;
+        self.scratch.active = active;
+        self.scratch.finished = finished_this_phase;
+        self.scratch.spec_tasks = spec_tasks;
+        self.scratch.spec_started = spec_started;
+        self.scratch.defer_counts = defer_counts;
+        self.scratch.deferred = deferred;
+        self.scratch.still_failing = still_failing;
+        self.scratch.still_active = still_active;
+        self.scratch.kept_spec = kept_spec;
+        self.scratch.bins = bins;
         Ok(ordered)
     }
 
@@ -590,31 +716,32 @@ impl<'e> Run<'e> {
             self.breakdown.recompute += c.seconds;
         }
         if cost.transfer_in_bytes > 0 {
-            let t = self.cfg.device.pcie_transfer_seconds(cost.transfer_in_bytes);
+            let t = self
+                .cfg
+                .device
+                .pcie_transfer_seconds(cost.transfer_in_bytes);
             self.advance(t, 0.0, Phase::Generation);
             self.breakdown.offload += t;
         }
     }
 
-    /// Quantile bins over the frontier's previous scores; returns each
-    /// frontier beam's speculative potential `M_i = B - j + 1`
-    /// (Sec. 4.1.1).
-    fn score_bins(&self, b: usize) -> std::collections::HashMap<usize, u64> {
-        let mut scored: Vec<(usize, f64)> = self
-            .frontier
-            .iter()
-            .map(|&i| (i, self.beams[i].prev_score))
-            .collect();
-        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
-        let n = scored.len().max(1);
-        scored
-            .into_iter()
-            .enumerate()
-            .map(|(rank, (idx, _))| {
+    /// Quantile bins over the frontier's previous scores; fills
+    /// `scratch.bins` with each frontier beam's speculative potential
+    /// `M_i = B - j + 1` (Sec. 4.1.1).
+    fn compute_score_bins(&mut self, b: usize) {
+        let mut ranking = std::mem::take(&mut self.scratch.bin_ranking);
+        ranking.clear();
+        ranking.extend(self.frontier.iter().map(|&i| (i, self.beams[i].prev_score)));
+        ranking.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        let n = ranking.len().max(1);
+        self.scratch.bins.clear();
+        self.scratch
+            .bins
+            .extend(ranking.iter().enumerate().map(|(rank, &(idx, _))| {
                 let bin = rank * b / n; // 0 = best bin
                 (idx, (b - bin) as u64)
-            })
-            .collect()
+            }));
+        self.scratch.bin_ranking = ranking;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -628,8 +755,7 @@ impl<'e> Run<'e> {
         spec_started: &mut std::collections::HashMap<usize, u64>,
         target_batch: usize,
     ) {
-        let mut free_slots =
-            target_batch.saturating_sub(active.len() + spec_tasks.len());
+        let mut free_slots = target_batch.saturating_sub(active.len() + spec_tasks.len());
         if free_slots == 0 {
             return;
         }
@@ -654,7 +780,9 @@ impl<'e> Run<'e> {
                 }
                 let branch = started;
                 let parent_latent = self.beams[bi].latent;
-                let plan = self.generator.plan_step(&self.problem, &parent_latent, branch);
+                let plan = self
+                    .generator
+                    .plan_step(&self.problem, &parent_latent, branch);
                 let target = driver
                     .step_token_cap(plan.latent.depth)
                     .map_or(plan.n_tokens, |cap| plan.n_tokens.min(cap));
@@ -677,7 +805,15 @@ impl<'e> Run<'e> {
                 }
                 *spec_started.entry(bi).or_insert(0) += 1;
                 self.stats.spec.spec_branches += 1;
-                spec_tasks.push(SpecTask { beam: bi, branch, node, plan, eps, target, generated: 0 });
+                spec_tasks.push(SpecTask {
+                    beam: bi,
+                    branch,
+                    node,
+                    plan,
+                    eps,
+                    target,
+                    generated: 0,
+                });
                 free_slots -= 1;
             }
             if free_slots == 0 {
@@ -693,7 +829,10 @@ impl<'e> Run<'e> {
         beam.spec.push(SpecBranch {
             branch: task.branch,
             node: task.node,
-            plan: StepPlan { n_tokens: task.target, ..task.plan },
+            plan: StepPlan {
+                n_tokens: task.target,
+                ..task.plan
+            },
             eps: task.eps,
             generated: task.generated,
             complete: !aborted && task.generated >= task.target,
@@ -736,14 +875,12 @@ impl<'e> Run<'e> {
             self.breakdown.offload += t;
         }
         let verify_all = driver.verify_every_step();
-        let to_verify: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|&bi| {
-                let b = &self.beams[bi];
-                b.preverified.is_none() && (verify_all || b.latent.terminal)
-            })
-            .collect();
+        let mut to_verify = std::mem::take(&mut self.scratch.to_verify);
+        to_verify.clear();
+        to_verify.extend(order.iter().copied().filter(|&bi| {
+            let b = &self.beams[bi];
+            b.preverified.is_none() && (verify_all || b.latent.terminal)
+        }));
         // Beams skipped thanks to LookAhead still need their score set.
         for &bi in order {
             if let Some(score) = self.beams[bi].preverified {
@@ -754,10 +891,11 @@ impl<'e> Run<'e> {
         let batch_size = self.plan.ver_batch.max(1);
         let caching = self.cfg.ver_prefix_caching;
         let lookahead = caching && self.cfg.spec.enabled && self.cfg.spec.lookahead;
+        let mut pinned = std::mem::take(&mut self.scratch.pinned);
         for chunk in to_verify.chunks(batch_size) {
             let mut new_tokens = 0u64;
             let mut cached_tokens = 0u64;
-            let mut pinned: Vec<NodeId> = Vec::new();
+            pinned.clear();
             for &bi in chunk {
                 if !caching {
                     // Baseline verifier: every verification is an
@@ -778,10 +916,8 @@ impl<'e> Run<'e> {
                     Some((node, recompute, transfer)) => {
                         self.beams[bi].ver_kv = Some(node);
                         new_tokens += gap + recompute;
-                        cached_tokens += self
-                            .ver_kv
-                            .seq_tokens(node)
-                            .saturating_sub(gap + recompute);
+                        cached_tokens +=
+                            self.ver_kv.seq_tokens(node).saturating_sub(gap + recompute);
                         if transfer > 0 {
                             let t = self.cfg.device.pcie_transfer_seconds(transfer);
                             self.advance(t, 0.0, Phase::Verification);
@@ -791,8 +927,10 @@ impl<'e> Run<'e> {
                         // LookAhead: a complete speculative continuation
                         // is verified in the same pass (Sec. 4.1.3).
                         if lookahead {
-                            if let Some(spec0) =
-                                self.beams[bi].spec.iter().position(|s| s.branch == 0 && s.complete)
+                            if let Some(spec0) = self.beams[bi]
+                                .spec
+                                .iter()
+                                .position(|s| s.branch == 0 && s.complete)
                             {
                                 let (spec_tokens, quality, spec_eps) = {
                                     let s = &self.beams[bi].spec[spec0];
@@ -829,15 +967,17 @@ impl<'e> Run<'e> {
             self.advance(cost.seconds, cost.compute_util, Phase::Verification);
             self.breakdown.verifier += cost.seconds;
             self.stats.verified_tokens += new_tokens;
-            for node in pinned {
+            for &node in &pinned {
                 self.ver_kv.unpin(node);
             }
         }
+        self.scratch.pinned = pinned;
         // Reveal scores (the verifier's output) for all verified beams.
         for &bi in &to_verify {
             let b = &mut self.beams[bi];
             b.score = Some(self.prm.score(b.latent.quality, b.eps));
         }
+        self.scratch.to_verify = to_verify;
         // Unverified beams (Best-of-N intermediate steps) carry their
         // previous score forward for bookkeeping.
         for &bi in order {
@@ -850,11 +990,7 @@ impl<'e> Run<'e> {
     /// Mirror one step into the verifier cache: fork from the parent's
     /// verifier node, pin, extend. Returns `(node, recompute_tokens,
     /// transfer_bytes)`, or `None` if the verifier cache cannot host it.
-    fn mirror_verify(
-        &mut self,
-        parent: NodeId,
-        step_tokens: u64,
-    ) -> Option<(NodeId, u64, u64)> {
+    fn mirror_verify(&mut self, parent: NodeId, step_tokens: u64) -> Option<(NodeId, u64, u64)> {
         let node = self.ver_kv.fork(parent).ok()?;
         match self.ver_kv.pin(node) {
             Ok(cost) => match self.ver_kv.extend(node, step_tokens) {
@@ -870,14 +1006,18 @@ impl<'e> Run<'e> {
 
     /// Move terminal beams out of the frontier, recording outcomes.
     fn retire_terminals(&mut self) {
-        let mut remaining = Vec::with_capacity(self.frontier.len());
-        for &bi in &self.frontier {
+        let mut remaining = std::mem::take(&mut self.scratch.frontier_next);
+        remaining.clear();
+        let frontier = std::mem::take(&mut self.frontier);
+        for &bi in &frontier {
             if self.beams[bi].latent.terminal {
                 let b = &mut self.beams[bi];
                 b.state = BeamState::Completed;
                 b.completed_at = Some(self.clock);
-                let tokens =
-                    self.gen_kv.seq_tokens(b.kv).saturating_sub(self.problem.prompt_tokens);
+                let tokens = self
+                    .gen_kv
+                    .seq_tokens(b.kv)
+                    .saturating_sub(self.problem.prompt_tokens);
                 let answer = b.latent.answer;
                 self.stats.beams.push(BeamOutcome {
                     tokens,
@@ -890,6 +1030,9 @@ impl<'e> Run<'e> {
                 remaining.push(bi);
             }
         }
+        let mut recycled = frontier;
+        recycled.clear();
+        self.scratch.frontier_next = recycled;
         self.frontier = remaining;
     }
 
@@ -901,18 +1044,23 @@ impl<'e> Run<'e> {
         driver: &mut dyn SearchDriver,
         initial: bool,
     ) -> Result<(), EngineError> {
-        let selected: std::collections::HashSet<usize> =
-            picks.iter().map(|&(i, _)| i).collect();
+        let mut selected = std::mem::take(&mut self.scratch.selected);
+        selected.clear();
+        selected.extend(picks.iter().map(|&(i, _)| i));
         // Prune unselected frontier beams; their speculative work is lost
         // and its KV is released immediately so it cannot crowd out live
-        // prefixes.
-        for &bi in &self.frontier.clone() {
+        // prefixes. The frontier is taken (not cloned) and recycled as
+        // next iteration's scratch.
+        let mut old_frontier = std::mem::take(&mut self.frontier);
+        for &bi in &old_frontier {
             if !selected.contains(&bi) {
                 self.beams[bi].state = BeamState::Pruned;
                 self.discard_leftover_spec(bi);
             }
         }
-        let mut next_frontier = Vec::new();
+        self.scratch.selected = selected;
+        let mut next_frontier = std::mem::take(&mut self.scratch.frontier_next);
+        next_frontier.clear();
         for &(parent_idx, children) in picks {
             debug_assert!(matches!(self.beams[parent_idx].state, BeamState::Active));
             for j in 0..children as u64 {
@@ -922,6 +1070,8 @@ impl<'e> Run<'e> {
             self.beams[parent_idx].state = BeamState::Pruned; // expanded
             self.discard_leftover_spec(parent_idx);
         }
+        old_frontier.clear();
+        self.scratch.frontier_next = old_frontier;
         self.frontier = next_frontier;
         Ok(())
     }
@@ -929,9 +1079,10 @@ impl<'e> Run<'e> {
     /// Free the KV of speculative branches that were not consumed by any
     /// child (dead speculative work).
     fn discard_leftover_spec(&mut self, bi: usize) {
-        let leftovers: Vec<NodeId> =
-            self.beams[bi].spec.drain(..).map(|s| s.node).collect();
-        for node in leftovers {
+        self.scratch.spec_leftovers.clear();
+        let drained = self.beams[bi].spec.drain(..).map(|s| s.node);
+        self.scratch.spec_leftovers.extend(drained);
+        for &node in &self.scratch.spec_leftovers {
             self.gen_kv.discard(node);
         }
     }
@@ -945,9 +1096,20 @@ impl<'e> Run<'e> {
     ) -> Result<usize, EngineError> {
         let (parent_latent, parent_eps, parent_score, parent_kv, parent_ver, subtree, parent_id) = {
             let p = &self.beams[parent_idx];
-            (p.latent, p.eps, p.score.unwrap_or(0.5), p.kv, p.ver_kv, p.subtree, p.id)
+            (
+                p.latent,
+                p.eps,
+                p.score.unwrap_or(0.5),
+                p.kv,
+                p.ver_kv,
+                p.subtree,
+                p.id,
+            )
         };
-        let spec_pos = self.beams[parent_idx].spec.iter().position(|s| s.branch == j);
+        let spec_pos = self.beams[parent_idx]
+            .spec
+            .iter()
+            .position(|s| s.branch == j);
         let spec = spec_pos.map(|pos| self.beams[parent_idx].spec.remove(pos));
 
         let plan = match &spec {
@@ -1008,7 +1170,11 @@ impl<'e> Run<'e> {
         };
 
         let id = BeamId(self.beams.len() as u32);
-        let subtree = if initial { self.born_counter - 1 } else { subtree };
+        let subtree = if initial {
+            self.born_counter - 1
+        } else {
+            subtree
+        };
         self.born_counter += 1;
         let beam = Beam {
             id,

@@ -41,7 +41,7 @@ mod stats;
 
 pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
-pub use engine::{Engine, EngineError, SelectCtx, SearchDriver};
+pub use engine::{Engine, EngineError, SearchDriver, SelectCtx};
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
 pub use stats::{RunStats, SpecStats};

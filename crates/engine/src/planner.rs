@@ -90,7 +90,12 @@ impl MemoryPlanner for StaticSplitPlanner {
         let ver_kv = ctx.kv_budget_bytes - gen_kv;
         let per_seq = config.models.ver_spec.kv_bytes(ctx.ver_seq.max(1)).max(1);
         let ver_batch = ((ver_kv / per_seq) as usize).clamp(1, 512);
-        MemoryPlan { gen_kv_bytes: gen_kv, ver_kv_bytes: ver_kv, ver_batch, offload: false }
+        MemoryPlan {
+            gen_kv_bytes: gen_kv,
+            ver_kv_bytes: ver_kv,
+            ver_batch,
+            offload: false,
+        }
     }
 }
 
@@ -135,9 +140,19 @@ mod tests {
 
     #[test]
     fn fits_checks_joint_and_relaxed_constraints() {
-        let joint = MemoryPlan { gen_kv_bytes: 6, ver_kv_bytes: 6, ver_batch: 1, offload: false };
+        let joint = MemoryPlan {
+            gen_kv_bytes: 6,
+            ver_kv_bytes: 6,
+            ver_batch: 1,
+            offload: false,
+        };
         assert!(!joint.fits(10));
-        let offload = MemoryPlan { gen_kv_bytes: 9, ver_kv_bytes: 9, ver_batch: 1, offload: true };
+        let offload = MemoryPlan {
+            gen_kv_bytes: 9,
+            ver_kv_bytes: 9,
+            ver_batch: 1,
+            offload: true,
+        };
         assert!(offload.fits(10));
         assert!(!offload.fits(8));
     }

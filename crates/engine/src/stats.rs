@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn spec_efficiency_guards_zero() {
         assert_eq!(SpecStats::default().efficiency(), 0.0);
-        let s = SpecStats { spec_tokens: 100, spec_tokens_used: 40, ..Default::default() };
+        let s = SpecStats {
+            spec_tokens: 100,
+            spec_tokens_used: 40,
+            ..Default::default()
+        };
         assert!((s.efficiency() - 0.4).abs() < 1e-12);
     }
 

@@ -1,8 +1,8 @@
 //! End-to-end tests of the serving loop with a minimal beam-search driver.
 
 use ftts_engine::{
-    Engine, EngineConfig, FifoOrder, ModelPairing, ScoredBeam, SearchDriver, SelectCtx,
-    SpecConfig, StaticSplitPlanner,
+    Engine, EngineConfig, FifoOrder, ModelPairing, ScoredBeam, SearchDriver, SelectCtx, SpecConfig,
+    StaticSplitPlanner,
 };
 use ftts_hw::GpuDevice;
 use ftts_workload::Dataset;
@@ -18,10 +18,17 @@ impl SearchDriver for PlainBeam {
         self.b
     }
 
-    fn select(&mut self, frontier: &[ScoredBeam], _ctx: &SelectCtx) -> Vec<(ftts_engine::BeamId, usize)> {
+    fn select(
+        &mut self,
+        frontier: &[ScoredBeam],
+        _ctx: &SelectCtx,
+    ) -> Vec<(ftts_engine::BeamId, usize)> {
         let mut ranked: Vec<&ScoredBeam> = frontier.iter().collect();
         ranked.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
         });
         let keep = (self.n / self.b).max(1).min(ranked.len());
         ranked[..keep].iter().map(|s| (s.id, self.b)).collect()
@@ -108,7 +115,10 @@ fn lookahead_skips_verifications() {
     let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 3, false);
     let mut driver = PlainBeam { n: 32, b: 4 };
     let stats = eng.run(&problem(0), 32, &mut driver).unwrap();
-    assert!(stats.spec.lookahead_hits > 0, "some steps should be pre-verified");
+    assert!(
+        stats.spec.lookahead_hits > 0,
+        "some steps should be pre-verified"
+    );
 }
 
 #[test]
@@ -116,8 +126,14 @@ fn memory_pressure_causes_evictions_but_completes() {
     let mut eng = engine(SpecConfig::disabled(), 0.32, 5, false);
     let mut driver = PlainBeam { n: 64, b: 4 };
     let stats = eng.run(&problem(0), 64, &mut driver).unwrap();
-    assert!(stats.gen_cache.evicted_blocks > 0, "64 beams at 40% memory must evict");
-    assert!(stats.breakdown().recompute > 0.0, "evictions cost recompute time");
+    assert!(
+        stats.gen_cache.evicted_blocks > 0,
+        "64 beams at 40% memory must evict"
+    );
+    assert!(
+        stats.breakdown().recompute > 0.0,
+        "evictions cost recompute time"
+    );
     assert!(!stats.beams.is_empty());
 }
 
@@ -128,7 +144,10 @@ fn preemption_deadline_disables_speculation() {
     let stats = eng
         .run_with_deadline(&problem(0), 16, &mut driver, 0.0)
         .unwrap();
-    assert_eq!(stats.spec.spec_tokens, 0, "deadline at t=0 forbids all speculation");
+    assert_eq!(
+        stats.spec.spec_tokens, 0,
+        "deadline at t=0 forbids all speculation"
+    );
 }
 
 #[test]
@@ -144,7 +163,10 @@ fn trace_records_both_phases() {
     // bandwidth-bound decode — the contrast of Fig. 4.
     let gen_util = trace.mean_util(Some(ftts_hw::Phase::Generation));
     let ver_util = trace.mean_util(Some(ftts_hw::Phase::Verification));
-    assert!(ver_util > gen_util, "verify {ver_util} vs generate {gen_util}");
+    assert!(
+        ver_util > gen_util,
+        "verify {ver_util} vs generate {gen_util}"
+    );
 }
 
 #[test]

@@ -49,4 +49,4 @@ pub use device::{DeviceClass, GpuDevice};
 pub use model::{ModelKind, ModelSpec};
 pub use roofline::{KernelCost, Phase, Roofline};
 pub use trace::{UtilSample, UtilizationTrace};
-pub use units::{GIB, GB, MIB, MB};
+pub use units::{GB, GIB, MB, MIB};

@@ -156,7 +156,11 @@ impl ModelSpec {
         let per_layer =
             self.attn_params_per_layer() + self.mlp_params_per_layer() + 2 * self.hidden as u64;
         let embed = self.vocab as u64 * self.hidden as u64;
-        let embed_total = if self.tied_embeddings { embed } else { 2 * embed };
+        let embed_total = if self.tied_embeddings {
+            embed
+        } else {
+            2 * embed
+        };
         self.n_layers as u64 * per_layer + embed_total + self.hidden as u64
     }
 
@@ -167,7 +171,10 @@ impl ModelSpec {
     ///
     /// Panics unless `bits` is one of 4, 8 or 16.
     pub fn quantized(mut self, bits: u32) -> Self {
-        assert!(matches!(bits, 4 | 8 | 16), "unsupported weight quantization: {bits} bits");
+        assert!(
+            matches!(bits, 4 | 8 | 16),
+            "unsupported weight quantization: {bits} bits"
+        );
         self.weight_bits = bits;
         if bits < 16 {
             self.name = format!("{}-W{}", self.name, bits);

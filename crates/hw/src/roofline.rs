@@ -55,7 +55,13 @@ pub struct KernelCost {
 impl KernelCost {
     /// A zero-cost kernel (empty batch).
     pub fn zero() -> Self {
-        Self { seconds: 0.0, flops: 0.0, bytes: 0.0, compute_util: 0.0, compute_bound: false }
+        Self {
+            seconds: 0.0,
+            flops: 0.0,
+            bytes: 0.0,
+            compute_util: 0.0,
+            compute_bound: false,
+        }
     }
 }
 
@@ -74,24 +80,34 @@ impl KernelCost {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Roofline {
-    device: GpuDevice,
-    model: ModelSpec,
+    device: std::sync::Arc<GpuDevice>,
+    model: std::sync::Arc<ModelSpec>,
 }
 
 impl Roofline {
     /// Create a cost model for `model` running on `device`.
-    pub fn new(device: GpuDevice, model: ModelSpec) -> Self {
-        Self { device, model }
+    ///
+    /// Accepts either owned specs or shared `Arc`s: the engine hands out
+    /// `Arc` clones so building a per-request `Roofline` never deep-copies
+    /// device/model descriptions.
+    pub fn new(
+        device: impl Into<std::sync::Arc<GpuDevice>>,
+        model: impl Into<std::sync::Arc<ModelSpec>>,
+    ) -> Self {
+        Self {
+            device: device.into(),
+            model: model.into(),
+        }
     }
 
     /// Device this model runs on.
     pub fn device(&self) -> &GpuDevice {
-        &self.device
+        self.device.as_ref()
     }
 
     /// Model being costed.
     pub fn model(&self) -> &ModelSpec {
-        &self.model
+        self.model.as_ref()
     }
 
     fn roofline_seconds(&self, flops: f64, bytes: f64) -> f64 {
@@ -110,9 +126,15 @@ impl Roofline {
         } else {
             0.0
         };
-        let compute_bound = flops / self.device.effective_flops()
-            >= bytes / self.device.effective_bandwidth();
-        KernelCost { seconds, flops, bytes, compute_util, compute_bound }
+        let compute_bound =
+            flops / self.device.effective_flops() >= bytes / self.device.effective_bandwidth();
+        KernelCost {
+            seconds,
+            flops,
+            bytes,
+            compute_util,
+            compute_bound,
+        }
     }
 
     /// Cost of one decode iteration: `batch` sequences each produce one
@@ -127,9 +149,8 @@ impl Roofline {
         let b = batch as f64;
         let flops = b * self.model.decode_flops_per_token(avg_ctx);
         let kv_per_token = self.model.kv_bytes_per_token() as f64;
-        let bytes = self.model.weight_bytes() as f64
-            + b * avg_ctx as f64 * kv_per_token
-            + b * kv_per_token;
+        let bytes =
+            self.model.weight_bytes() as f64 + b * avg_ctx as f64 * kv_per_token + b * kv_per_token;
         self.cost(flops, bytes)
     }
 
@@ -146,17 +167,11 @@ impl Roofline {
     /// cached prefix plus its causal predecessors, never across batch
     /// members — getting this wrong overstates verifier cost
     /// quadratically in the batch size.
-    pub fn prefill_batch(
-        &self,
-        batch: usize,
-        new_per_seq: u64,
-        cached_per_seq: u64,
-    ) -> KernelCost {
+    pub fn prefill_batch(&self, batch: usize, new_per_seq: u64, cached_per_seq: u64) -> KernelCost {
         if batch == 0 || new_per_seq == 0 {
             return KernelCost::zero();
         }
-        let flops =
-            batch as f64 * self.model.prefill_flops(new_per_seq, cached_per_seq);
+        let flops = batch as f64 * self.model.prefill_flops(new_per_seq, cached_per_seq);
         let kv_per_token = self.model.kv_bytes_per_token() as f64;
         // Weights once, read the reused prefix KV, write KV for new tokens.
         let bytes = self.model.weight_bytes() as f64
@@ -209,13 +224,21 @@ mod tests {
         let c = roof_1_5b().decode_step(1, 256);
         // The weight sweep dominates: ~3.1 GB over ~806 GB/s ≈ 3.8 ms.
         assert!(c.seconds > 3e-3 && c.seconds < 6e-3, "got {}", c.seconds);
-        assert!(c.compute_util < 0.10, "decode must be low-util, got {}", c.compute_util);
+        assert!(
+            c.compute_util < 0.10,
+            "decode must be low-util, got {}",
+            c.compute_util
+        );
     }
 
     #[test]
     fn prefill_is_compute_bound_at_modest_batch() {
         let c = roof_1_5b().prefill(8 * 640, 0);
-        assert!(c.compute_util > 0.4, "prefill util too low: {}", c.compute_util);
+        assert!(
+            c.compute_util > 0.4,
+            "prefill util too low: {}",
+            c.compute_util
+        );
         assert!(c.compute_bound);
         assert!(!roof_1_5b().decode_step(1, 256).compute_bound);
     }
@@ -248,14 +271,19 @@ mod tests {
         let kv_budget = crate::GB; // 1 GB
         let seq = 640u64;
         let b_pre = roof.max_decode_batch(kv_budget, seq).max(1);
-        let pre_frac =
-            roof.prefill_throughput(b_pre, seq) / roof.prefill_throughput(4096, seq);
+        let pre_frac = roof.prefill_throughput(b_pre, seq) / roof.prefill_throughput(4096, seq);
         let dec_ctx = 512u64;
         let b_dec = roof.max_decode_batch(kv_budget, dec_ctx).max(1);
         let dec_frac =
             roof.decode_throughput(b_dec, dec_ctx) / roof.decode_throughput(65_536, dec_ctx);
-        assert!(pre_frac > 0.8, "prefill should hit >80% with 1 GB, got {pre_frac}");
-        assert!(dec_frac < pre_frac, "decode must saturate slower: {dec_frac} vs {pre_frac}");
+        assert!(
+            pre_frac > 0.8,
+            "prefill should hit >80% with 1 GB, got {pre_frac}"
+        );
+        assert!(
+            dec_frac < pre_frac,
+            "decode must saturate slower: {dec_frac} vs {pre_frac}"
+        );
     }
 
     #[test]

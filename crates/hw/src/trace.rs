@@ -51,7 +51,12 @@ impl UtilizationTrace {
     /// Record a kernel interval.
     pub fn record(&mut self, start: f64, duration: f64, util: f64, phase: Phase) {
         debug_assert!(duration >= 0.0, "negative kernel duration");
-        self.samples.push(UtilSample { start, duration, util: util.clamp(0.0, 1.0), phase });
+        self.samples.push(UtilSample {
+            start,
+            duration,
+            util: util.clamp(0.0, 1.0),
+            phase,
+        });
     }
 
     /// All raw samples in insertion order.
@@ -96,7 +101,11 @@ impl UtilizationTrace {
 
     /// Total busy time attributed to `phase`, in seconds.
     pub fn phase_seconds(&self, phase: Phase) -> f64 {
-        self.samples.iter().filter(|s| s.phase == phase).map(|s| s.duration).sum()
+        self.samples
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.duration)
+            .sum()
     }
 
     /// Resample onto a fixed grid of `bin` seconds, like a sampling
@@ -134,7 +143,10 @@ impl UtilizationTrace {
     /// Merge another trace into this one, shifting it by `offset` seconds.
     pub fn extend_shifted(&mut self, other: &UtilizationTrace, offset: f64) {
         for s in &other.samples {
-            self.samples.push(UtilSample { start: s.start + offset, ..*s });
+            self.samples.push(UtilSample {
+                start: s.start + offset,
+                ..*s
+            });
         }
     }
 }
@@ -194,7 +206,10 @@ mod tests {
     fn resample_filters_by_phase() {
         let t = toy();
         let g = t.resample(1.0, Some(Phase::Generation));
-        assert!((g[2].1 - 0.0).abs() < 1e-12, "verification time reads idle for generation");
+        assert!(
+            (g[2].1 - 0.0).abs() < 1e-12,
+            "verification time reads idle for generation"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the unit under test
     fn binary_units_are_larger_than_decimal() {
         assert!(GIB > GB);
         assert!(MIB > MB);

@@ -1,4 +1,31 @@
 //! The KV-cache facade: residency, pinning, eviction and offload.
+//!
+//! # Eviction index
+//!
+//! Victim selection is LRU over *evictable* nodes — GPU-resident,
+//! unpinned, with no GPU-resident children (leaf-first, so shared
+//! prefixes outlive their sharers). The seed implementation rescanned
+//! and re-sorted the whole node arena on every allocation miss
+//! (`O(N log N)` per miss, quadratic over a run); the cache now
+//! maintains the candidate set incrementally in a
+//! `BTreeSet<(last_used, NodeId)>` updated at every residency / pin /
+//! child-count transition, so each eviction costs `O(log N)` amortized.
+//!
+//! **Victim order is bit-identical to the seed scan.** The seed
+//! algorithm snapshots the candidate list once per epoch (one pass of
+//! its retry loop), evicts in `(last_used, NodeId)` order, and only
+//! considers parents exposed by those evictions in the *next* epoch.
+//! [`KvCache::alloc_with_eviction`] reproduces exactly that without
+//! copying anything: victims are drained from the index with
+//! `pop_first`, and candidates exposed mid-epoch (parents of evicted
+//! leaves) are parked in a pending buffer that merges back at the epoch
+//! boundary. The equivalence is enforced two ways: `debug_assert!`s
+//! compare the index against a brute-force scan at every epoch, and
+//! `tests/properties.rs` replays randomized workloads against a cache
+//! pinned to the seed scan path ([`KvCache::set_scan_eviction`])
+//! comparing full eviction logs.
+
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -54,7 +81,10 @@ impl std::fmt::Display for KvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KvError::InsufficientMemory { needed, obtainable } => {
-                write!(f, "insufficient KV memory: need {needed} blocks, obtainable {obtainable}")
+                write!(
+                    f,
+                    "insufficient KV memory: need {needed} blocks, obtainable {obtainable}"
+                )
             }
             KvError::ExtendNonLeaf(id) => write!(f, "cannot extend non-leaf node {id}"),
             KvError::NotResident(id) => write!(f, "node {id} is not pinned and resident"),
@@ -104,6 +134,26 @@ pub struct KvCache {
     tree: PrefixTree,
     pool: BlockPool,
     stats: CacheStats,
+    /// Incrementally maintained eviction candidates, keyed by
+    /// `(last_used, NodeId)` — exactly the seed scan's sort key.
+    evictable: BTreeSet<(u64, NodeId)>,
+    /// Running sum of `owned_blocks` over GPU-resident unpinned nodes
+    /// (the seed's `evictable_blocks()` scan, maintained incrementally).
+    unpinned_gpu_blocks: u64,
+    /// Route allocations through the seed's full-scan victim selection
+    /// instead of the index (equivalence-oracle mode; see module docs).
+    scan_eviction: bool,
+    /// When present, every evicted node id is appended here in order.
+    eviction_log: Option<Vec<NodeId>>,
+    /// True while an eviction epoch is draining the index: candidates
+    /// exposed mid-epoch (parents of evicted leaves) are parked in
+    /// `pending_candidates` so they only become eligible next epoch —
+    /// exactly the seed scan's snapshot semantics, without copying the
+    /// candidate set.
+    epoch_active: bool,
+    /// Candidates exposed during the current epoch, merged into
+    /// `evictable` when the epoch ends.
+    pending_candidates: Vec<(u64, NodeId)>,
 }
 
 impl KvCache {
@@ -111,7 +161,18 @@ impl KvCache {
     pub fn new(config: KvCacheConfig) -> Self {
         let tree = PrefixTree::new(config.block_size, config.prefix_sharing);
         let pool = BlockPool::new(config.capacity_blocks());
-        Self { config, tree, pool, stats: CacheStats::default() }
+        Self {
+            config,
+            tree,
+            pool,
+            stats: CacheStats::default(),
+            evictable: BTreeSet::new(),
+            unpinned_gpu_blocks: 0,
+            scan_eviction: false,
+            eviction_log: None,
+            epoch_active: false,
+            pending_candidates: Vec::new(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -224,44 +285,131 @@ impl KvCache {
     }
 
     fn evictable_blocks(&self) -> u64 {
-        self.tree
+        self.unpinned_gpu_blocks
+    }
+
+    /// Whether `id` satisfies the eviction-candidate predicate.
+    fn is_eviction_candidate(&self, id: NodeId) -> bool {
+        let node = self.tree.node(id);
+        node.residency == Residency::Gpu && node.pin_count == 0 && node.gpu_children == 0
+    }
+
+    /// (Re-)derive `id`'s membership in the eviction index after any
+    /// state transition that may have changed the predicate. During an
+    /// eviction epoch, newly eligible candidates are parked so they only
+    /// enter the index at the epoch boundary (seed snapshot semantics).
+    fn reindex(&mut self, id: NodeId) {
+        let key = (self.tree.node(id).last_used, id);
+        if self.is_eviction_candidate(id) {
+            if self.epoch_active {
+                // Mid-epoch the predicate can only ever *gain* members
+                // (evicting a leaf exposes its parent); removals cannot
+                // occur, so parking inserts is sufficient.
+                self.pending_candidates.push(key);
+            } else {
+                self.evictable.insert(key);
+            }
+        } else {
+            self.evictable.remove(&key);
+        }
+    }
+
+    /// Close an eviction epoch: newly exposed candidates become eligible.
+    fn end_epoch(&mut self) {
+        self.epoch_active = false;
+        while let Some(key) = self.pending_candidates.pop() {
+            self.evictable.insert(key);
+        }
+    }
+
+    /// Track a pin-count transition across zero for block accounting and
+    /// the eviction index.
+    fn on_pin_transition(&mut self, id: NodeId, now_pinned: bool) {
+        if self.tree.node(id).residency == Residency::Gpu {
+            let owned = self.tree.node(id).owned_blocks;
+            if now_pinned {
+                self.unpinned_gpu_blocks -= owned;
+            } else {
+                self.unpinned_gpu_blocks += owned;
+            }
+        }
+        self.reindex(id);
+    }
+
+    /// The seed's brute-force candidate scan, kept as the equivalence
+    /// oracle for the incremental index (scan mode + debug assertions).
+    fn scan_evictable_sorted(&self) -> Vec<(u64, NodeId)> {
+        let mut candidates: Vec<(u64, NodeId)> = self
+            .tree
             .nodes
             .iter()
-            .filter(|n| n.residency == Residency::Gpu && n.pin_count == 0)
-            .map(|n| n.owned_blocks)
-            .sum()
+            .enumerate()
+            .filter(|(_, node)| {
+                node.residency == Residency::Gpu && node.pin_count == 0 && node.gpu_children == 0
+            })
+            .map(|(i, node)| (node.last_used, NodeId(i as u32)))
+            .collect();
+        candidates.sort_unstable();
+        candidates
     }
 
     /// Evict least-recently-used unpinned subtrees until `n` blocks can
     /// be allocated, then allocate them.
+    ///
+    /// Epoch semantics (identical to the seed scan): each pass of the
+    /// retry loop is one *epoch* that only considers candidates eligible
+    /// at its start, in `(last_used, NodeId)` order; parents exposed by
+    /// mid-epoch evictions are parked and become eligible next epoch.
+    /// The indexed path drains victims with `pop_first` — amortized
+    /// `O(log N)` per eviction, with no per-miss copy of the candidate
+    /// set — while the scan-oracle path reproduces the seed's full
+    /// rescan for equivalence testing.
     fn alloc_with_eviction(&mut self, n: u64) -> Result<(), KvError> {
         if self.pool.try_alloc(n) {
             self.stats.allocated_blocks += n;
             return Ok(());
         }
+        if self.scan_eviction {
+            return self.alloc_with_eviction_scan(n);
+        }
         loop {
-            // Candidates: GPU-resident, unpinned, no GPU children
-            // (leaf-first keeps prefixes alive longest, like vLLM's
-            // prefix-cache eviction).
-            let mut candidates: Vec<(u64, NodeId)> = self
-                .tree
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, node)| {
-                    node.residency == Residency::Gpu
-                        && node.pin_count == 0
-                        && node.gpu_children == 0
-                })
-                .map(|(i, node)| (node.last_used, NodeId(i as u32)))
-                .collect();
+            debug_assert_eq!(
+                self.evictable.iter().copied().collect::<Vec<_>>(),
+                self.scan_evictable_sorted(),
+                "eviction index diverged from brute-force scan"
+            );
+            if self.evictable.is_empty() {
+                return Err(KvError::InsufficientMemory {
+                    needed: n,
+                    obtainable: self.pool.free_blocks() + self.evictable_blocks(),
+                });
+            }
+            self.epoch_active = true;
+            while let Some((_, id)) = self.evictable.pop_first() {
+                debug_assert!(self.is_eviction_candidate(id), "stale index entry");
+                self.evict_node(id);
+                if self.pool.try_alloc(n) {
+                    self.stats.allocated_blocks += n;
+                    self.end_epoch();
+                    return Ok(());
+                }
+            }
+            self.end_epoch();
+            // Evicting leaves may have exposed new candidates; loop.
+        }
+    }
+
+    /// The seed's allocation path: rescan and re-sort the whole arena
+    /// every epoch. Kept verbatim as the equivalence oracle.
+    fn alloc_with_eviction_scan(&mut self, n: u64) -> Result<(), KvError> {
+        loop {
+            let candidates = self.scan_evictable_sorted();
             if candidates.is_empty() {
                 return Err(KvError::InsufficientMemory {
                     needed: n,
                     obtainable: self.pool.free_blocks() + self.evictable_blocks(),
                 });
             }
-            candidates.sort_unstable();
             for (_, id) in candidates {
                 self.evict_node(id);
                 if self.pool.try_alloc(n) {
@@ -269,12 +417,11 @@ impl KvCache {
                     return Ok(());
                 }
             }
-            // Evicting leaves may have exposed new candidates; loop.
         }
     }
 
     fn evict_node(&mut self, id: NodeId) {
-        let (blocks, tokens, parent) = {
+        let (blocks, tokens, parent, last_used) = {
             let node = self.tree.node_mut(id);
             debug_assert_eq!(node.residency, Residency::Gpu);
             debug_assert_eq!(node.pin_count, 0);
@@ -282,14 +429,20 @@ impl KvCache {
             node.residency = Residency::Absent;
             let blocks = node.owned_blocks;
             node.owned_blocks = 0;
-            (blocks, node.n_tokens, node.parent)
+            (blocks, node.n_tokens, node.parent, node.last_used)
         };
+        self.evictable.remove(&(last_used, id));
+        self.unpinned_gpu_blocks -= blocks;
         self.pool.free(blocks);
         self.stats.evicted_blocks += blocks;
         self.stats.evicted_tokens += tokens;
+        if let Some(log) = &mut self.eviction_log {
+            log.push(id);
+        }
         if self.config.prefix_sharing {
             if let Some(p) = parent {
                 self.tree.node_mut(p).gpu_children -= 1;
+                self.reindex(p);
             }
         }
     }
@@ -317,8 +470,11 @@ impl KvCache {
                 self.alloc_with_eviction(blocks)?;
                 // Recompute the node's own tokens; with sharing disabled
                 // the duplicated prefix (`pad`) must be recomputed too.
-                cost.recompute_tokens =
-                    if self.config.prefix_sharing { n_tokens } else { pad + n_tokens };
+                cost.recompute_tokens = if self.config.prefix_sharing {
+                    n_tokens
+                } else {
+                    pad + n_tokens
+                };
                 cost.allocated_blocks = blocks;
                 self.stats.recomputed_tokens += cost.recompute_tokens;
                 self.finish_restore(id, blocks);
@@ -331,6 +487,10 @@ impl KvCache {
     fn finish_restore(&mut self, id: NodeId, blocks: u64) {
         let parent = {
             let node = self.tree.node_mut(id);
+            // Restores only happen under an active pin, so the node is
+            // never an eviction candidate here and the unpinned-GPU
+            // block sum is unaffected.
+            debug_assert!(node.pin_count > 0, "restore outside a pin");
             node.residency = Residency::Gpu;
             node.owned_blocks = blocks;
             node.parent
@@ -340,6 +500,7 @@ impl KvCache {
         if self.config.prefix_sharing {
             if let Some(p) = parent {
                 self.tree.node_mut(p).gpu_children += 1;
+                self.reindex(p);
             }
         }
     }
@@ -356,7 +517,11 @@ impl KvCache {
     pub fn pin(&mut self, leaf: NodeId) -> Result<PinCost, KvError> {
         let path = self.tree.residency_path(leaf);
         for &id in &path {
-            self.tree.node_mut(id).pin_count += 1;
+            let node = self.tree.node_mut(id);
+            node.pin_count += 1;
+            if node.pin_count == 1 {
+                self.on_pin_transition(id, true);
+            }
         }
         let mut total = PinCost::default();
         for &id in &path {
@@ -364,7 +529,11 @@ impl KvCache {
                 Ok(cost) => total.merge(cost),
                 Err(e) => {
                     for &undo in &path {
-                        self.tree.node_mut(undo).pin_count -= 1;
+                        let node = self.tree.node_mut(undo);
+                        node.pin_count -= 1;
+                        if node.pin_count == 0 {
+                            self.on_pin_transition(undo, false);
+                        }
                     }
                     return Err(e);
                 }
@@ -384,6 +553,9 @@ impl KvCache {
             let node = self.tree.node_mut(id);
             assert!(node.pin_count > 0, "unpin of unpinned node {id}");
             node.pin_count -= 1;
+            if node.pin_count == 0 {
+                self.on_pin_transition(id, false);
+            }
         }
     }
 
@@ -445,7 +617,9 @@ impl KvCache {
             }
         }
         let leaf_node = self.tree.node(leaf);
-        let with_growth = self.tree.blocks_for(leaf_node.pad, leaf_node.n_tokens + extra_tokens);
+        let with_growth = self
+            .tree
+            .blocks_for(leaf_node.pad, leaf_node.n_tokens + extra_tokens);
         let current = if leaf_node.residency == Residency::Gpu {
             leaf_node.owned_blocks
         } else {
@@ -470,7 +644,11 @@ impl KvCache {
             .iter()
             .map(|&id| {
                 let n = self.tree.node(id);
-                if n.residency == Residency::Gpu && n.pin_count == 0 { n.owned_blocks } else { 0 }
+                if n.residency == Residency::Gpu && n.pin_count == 0 {
+                    n.owned_blocks
+                } else {
+                    0
+                }
             })
             .sum();
         (self.pool.free_blocks() + self.evictable_blocks()).saturating_sub(path_unpinned)
@@ -484,7 +662,9 @@ impl KvCache {
         let (ok, blocks, parent) = {
             let n = self.tree.node(node);
             (
-                n.residency == Residency::Gpu && n.pin_count == 0 && n.gpu_children == 0
+                n.residency == Residency::Gpu
+                    && n.pin_count == 0
+                    && n.gpu_children == 0
                     && n.n_children == 0,
                 n.owned_blocks,
                 n.parent,
@@ -498,11 +678,14 @@ impl KvCache {
             n.residency = Residency::Absent;
             n.owned_blocks = 0;
         }
+        self.unpinned_gpu_blocks -= blocks;
+        self.reindex(node);
         self.pool.free(blocks);
         self.stats.discarded_blocks += blocks;
         if self.config.prefix_sharing {
             if let Some(p) = parent {
                 self.tree.node_mut(p).gpu_children -= 1;
+                self.reindex(p);
             }
         }
         blocks
@@ -536,6 +719,11 @@ impl KvCache {
                 }
             }
         }
+        // Every candidate was GPU-resident and unpinned, so the whole
+        // index (and the unpinned-GPU block sum) empties at once;
+        // remaining GPU nodes are pinned and thus not candidates.
+        self.evictable.clear();
+        self.unpinned_gpu_blocks = 0;
         self.stats.swapped_out_blocks += blocks;
         blocks * self.config.block_bytes()
     }
@@ -580,6 +768,60 @@ impl KvCache {
             }
         }
         total
+    }
+
+    /// Route victim selection through the seed's brute-force scan
+    /// instead of the incremental index. Test/bench oracle only: both
+    /// paths must produce identical behaviour.
+    #[doc(hidden)]
+    pub fn set_scan_eviction(&mut self, scan: bool) {
+        self.scan_eviction = scan;
+    }
+
+    /// Start recording evicted node ids (in eviction order).
+    #[doc(hidden)]
+    pub fn enable_eviction_log(&mut self) {
+        self.eviction_log = Some(Vec::new());
+    }
+
+    /// Drain the eviction log recorded since
+    /// [`KvCache::enable_eviction_log`] (or the last drain). Returns an
+    /// empty log — and does *not* switch logging on — if logging was
+    /// never enabled.
+    #[doc(hidden)]
+    pub fn take_eviction_log(&mut self) -> Vec<NodeId> {
+        self.eviction_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Assert that the incremental eviction index and block accounting
+    /// agree exactly with a brute-force scan of the arena. Used by the
+    /// property tests after every operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index or the unpinned-GPU block sum diverged.
+    #[doc(hidden)]
+    pub fn audit_eviction_index(&self) {
+        let scanned = self.scan_evictable_sorted();
+        let indexed: Vec<(u64, NodeId)> = self.evictable.iter().copied().collect();
+        assert_eq!(
+            indexed, scanned,
+            "eviction index out of sync with arena state"
+        );
+        let scanned_blocks: u64 = self
+            .tree
+            .nodes
+            .iter()
+            .filter(|n| n.residency == Residency::Gpu && n.pin_count == 0)
+            .map(|n| n.owned_blocks)
+            .sum();
+        assert_eq!(
+            self.unpinned_gpu_blocks, scanned_blocks,
+            "unpinned-GPU block counter out of sync"
+        );
     }
 }
 
@@ -665,7 +907,7 @@ mod tests {
         kv.unpin(a);
         kv.pin(b).unwrap();
         kv.extend(b, 32).unwrap(); // 2 blocks -> pool full (6)
-        // A third child needs space; `a` (LRU, unpinned leaf) is evicted.
+                                   // A third child needs space; `a` (LRU, unpinned leaf) is evicted.
         let c = kv.fork(r).unwrap();
         kv.pin(c).unwrap();
         kv.extend(c, 32).unwrap();

@@ -14,7 +14,11 @@
 //!   resident, evicting least-recently-used unpinned subtrees when the
 //!   pool is exhausted; evicted prefixes must be *recomputed* (re-prefilled)
 //!   when next scheduled, and the cache reports those token counts so the
-//!   engine can charge roofline time for them.
+//!   engine can charge roofline time for them. Victim selection runs on
+//!   an incrementally maintained `(last_used, NodeId)` index — amortized
+//!   `O(log N)` per eviction instead of an `O(N log N)` arena rescan per
+//!   allocation miss — with victim order proven identical to the scan
+//!   (see the eviction-index notes in the `cache` module).
 //! * Host offload (`swap_out_all` / pin-triggered swap-in) models the
 //!   paper's extended search space (Sec. 4.3.2): swapped KV needs a PCIe
 //!   transfer but no recomputation.

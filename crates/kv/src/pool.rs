@@ -29,7 +29,11 @@ pub struct BlockPool {
 impl BlockPool {
     /// Create a pool holding `capacity` blocks.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, peak_used: 0 }
+        Self {
+            capacity,
+            used: 0,
+            peak_used: 0,
+        }
     }
 
     /// Total capacity in blocks.
@@ -49,7 +53,20 @@ impl BlockPool {
     }
 
     /// High-water mark of allocation.
+    ///
+    /// # Invariant
+    ///
+    /// `peak_used` is a *lifetime* maximum of `used`: it is monotone
+    /// non-decreasing, never reset by [`BlockPool::resize`], and may
+    /// therefore exceed the *current* capacity after the pool shrinks
+    /// (it is bounded by the largest capacity under which allocations
+    /// were served). Callers comparing peak occupancy against capacity
+    /// across repartitions must track the capacity history themselves.
     pub fn peak_used(&self) -> u64 {
+        debug_assert!(
+            self.peak_used >= self.used,
+            "peak must dominate current occupancy"
+        );
         self.peak_used
     }
 
@@ -72,7 +89,11 @@ impl BlockPool {
     /// Panics if `n` exceeds the number of allocated blocks (a
     /// double-free in the caller's bookkeeping).
     pub fn free(&mut self, n: u64) {
-        assert!(n <= self.used, "freeing {n} blocks but only {} allocated", self.used);
+        assert!(
+            n <= self.used,
+            "freeing {n} blocks but only {} allocated",
+            self.used
+        );
         self.used -= n;
     }
 
@@ -80,9 +101,17 @@ impl BlockPool {
     /// repartitions KV between generator and verifier at run time).
     ///
     /// Shrinking below current occupancy is allowed; the pool simply
-    /// reports no free blocks until enough are freed.
+    /// reports no free blocks until enough are freed. `peak_used` is
+    /// deliberately **not** refreshed: it stays the lifetime high-water
+    /// mark (see [`BlockPool::peak_used`]), so a shrink can leave
+    /// `peak_used() > capacity()`. Occupancy itself is untouched — a
+    /// repartition never deallocates.
     pub fn resize(&mut self, capacity: u64) {
         self.capacity = capacity;
+        debug_assert!(
+            self.peak_used >= self.used,
+            "resize must not disturb occupancy accounting"
+        );
     }
 }
 
@@ -125,5 +154,34 @@ mod tests {
         assert!(!p.try_alloc(1));
         p.free(8);
         assert!(p.try_alloc(4));
+    }
+
+    #[test]
+    fn resize_preserves_peak_semantics_across_repartitions() {
+        // Regression test for the documented `peak_used` invariant: the
+        // high-water mark is a lifetime maximum — monotone, unaffected
+        // by repartitions in either direction, and allowed to exceed a
+        // shrunken capacity.
+        let mut p = BlockPool::new(10);
+        assert!(p.try_alloc(8));
+        assert_eq!(p.peak_used(), 8);
+        // Shrink below both occupancy and peak: peak must survive.
+        p.resize(4);
+        assert_eq!(
+            p.peak_used(),
+            8,
+            "shrink must not clamp the high-water mark"
+        );
+        assert_eq!(p.used(), 8, "repartition never deallocates");
+        // Grow again and allocate past the old peak: peak advances.
+        p.resize(20);
+        p.free(2);
+        assert!(p.try_alloc(6));
+        assert_eq!(p.used(), 12);
+        assert_eq!(p.peak_used(), 12);
+        // Draining does not lower the peak.
+        p.free(12);
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.peak_used(), 12);
     }
 }

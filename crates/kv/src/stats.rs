@@ -58,14 +58,26 @@ mod tests {
 
     #[test]
     fn swap_traffic_counts_both_directions() {
-        let s = CacheStats { swapped_out_blocks: 3, swapped_in_blocks: 2, ..Default::default() };
+        let s = CacheStats {
+            swapped_out_blocks: 3,
+            swapped_in_blocks: 2,
+            ..Default::default()
+        };
         assert_eq!(s.swap_traffic_bytes(100), 500);
     }
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let early = CacheStats { evicted_blocks: 1, allocated_blocks: 10, ..Default::default() };
-        let late = CacheStats { evicted_blocks: 4, allocated_blocks: 25, ..Default::default() };
+        let early = CacheStats {
+            evicted_blocks: 1,
+            allocated_blocks: 10,
+            ..Default::default()
+        };
+        let late = CacheStats {
+            evicted_blocks: 4,
+            allocated_blocks: 25,
+            ..Default::default()
+        };
         let d = late.since(&early);
         assert_eq!(d.evicted_blocks, 3);
         assert_eq!(d.allocated_blocks, 15);

@@ -84,7 +84,12 @@ pub(crate) struct PrefixTree {
 impl PrefixTree {
     pub fn new(block_size: u64, prefix_sharing: bool) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        Self { nodes: Vec::new(), block_size, prefix_sharing, tick: 0 }
+        Self {
+            nodes: Vec::new(),
+            block_size,
+            prefix_sharing,
+            tick: 0,
+        }
     }
 
     pub fn node(&self, id: NodeId) -> &Node {
@@ -140,7 +145,11 @@ impl PrefixTree {
         );
         let start = p.start + keep_tokens;
         let depth = p.depth + 1;
-        let pad = if self.prefix_sharing { start % self.block_size } else { start };
+        let pad = if self.prefix_sharing {
+            start % self.block_size
+        } else {
+            start
+        };
         let id = NodeId(self.nodes.len() as u32);
         self.tick += 1;
         self.nodes.push(Node {
@@ -205,8 +214,16 @@ impl PrefixTree {
             return 0;
         }
         // Divergence offsets within/after the last common node.
-        let oa = if common < pa.len() { self.node(pa[common]).start } else { self.node(a).end() };
-        let ob = if common < pb.len() { self.node(pb[common]).start } else { self.node(b).end() };
+        let oa = if common < pa.len() {
+            self.node(pa[common]).start
+        } else {
+            self.node(a).end()
+        };
+        let ob = if common < pb.len() {
+            self.node(pb[common]).start
+        } else {
+            self.node(b).end()
+        };
         oa.min(ob)
     }
 

@@ -25,6 +25,8 @@ enum Op {
     Pin(usize),
     Unpin(usize),
     Extend(usize, u64),
+    Discard(usize),
+    Resize(u64),
     SwapOut,
 }
 
@@ -36,13 +38,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..64).prop_map(Op::Pin),
         (0usize..64).prop_map(Op::Unpin),
         ((0usize..64), (1u64..100)).prop_map(|(a, b)| Op::Extend(a, b)),
+        (0usize..64).prop_map(Op::Discard),
+        (4u64..64).prop_map(Op::Resize),
         Just(Op::SwapOut),
     ]
 }
 
 /// Drive the script, tracking which nodes we pinned so unpins are legal.
-fn run_script(ops: &[Op], capacity_blocks: u64, sharing: bool) -> KvCache {
+/// Returns the cache plus the largest capacity (in blocks) it ever had —
+/// the bound occupancy must respect across resizes.
+fn run_script(ops: &[Op], capacity_blocks: u64, sharing: bool) -> (KvCache, u64) {
     let mut kv = KvCache::new(config(capacity_blocks, sharing));
+    let mut max_capacity = capacity_blocks;
     let mut nodes: Vec<NodeId> = Vec::new();
     let mut pins: Vec<usize> = Vec::new(); // pin counts parallel to nodes
     for op in ops {
@@ -94,12 +101,21 @@ fn run_script(ops: &[Op], capacity_blocks: u64, sharing: bool) -> KvCache {
                     }
                 }
             }
+            Op::Discard(i) => {
+                if !nodes.is_empty() {
+                    kv.discard(nodes[i % nodes.len()]);
+                }
+            }
+            Op::Resize(blocks) => {
+                kv.set_capacity_bytes(blocks * 16 * 8);
+                max_capacity = max_capacity.max(blocks);
+            }
             Op::SwapOut => {
                 kv.swap_out_unpinned();
             }
         }
     }
-    kv
+    (kv, max_capacity)
 }
 
 proptest! {
@@ -111,17 +127,17 @@ proptest! {
     #[test]
     fn occupancy_never_exceeds_capacity(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let capacity = 48u64;
-        let kv = run_script(&ops, capacity, true);
-        prop_assert!(kv.gpu_blocks_used() <= capacity);
-        prop_assert!(kv.peak_blocks_used() <= capacity);
+        let (kv, max_capacity) = run_script(&ops, capacity, true);
+        prop_assert!(kv.gpu_blocks_used() <= max_capacity);
+        prop_assert!(kv.peak_blocks_used() <= max_capacity);
     }
 
     /// Same conservation law without prefix sharing.
     #[test]
     fn occupancy_bounded_without_sharing(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let capacity = 48u64;
-        let kv = run_script(&ops, capacity, false);
-        prop_assert!(kv.gpu_blocks_used() <= capacity);
+        let (kv, max_capacity) = run_script(&ops, capacity, false);
+        prop_assert!(kv.gpu_blocks_used() <= max_capacity);
     }
 
     /// shared_prefix is symmetric, bounded by both lengths, and maximal
@@ -209,5 +225,101 @@ proptest! {
         prop_assert_eq!(cost.recompute_tokens, 0);
         prop_assert_eq!(cost.transfer_in_bytes, out);
         prop_assert_eq!(kv.seq_tokens(r), prompt);
+    }
+
+    /// The incremental eviction index picks the exact victim sequence of
+    /// the seed's brute-force scan: replay the same randomized workload
+    /// against a scan-mode oracle cache and compare eviction logs, block
+    /// occupancy, stats and per-node residency after every operation.
+    /// The indexed cache is additionally audited against a fresh scan
+    /// after each step.
+    #[test]
+    fn indexed_eviction_matches_scan_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        capacity in 8u64..64,
+        sharing in any::<bool>(),
+    ) {
+        let mut indexed = KvCache::new(config(capacity, sharing));
+        let mut oracle = KvCache::new(config(capacity, sharing));
+        oracle.set_scan_eviction(true);
+        indexed.enable_eviction_log();
+        oracle.enable_eviction_log();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut pins: Vec<usize> = Vec::new();
+        for op in &ops {
+            // Resolve the op against the shared script state once, then
+            // apply the identical resolved op to both caches. Node ids
+            // are arena-ordered and the op stream is identical, so both
+            // caches always agree on ids.
+            match *op {
+                Op::Root(t) => {
+                    let a = indexed.root(t).unwrap();
+                    let b = oracle.root(t).unwrap();
+                    prop_assert_eq!(a, b);
+                    nodes.push(a);
+                    pins.push(0);
+                }
+                Op::Fork(i) if !nodes.is_empty() => {
+                    let parent = nodes[i % nodes.len()];
+                    let a = indexed.fork(parent).unwrap();
+                    let b = oracle.fork(parent).unwrap();
+                    prop_assert_eq!(a, b);
+                    nodes.push(a);
+                    pins.push(0);
+                }
+                Op::ForkAt(i, keep) if !nodes.is_empty() => {
+                    let parent = nodes[i % nodes.len()];
+                    let keep = keep.min(indexed.own_tokens(parent));
+                    let a = indexed.fork_at(parent, keep).unwrap();
+                    let b = oracle.fork_at(parent, keep).unwrap();
+                    prop_assert_eq!(a, b);
+                    nodes.push(a);
+                    pins.push(0);
+                }
+                Op::Pin(i) if !nodes.is_empty() => {
+                    let idx = i % nodes.len();
+                    let a = indexed.pin(nodes[idx]);
+                    let b = oracle.pin(nodes[idx]);
+                    prop_assert_eq!(a, b, "pin outcome diverged");
+                    if a.is_ok() {
+                        pins[idx] += 1;
+                    }
+                }
+                Op::Unpin(i) if !nodes.is_empty() => {
+                    let idx = i % nodes.len();
+                    if pins[idx] > 0 {
+                        indexed.unpin(nodes[idx]);
+                        oracle.unpin(nodes[idx]);
+                        pins[idx] -= 1;
+                    }
+                }
+                Op::Extend(i, t) if !nodes.is_empty() => {
+                    let idx = i % nodes.len();
+                    let a = indexed.extend(nodes[idx], t);
+                    let b = oracle.extend(nodes[idx], t);
+                    prop_assert_eq!(a, b, "extend outcome diverged");
+                }
+                Op::Discard(i) if !nodes.is_empty() => {
+                    let node = nodes[i % nodes.len()];
+                    prop_assert_eq!(indexed.discard(node), oracle.discard(node));
+                }
+                Op::Resize(blocks) => {
+                    indexed.set_capacity_bytes(blocks * 16 * 8);
+                    oracle.set_capacity_bytes(blocks * 16 * 8);
+                }
+                Op::SwapOut => {
+                    prop_assert_eq!(indexed.swap_out_unpinned(), oracle.swap_out_unpinned());
+                }
+                _ => {}
+            }
+            indexed.audit_eviction_index();
+            prop_assert_eq!(indexed.take_eviction_log(), oracle.take_eviction_log());
+            prop_assert_eq!(indexed.gpu_blocks_used(), oracle.gpu_blocks_used());
+            prop_assert_eq!(indexed.stats(), oracle.stats());
+            for &node in &nodes {
+                prop_assert_eq!(indexed.residency(node), oracle.residency(node));
+                prop_assert_eq!(indexed.is_pinned(node), oracle.is_pinned(node));
+            }
+        }
     }
 }

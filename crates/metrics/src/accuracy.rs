@@ -48,7 +48,9 @@ pub fn vote_weighted(answers: &[(u32, f64)]) -> Option<u32> {
     tally
         .into_iter()
         .max_by(|(a1, s1), (a2, s2)| {
-            s1.partial_cmp(s2).unwrap_or(std::cmp::Ordering::Equal).then(a2.cmp(a1))
+            s1.partial_cmp(s2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a2.cmp(a1))
         })
         .map(|(a, _)| a)
 }

@@ -46,8 +46,7 @@ pub fn precise_goodput(beams: &[BeamOutcome]) -> f64 {
         return 0.0;
     }
     let avg_tokens = beams.iter().map(|b| b.tokens as f64).sum::<f64>() / beams.len() as f64;
-    let avg_time =
-        beams.iter().map(|b| b.completion_time).sum::<f64>() / beams.len() as f64;
+    let avg_time = beams.iter().map(|b| b.completion_time).sum::<f64>() / beams.len() as f64;
     if avg_time <= 0.0 {
         return 0.0;
     }
@@ -59,7 +58,13 @@ mod tests {
     use super::*;
 
     fn beam(tokens: u64, time: f64) -> BeamOutcome {
-        BeamOutcome { tokens, completion_time: time, answer: None, score: 0.0, correct: false }
+        BeamOutcome {
+            tokens,
+            completion_time: time,
+            answer: None,
+            score: 0.0,
+            correct: false,
+        }
     }
 
     #[test]

@@ -62,15 +62,27 @@ mod tests {
 
     #[test]
     fn total_sums_phases() {
-        let b = LatencyBreakdown { generator: 1.0, verifier: 2.0, recompute: 0.5, offload: 0.25 };
+        let b = LatencyBreakdown {
+            generator: 1.0,
+            verifier: 2.0,
+            recompute: 0.5,
+            offload: 0.25,
+        };
         assert_eq!(b.total(), 3.75);
         assert_eq!(b.generator_side(), 1.5);
     }
 
     #[test]
     fn accumulate_and_scale() {
-        let mut a = LatencyBreakdown { generator: 1.0, ..Default::default() };
-        let b = LatencyBreakdown { generator: 2.0, verifier: 4.0, ..Default::default() };
+        let mut a = LatencyBreakdown {
+            generator: 1.0,
+            ..Default::default()
+        };
+        let b = LatencyBreakdown {
+            generator: 2.0,
+            verifier: 4.0,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.generator, 3.0);
         assert_eq!(a.verifier, 4.0);

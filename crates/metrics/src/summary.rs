@@ -23,7 +23,14 @@ impl Summary {
     /// Summarize a sample. Returns an all-zero summary for empty input.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { n: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0 };
+            return Self {
+                n: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));

@@ -30,7 +30,10 @@ pub fn lognormal_clipped<R: Rng + ?Sized>(
     min: u64,
     max: u64,
 ) -> u64 {
-    assert!(median > 0.0 && sigma >= 0.0, "invalid log-normal parameters");
+    assert!(
+        median > 0.0 && sigma >= 0.0,
+        "invalid log-normal parameters"
+    );
     assert!(min <= max, "empty clip range");
     let x = (median.ln() + sigma * standard_normal(rng)).exp();
     (x.round() as u64).clamp(min, max)
@@ -78,12 +81,16 @@ mod tests {
     fn lognormal_has_heavy_tail() {
         let mut r = rng();
         let n = 20_000;
-        let samples: Vec<u64> =
-            (0..n).map(|_| lognormal_clipped(&mut r, 150.0, 1.0, 8, 4096)).collect();
+        let samples: Vec<u64> = (0..n)
+            .map(|_| lognormal_clipped(&mut r, 150.0, 1.0, 8, 4096))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
         let max = *samples.iter().max().unwrap() as f64;
         // Paper Fig. 3 (right): max step length is several times the mean.
-        assert!(max / mean > 4.0, "tail not heavy enough: mean {mean}, max {max}");
+        assert!(
+            max / mean > 4.0,
+            "tail not heavy enough: mean {mean}, max {max}"
+        );
         // Median should be near the nominal median.
         let mut sorted = samples.clone();
         sorted.sort_unstable();

@@ -202,18 +202,21 @@ pub struct StepPlan {
 /// branch)` — see the crate docs for why this matters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticGenerator {
-    profile: GeneratorProfile,
+    profile: std::sync::Arc<GeneratorProfile>,
 }
 
 impl SyntheticGenerator {
-    /// Create a generator with the given behaviour profile.
-    pub fn new(profile: GeneratorProfile) -> Self {
-        Self { profile }
+    /// Create a generator with the given behaviour profile (owned or
+    /// shared — per-request construction from a shared profile is free).
+    pub fn new(profile: impl Into<std::sync::Arc<GeneratorProfile>>) -> Self {
+        Self {
+            profile: profile.into(),
+        }
     }
 
     /// The behaviour profile.
     pub fn profile(&self) -> &GeneratorProfile {
-        &self.profile
+        self.profile.as_ref()
     }
 
     /// Latent state of the prompt (root of the reasoning tree).
@@ -225,7 +228,14 @@ impl SyntheticGenerator {
             self.profile.capability - problem.difficulty,
             self.profile.init_sigma,
         );
-        NodeLatent { key, approach: key, quality, depth: 0, terminal: false, answer: None }
+        NodeLatent {
+            key,
+            approach: key,
+            quality,
+            depth: 0,
+            terminal: false,
+            answer: None,
+        }
     }
 
     /// Plan the thinking step produced by branching `branch` from
@@ -236,9 +246,13 @@ impl SyntheticGenerator {
         let mut rng = stream(&[key, 0x57E9_90A1]);
         let depth = parent.depth + 1;
         // A path commits to its approach on the first step.
-        let approach = if parent.depth == 0 { key } else { parent.approach };
-        let quality = parent.quality
-            + normal(&mut rng, self.profile.step_drift, self.profile.step_sigma);
+        let approach = if parent.depth == 0 {
+            key
+        } else {
+            parent.approach
+        };
+        let quality =
+            parent.quality + normal(&mut rng, self.profile.step_drift, self.profile.step_sigma);
         let n_tokens = lognormal_clipped(
             &mut rng,
             problem.steps.median_tokens,
@@ -252,7 +266,17 @@ impl SyntheticGenerator {
         } else {
             None
         };
-        StepPlan { n_tokens, latent: NodeLatent { key, approach, quality, depth, terminal, answer } }
+        StepPlan {
+            n_tokens,
+            latent: NodeLatent {
+                key,
+                approach,
+                quality,
+                depth,
+                terminal,
+                answer,
+            },
+        }
     }
 
     fn is_terminal<R: rand::Rng>(&self, problem: &ProblemSpec, depth: u32, rng: &mut R) -> bool {
@@ -426,8 +450,14 @@ mod tests {
         let p = problem();
         let mut counts = vec![0u32; p.answer_space as usize];
         for i in 0..2000u64 {
-            let latent =
-                NodeLatent { key: i, approach: i, quality: -6.0, depth: 11, terminal: false, answer: None };
+            let latent = NodeLatent {
+                key: i,
+                approach: i,
+                quality: -6.0,
+                depth: 11,
+                terminal: false,
+                answer: None,
+            };
             let step = g.plan_step(&p, &latent, 0);
             if let Some(a) = step.latent.answer {
                 counts[a as usize] += 1;

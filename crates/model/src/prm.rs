@@ -54,18 +54,21 @@ impl PrmProfile {
 /// equivalent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticPrm {
-    profile: PrmProfile,
+    profile: std::sync::Arc<PrmProfile>,
 }
 
 impl SyntheticPrm {
-    /// Create a verifier with the given profile.
-    pub fn new(profile: PrmProfile) -> Self {
-        Self { profile }
+    /// Create a verifier with the given profile (owned or shared — the
+    /// engine passes a shared `Arc` per request).
+    pub fn new(profile: impl Into<std::sync::Arc<PrmProfile>>) -> Self {
+        Self {
+            profile: profile.into(),
+        }
     }
 
     /// The behaviour profile.
     pub fn profile(&self) -> &PrmProfile {
-        &self.profile
+        self.profile.as_ref()
     }
 
     /// Initial noise state for a fresh reasoning path (the prompt).
@@ -157,7 +160,10 @@ mod tests {
         }
         let corr = cov / (vp.sqrt() * vc.sqrt());
         let rho = prm.profile().autocorrelation;
-        assert!((corr - rho).abs() < 0.06, "empirical corr {corr} vs rho {rho}");
+        assert!(
+            (corr - rho).abs() < 0.06,
+            "empirical corr {corr} vs rho {rho}"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub fn mix64(a: u64, b: u64) -> u64 {
 /// time; branch 0 is the "continuation" child whose tokens Speculative
 /// Beam Extension pre-generates.
 pub fn key_child(parent_key: u64, branch: u64) -> u64 {
-    mix64(parent_key, 0x6368_696C_64_u64.wrapping_add(branch))
+    mix64(parent_key, 0x63_6869_6C64_u64.wrapping_add(branch))
 }
 
 /// Build a deterministic ChaCha stream from a list of key parts.

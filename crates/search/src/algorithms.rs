@@ -134,7 +134,10 @@ impl SearchDriver for BeamSearch {
 
     fn select(&mut self, frontier: &[ScoredBeam], _ctx: &SelectCtx) -> Vec<(BeamId, usize)> {
         let keep = (self.n / self.b).max(1).min(frontier.len());
-        ranked(frontier)[..keep].iter().map(|s| (s.id, self.b)).collect()
+        ranked(frontier)[..keep]
+            .iter()
+            .map(|s| (s.id, self.b))
+            .collect()
     }
 }
 
@@ -178,8 +181,7 @@ impl SearchDriver for Dvts {
                 *entry = s;
             }
         }
-        let mut picks: Vec<(BeamId, usize)> =
-            best.into_values().map(|s| (s.id, self.b)).collect();
+        let mut picks: Vec<(BeamId, usize)> = best.into_values().map(|s| (s.id, self.b)).collect();
         picks.sort_by_key(|&(id, _)| id);
         picks
     }
@@ -218,8 +220,10 @@ impl SearchDriver for DynamicBranching {
         let survivors = &ranked(frontier)[..keep];
         let total: f64 = survivors.iter().map(|s| s.score.max(1e-6)).sum();
         // Largest-remainder apportionment of n children.
-        let quotas: Vec<f64> =
-            survivors.iter().map(|s| s.score.max(1e-6) / total * self.n as f64).collect();
+        let quotas: Vec<f64> = survivors
+            .iter()
+            .map(|s| s.score.max(1e-6) / total * self.n as f64)
+            .collect();
         let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
         let mut assigned: usize = counts.iter().sum();
         let mut order: Vec<usize> = (0..survivors.len()).collect();
@@ -258,7 +262,12 @@ impl VaryingGranularity {
     /// Beam budget `n`, branching factor `b`, with the paper's default
     /// granularity schedule.
     pub fn new(n: usize, b: usize) -> Self {
-        Self { inner: BeamSearch::new(n, b), early_cap: 64, late_cap: 2048, switch_depth: 3 }
+        Self {
+            inner: BeamSearch::new(n, b),
+            early_cap: 64,
+            late_cap: 2048,
+            switch_depth: 3,
+        }
     }
 
     /// Customize the granularity schedule.
@@ -280,7 +289,11 @@ impl SearchDriver for VaryingGranularity {
     }
 
     fn step_token_cap(&self, depth: u32) -> Option<u64> {
-        Some(if depth <= self.switch_depth { self.early_cap } else { self.late_cap })
+        Some(if depth <= self.switch_depth {
+            self.early_cap
+        } else {
+            self.late_cap
+        })
     }
 
     fn select(&mut self, frontier: &[ScoredBeam], ctx: &SelectCtx) -> Vec<(BeamId, usize)> {
@@ -293,14 +306,20 @@ mod tests {
     use super::*;
 
     fn beam(id: u32, score: f64, subtree: u32) -> ScoredBeam {
-        ScoredBeam { id: BeamId(id), score, depth: 1, terminal: false, subtree, path_tokens: 100 }
+        ScoredBeam {
+            id: BeamId(id),
+            score,
+            depth: 1,
+            terminal: false,
+            subtree,
+            path_tokens: 100,
+        }
     }
 
     #[test]
     fn beam_search_keeps_top_n_over_b() {
         let mut d = BeamSearch::new(8, 4);
-        let frontier: Vec<ScoredBeam> =
-            (0..8).map(|i| beam(i, i as f64 / 10.0, 0)).collect();
+        let frontier: Vec<ScoredBeam> = (0..8).map(|i| beam(i, i as f64 / 10.0, 0)).collect();
         let picks = d.select(&frontier, &ctx());
         assert_eq!(picks.len(), 2);
         assert_eq!(picks[0].0, BeamId(7));
@@ -309,7 +328,11 @@ mod tests {
     }
 
     fn ctx() -> SelectCtx {
-        SelectCtx { iteration: 0, n_target: 8, completed: 0 }
+        SelectCtx {
+            iteration: 0,
+            n_target: 8,
+            completed: 0,
+        }
     }
 
     #[test]

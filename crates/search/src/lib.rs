@@ -33,6 +33,6 @@
 mod algorithms;
 
 pub use algorithms::{
-    make_driver, BeamSearch, BestOfN, DynamicBranching, Dvts, SearchKind, VaryingGranularity,
+    make_driver, BeamSearch, BestOfN, Dvts, DynamicBranching, SearchKind, VaryingGranularity,
 };
 pub use ftts_engine::SearchDriver;

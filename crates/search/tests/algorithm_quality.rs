@@ -64,7 +64,10 @@ fn verifier_guided_search_beats_best_of_n() {
 #[test]
 fn pass_at_n_exceeds_top1_everywhere() {
     let beam = evaluate(SearchKind::BeamSearch, Dataset::Math500, 30, 16);
-    assert!(beam.pass_at_4 >= beam.accuracy, "pass@4 is a weaker criterion");
+    assert!(
+        beam.pass_at_4 >= beam.accuracy,
+        "pass@4 is a weaker criterion"
+    );
 }
 
 #[test]
@@ -72,12 +75,14 @@ fn all_algorithms_complete_on_all_datasets() {
     for kind in SearchKind::all() {
         for dataset in [Dataset::Aime2024, Dataset::HumanEval] {
             let problem = dataset.problems(1, 5)[0];
-            let cfg =
-                EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+            let cfg = EngineConfig::baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
             let mut eng = Engine::new(cfg, Box::new(FifoOrder), Box::new(StaticSplitPlanner));
             let mut driver = make_driver(kind, 8, 4);
             let stats = eng.run(&problem, 8, driver.as_mut()).unwrap();
-            assert!(!stats.beams.is_empty(), "{kind} on {dataset} produced no beams");
+            assert!(
+                !stats.beams.is_empty(),
+                "{kind} on {dataset} produced no beams"
+            );
             assert!(stats.latency() > 0.0);
         }
     }

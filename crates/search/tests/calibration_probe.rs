@@ -58,10 +58,18 @@ fn print_calibration() {
             probe(pairing.clone(), dataset, SearchKind::BeamSearch, 16, 30);
         }
     }
-    for kind in [SearchKind::BestOfN, SearchKind::BeamSearch, SearchKind::Dvts] {
+    for kind in [
+        SearchKind::BestOfN,
+        SearchKind::BeamSearch,
+        SearchKind::Dvts,
+    ] {
         probe(ModelPairing::pair_1_5b_7b(), Dataset::Math500, kind, 16, 30);
     }
-    for kind in [SearchKind::BestOfN, SearchKind::BeamSearch, SearchKind::Dvts] {
+    for kind in [
+        SearchKind::BestOfN,
+        SearchKind::BeamSearch,
+        SearchKind::Dvts,
+    ] {
         probe(ModelPairing::pair_1_5b_7b(), Dataset::Math500, kind, 64, 30);
     }
 }

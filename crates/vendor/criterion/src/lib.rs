@@ -1,0 +1,195 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Benchmarks register with [`Criterion::bench_function`] and drive a
+//! [`Bencher`] via `iter` / `iter_batched`. Each benchmark is warmed up,
+//! then timed over `sample_size` samples; mean and minimum per-iteration
+//! wall-clock are printed in a criterion-like one-line format. The
+//! `criterion_group!` / `criterion_main!` macros generate the usual
+//! `main`, so `[[bench]]` targets keep `harness = false`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (best-effort without inline asm on stable).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup allocations (accepted for API
+/// compatibility; the shim times every routine invocation individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration over the measured samples.
+    pub mean_seconds: f64,
+    /// Fastest observed sample, seconds per iteration.
+    pub min_seconds: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            mean_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+        }
+    }
+
+    fn record(&mut self, total: Duration, iters: u64) {
+        let per_iter = total.as_secs_f64() / iters.max(1) as f64;
+        self.mean_seconds += per_iter;
+        self.min_seconds = self.min_seconds.min(per_iter);
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        // Pick an iteration count that makes one sample take >= ~1 ms.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((1e-3 / once).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), iters);
+        }
+        self.mean_seconds /= self.samples.max(1) as f64;
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record(start.elapsed(), 1);
+        }
+        self.mean_seconds /= self.samples.max(1) as f64;
+    }
+}
+
+/// Benchmark registry / runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        println!(
+            "{name:<40} time: [mean {} | fastest {}]",
+            format_seconds(bencher.mean_seconds),
+            format_seconds(bencher.min_seconds)
+        );
+        self
+    }
+}
+
+/// Human units, criterion-style.
+fn format_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        "n/a".to_string()
+    } else if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Group benchmark functions, optionally with a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 3);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_is_humane() {
+        assert!(format_seconds(2e-9).ends_with("ns"));
+        assert!(format_seconds(2e-6).ends_with("µs"));
+        assert!(format_seconds(2e-3).ends_with("ms"));
+        assert!(format_seconds(2.0).ends_with('s'));
+    }
+}

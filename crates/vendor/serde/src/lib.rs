@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! See `crates/vendor/README.md` for why this exists. The derive macros
+//! (from the sibling `serde_derive` shim) parse their input — including
+//! `#[serde(...)]` attributes — and emit nothing, so these traits are
+//! never actually implemented. Nothing in the workspace requires them as
+//! bounds.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

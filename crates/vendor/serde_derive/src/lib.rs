@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline build.
+//!
+//! Nothing in this workspace serializes at run time, so the derives only
+//! need to parse (including `#[serde(...)]` helper attributes) and emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

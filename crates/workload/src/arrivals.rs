@@ -44,7 +44,10 @@ impl ArrivalPattern {
             ArrivalPattern::Interactive => problems
                 .iter()
                 .enumerate()
-                .map(|(i, p)| RequestArrival { at: i as f64 * 1e9, problem: *p })
+                .map(|(i, p)| RequestArrival {
+                    at: i as f64 * 1e9,
+                    problem: *p,
+                })
                 .collect(),
             ArrivalPattern::Poisson { rate } => {
                 assert!(rate > 0.0, "poisson rate must be positive");

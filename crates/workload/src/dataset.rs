@@ -19,7 +19,12 @@ pub enum Dataset {
 impl Dataset {
     /// All datasets.
     pub fn all() -> [Dataset; 4] {
-        [Dataset::Aime2024, Dataset::Amc2023, Dataset::Math500, Dataset::HumanEval]
+        [
+            Dataset::Aime2024,
+            Dataset::Amc2023,
+            Dataset::Math500,
+            Dataset::HumanEval,
+        ]
     }
 
     /// Official test-set size of the real benchmark.
@@ -107,12 +112,13 @@ impl Dataset {
     pub fn problems(self, n: usize, seed: u64) -> Vec<ProblemSpec> {
         let (d_mu, d_sigma) = self.difficulty_params();
         let (p_mu, p_sigma) = self.prompt_params();
-        let tag = self as u64 + 0xDA7A_5E7;
+        let tag = self as u64 + 0x0DA7_A5E7;
         (0..n as u64)
             .map(|i| {
                 let mut rng = stream(&[seed, tag, i]);
                 let difficulty = normal(&mut rng, d_mu, d_sigma).max(0.05);
-                let prompt_tokens = normal(&mut rng, p_mu, p_sigma).round().clamp(32.0, 512.0) as u64;
+                let prompt_tokens =
+                    normal(&mut rng, p_mu, p_sigma).round().clamp(32.0, 512.0) as u64;
                 ProblemSpec {
                     seed: ftts_model::mix64(seed, ftts_model::mix64(tag, i)),
                     difficulty,

@@ -15,7 +15,10 @@ fn main() -> Result<(), fasttts::EngineError> {
     let fasttts = TtsServer::fasttts(device, models);
 
     let problems = Dataset::HumanEval.problems(8, 3);
-    println!("HumanEval-like code generation, {} tasks, n=32 beams\n", problems.len());
+    println!(
+        "HumanEval-like code generation, {} tasks, n=32 beams\n",
+        problems.len()
+    );
     let mut base_gp = 0.0;
     let mut fast_gp = 0.0;
     let mut solved = 0;

@@ -12,7 +12,10 @@ fn main() -> Result<(), fasttts::EngineError> {
     let problem = Dataset::Aime2024.problems(1, 77)[0];
     let n = 32;
     println!("device sweep: one AIME problem, 1.5B+1.5B, n={n}\n");
-    println!("{:<14} {:>10} {:>10} {:>9} {:>12} {:>10}", "device", "base tok/s", "fast tok/s", "speedup", "offload (s)", "latency(s)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>12} {:>10}",
+        "device", "base tok/s", "fast tok/s", "speedup", "offload (s)", "latency(s)"
+    );
     for device in GpuDevice::edge_presets() {
         let models = ModelPairing::pair_1_5b_1_5b();
         // On the smallest device FastTTS may offload the inactive

@@ -13,7 +13,10 @@ fn main() -> Result<(), fasttts::EngineError> {
     let problems = Dataset::Aime2024.problems(10, 7);
     let n = 32;
 
-    println!("serving {} AIME-like problems with n={n} beams (1.5B generator + 7B PRM)\n", problems.len());
+    println!(
+        "serving {} AIME-like problems with n={n} beams (1.5B generator + 7B PRM)\n",
+        problems.len()
+    );
     let mut top1 = 0;
     let mut pass8 = 0;
     let mut goodput = 0.0;
@@ -40,6 +43,10 @@ fn main() -> Result<(), fasttts::EngineError> {
     println!();
     println!("top-1 (majority vote): {}/{}", top1, problems.len());
     println!("pass@8 (verifier-ranked): {}/{}", pass8, problems.len());
-    println!("mean goodput: {:.1} tok/s   mean latency: {:.1} s", goodput / k, latency / k);
+    println!(
+        "mean goodput: {:.1} tok/s   mean latency: {:.1} s",
+        goodput / k,
+        latency / k
+    );
     Ok(())
 }

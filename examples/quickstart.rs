@@ -24,11 +24,22 @@ fn main() -> Result<(), fasttts::EngineError> {
     let slow = baseline.serve(&problem, n, SearchKind::BeamSearch)?;
     let fast = fasttts.serve(&problem, n, SearchKind::BeamSearch)?;
 
-    println!("problem difficulty: {:.2} (quality logits)", problem.difficulty);
+    println!(
+        "problem difficulty: {:.2} (quality logits)",
+        problem.difficulty
+    );
     println!();
     println!("                      baseline    FastTTS");
-    println!("goodput (tok/s)       {:>8.1}   {:>8.1}", slow.goodput(), fast.goodput());
-    println!("latency (s)           {:>8.1}   {:>8.1}", slow.latency(), fast.latency());
+    println!(
+        "goodput (tok/s)       {:>8.1}   {:>8.1}",
+        slow.goodput(),
+        fast.goodput()
+    );
+    println!(
+        "latency (s)           {:>8.1}   {:>8.1}",
+        slow.latency(),
+        fast.latency()
+    );
     println!(
         "verifier latency (s)  {:>8.1}   {:>8.1}",
         slow.stats.breakdown().verifier,
@@ -39,7 +50,10 @@ fn main() -> Result<(), fasttts::EngineError> {
         slow.stats.spec.spec_tokens, fast.stats.spec.spec_tokens
     );
     println!();
-    println!("answers match (algorithmic equivalence): {}", slow.answer == fast.answer);
+    println!(
+        "answers match (algorithmic equivalence): {}",
+        slow.answer == fast.answer
+    );
     println!(
         "speedup: {:.2}x goodput, {:.0}% lower latency",
         fast.goodput() / slow.goodput(),

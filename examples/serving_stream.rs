@@ -6,9 +6,7 @@
 //! cargo run --release --example serving_stream
 //! ```
 
-use fasttts::{
-    ArrivalPattern, Dataset, GpuDevice, ModelPairing, SearchKind, ServerSim, TtsServer,
-};
+use fasttts::{ArrivalPattern, Dataset, GpuDevice, ModelPairing, SearchKind, ServerSim, TtsServer};
 
 fn main() -> Result<(), fasttts::EngineError> {
     let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
@@ -20,7 +18,10 @@ fn main() -> Result<(), fasttts::EngineError> {
     let arrivals = ArrivalPattern::Poisson { rate: 0.04 }.schedule(&problems, 11);
 
     let served = sim.run(&arrivals)?;
-    println!("{:<4} {:>9} {:>9} {:>9} {:>10} {:>12}", "req", "arrive(s)", "queue(s)", "serve(s)", "total(s)", "spec tokens");
+    println!(
+        "{:<4} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "req", "arrive(s)", "queue(s)", "serve(s)", "total(s)", "spec tokens"
+    );
     for (i, r) in served.iter().enumerate() {
         println!(
             "{:<4} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>12}",
@@ -32,7 +33,10 @@ fn main() -> Result<(), fasttts::EngineError> {
             r.outcome.stats.spec.spec_tokens,
         );
     }
-    let specced = served.iter().filter(|r| r.outcome.stats.spec.spec_tokens > 0).count();
+    let specced = served
+        .iter()
+        .filter(|r| r.outcome.stats.spec.spec_tokens > 0)
+        .count();
     println!(
         "\n{} of {} requests had idle capacity for speculation; queued requests preempt it",
         specced,

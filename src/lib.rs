@@ -44,9 +44,9 @@ pub use ftts_search as search;
 pub use ftts_workload as workload;
 
 pub use ftts_core::{
-    evaluate, AblationFlags, EngineError, EvalConfig, EvalSummary, PrefixAwareOrder,
-    RooflinePlanner, ServeOutcome, ServedRequest, ServerSim, SpecConfig, TtsServer,
-    WorstCaseOrder,
+    evaluate, parallel_map, sweep, AblationFlags, EngineError, EvalConfig, EvalSummary,
+    PrefixAwareOrder, RooflinePlanner, ServeOutcome, ServedRequest, ServerSim, SpecConfig,
+    SweepJob, TtsServer, WorstCaseOrder,
 };
 pub use ftts_engine::{Engine, EngineConfig, ModelPairing, RunStats, SearchDriver};
 pub use ftts_hw::{GpuDevice, ModelSpec, Roofline};

@@ -41,7 +41,10 @@ fn fasttts_wins_goodput_in_aggregate() {
         }
     }
     let geomean = Summary::geomean(&speedups);
-    assert!(geomean > 1.1, "aggregate speedup too small: {geomean:.2} ({speedups:?})");
+    assert!(
+        geomean > 1.1,
+        "aggregate speedup too small: {geomean:.2} ({speedups:?})"
+    );
 }
 
 #[test]
@@ -61,8 +64,7 @@ fn fasttts_cuts_verifier_latency_sharply() {
 fn memory_constrained_setting_serves_at_forty_percent() {
     // The paper's 1.5B+1.5B configuration restricts the system to 40% of
     // GPU memory (Sec. 6.1).
-    let mut server =
-        TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let mut server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
     server.config_mut().memory_fraction = 0.4;
     let problem = Dataset::Amc2023.problems(1, 31)[0];
     let out = server.serve(&problem, 64, SearchKind::BeamSearch).unwrap();
@@ -79,13 +81,19 @@ fn accuracy_bands_match_the_paper() {
             .problems(12, 53)
             .iter()
             .filter(|p| {
-                server.serve(p, 16, SearchKind::BeamSearch).unwrap().top1_correct()
+                server
+                    .serve(p, 16, SearchKind::BeamSearch)
+                    .unwrap()
+                    .top1_correct()
             })
             .count()
     };
     let amc_small = count_correct(ModelPairing::pair_1_5b_1_5b(), Dataset::Amc2023);
     let aime_small = count_correct(ModelPairing::pair_1_5b_1_5b(), Dataset::Aime2024);
     let amc_big = count_correct(ModelPairing::pair_7b_1_5b(), Dataset::Amc2023);
-    assert!(amc_small > aime_small, "AMC {amc_small} vs AIME {aime_small}");
+    assert!(
+        amc_small > aime_small,
+        "AMC {amc_small} vs AIME {aime_small}"
+    );
     assert!(amc_big >= amc_small, "7B {amc_big} vs 1.5B {amc_small}");
 }

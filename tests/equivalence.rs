@@ -6,7 +6,14 @@
 use fasttts::{AblationFlags, Dataset, GpuDevice, ModelPairing, SearchKind, TtsServer};
 use proptest::prelude::*;
 
-fn serve(flags: AblationFlags, dataset: Dataset, pidx: usize, n: usize, kind: SearchKind, seed: u64) -> fasttts::ServeOutcome {
+fn serve(
+    flags: AblationFlags,
+    dataset: Dataset,
+    pidx: usize,
+    n: usize,
+    kind: SearchKind,
+    seed: u64,
+) -> fasttts::ServeOutcome {
     let mut server =
         TtsServer::with_flags(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b(), flags);
     server.config_mut().seed = seed;

@@ -30,26 +30,44 @@ fn fig16_ablation_ladder_is_cumulative() {
         ModelPairing::pair_1_5b_7b(),
         AblationFlags::baseline(),
     );
-    let bg = base.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput();
+    let bg = base
+        .serve(&problem, 64, SearchKind::BeamSearch)
+        .unwrap()
+        .goodput();
     for (_, flags) in AblationFlags::ladder() {
         let server =
             TtsServer::with_flags(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_7b(), flags);
-        goodputs.push(server.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput());
+        goodputs.push(
+            server
+                .serve(&problem, 64, SearchKind::BeamSearch)
+                .unwrap()
+                .goodput(),
+        );
     }
-    assert!(goodputs[0] >= bg * 0.95, "P should not lose: {goodputs:?} vs {bg}");
+    assert!(
+        goodputs[0] >= bg * 0.95,
+        "P should not lose: {goodputs:?} vs {bg}"
+    );
     assert!(goodputs[2] > goodputs[0], "S must add over P: {goodputs:?}");
-    assert!(goodputs[2] > bg * 1.2, "full ladder must clearly win: {goodputs:?} vs {bg}");
+    assert!(
+        goodputs[2] > bg * 1.2,
+        "full ladder must clearly win: {goodputs:?} vs {bg}"
+    );
 }
 
 #[test]
 fn fig17_truncation_ratio_high_beats_zero() {
     let problem = Dataset::Aime2024.problems(1, 81)[0];
     let run = |r: f64| {
-        let mut server =
-            TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
-        server.config_mut().spec =
-            SpecConfig { truncation_ratio: r, ..SpecConfig::fasttts_default() };
-        server.serve(&problem, 64, SearchKind::BeamSearch).unwrap().goodput()
+        let mut server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        server.config_mut().spec = SpecConfig {
+            truncation_ratio: r,
+            ..SpecConfig::fasttts_default()
+        };
+        server
+            .serve(&problem, 64, SearchKind::BeamSearch)
+            .unwrap()
+            .goodput()
     };
     let r0 = run(0.0);
     let r85 = run(0.85);
@@ -61,8 +79,7 @@ fn fig17_truncation_ratio_high_beats_zero() {
 
 #[test]
 fn fig4_verification_utilization_exceeds_generation() {
-    let mut server =
-        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let mut server = TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
     server.config_mut().trace = true;
     let problem = Dataset::Aime2024.problems(1, 5)[0];
     let out = server.serve(&problem, 32, SearchKind::BeamSearch).unwrap();
@@ -79,12 +96,21 @@ fn fig12_speedup_grows_with_n() {
     let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), pairing.clone());
     let fast = TtsServer::fasttts(GpuDevice::rtx4090(), pairing);
     let speedup = |n: usize| {
-        let b = base.serve(&problem, n, SearchKind::BeamSearch).unwrap().goodput();
-        let f = fast.serve(&problem, n, SearchKind::BeamSearch).unwrap().goodput();
+        let b = base
+            .serve(&problem, n, SearchKind::BeamSearch)
+            .unwrap()
+            .goodput();
+        let f = fast
+            .serve(&problem, n, SearchKind::BeamSearch)
+            .unwrap()
+            .goodput();
         f / b
     };
     let small = speedup(8);
     let large = speedup(128);
     assert!(small > 1.0, "even n=8 must win: {small:.2}");
-    assert!(large > small, "gain must grow with n: {small:.2} -> {large:.2}");
+    assert!(
+        large > small,
+        "gain must grow with n: {small:.2} -> {large:.2}"
+    );
 }

@@ -52,14 +52,15 @@ fn offloading_rescues_the_3070ti() {
     );
     server.config_mut().memory_fraction = 0.93;
     let problem = Dataset::Aime2024.problems(1, 41)[0];
-    let out = server.serve(&problem, 16, SearchKind::BeamSearch).expect("must serve");
+    let out = server
+        .serve(&problem, 16, SearchKind::BeamSearch)
+        .expect("must serve");
     assert!(out.goodput() > 0.0);
 }
 
 #[test]
 fn infeasible_budget_errors_instead_of_hanging() {
-    let mut server =
-        TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let mut server = TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
     server.config_mut().memory_fraction = 0.26; // weights alone exceed this
     let problem = Dataset::Aime2024.problems(1, 43)[0];
     let result = server.serve(&problem, 8, SearchKind::BeamSearch);
@@ -76,7 +77,9 @@ fn dynamic_replanning_tracks_frontier_growth() {
     server.config_mut().memory_fraction = 0.9;
     let problem = Dataset::Aime2024.problems(1, 47)[0];
     for n in [8usize, 64, 256] {
-        let out = server.serve(&problem, n, SearchKind::BeamSearch).expect("serve");
+        let out = server
+            .serve(&problem, n, SearchKind::BeamSearch)
+            .expect("serve");
         assert!(out.goodput() > 0.0, "n={n}");
     }
 }

@@ -1,19 +1,15 @@
 //! Scheduling-policy and preemption semantics across the stack.
 
 use fasttts::engine::{OrderItem, OrderPolicy, RandomOrder};
+use fasttts::kv::{KvCache, KvCacheConfig};
 use fasttts::{
     ArrivalPattern, Dataset, GpuDevice, ModelPairing, PrefixAwareOrder, SearchKind, ServerSim,
     TtsServer, WorstCaseOrder,
 };
-use fasttts::kv::{KvCache, KvCacheConfig};
 use proptest::prelude::*;
 
 /// Random beam-search-like frontiers for order-policy properties.
-fn random_frontier(
-    parents: usize,
-    children: usize,
-    prompt: u64,
-) -> (KvCache, Vec<OrderItem>) {
+fn random_frontier(parents: usize, children: usize, prompt: u64) -> (KvCache, Vec<OrderItem>) {
     let mut kv = KvCache::new(KvCacheConfig {
         block_size: 16,
         capacity_bytes: 1 << 30,
@@ -30,7 +26,12 @@ fn random_frontier(
         kv.extend(p, 50 + (i as u64 * 37) % 400).unwrap();
         for _ in 0..children {
             let c = kv.fork(p).unwrap();
-            items.push(OrderItem { index: items.len(), kv: c, parent_kv: Some(p), born_rank: rank });
+            items.push(OrderItem {
+                index: items.len(),
+                kv: c,
+                parent_kv: Some(p),
+                born_rank: rank,
+            });
             rank += 1;
         }
     }
@@ -107,7 +108,10 @@ fn widely_spaced_arrivals_all_speculate() {
     let arrivals = ArrivalPattern::Interactive.schedule(&problems, 0);
     let served = sim.run(&arrivals).unwrap();
     for r in &served {
-        assert!(r.outcome.stats.spec.spec_tokens > 0, "idle system should speculate");
+        assert!(
+            r.outcome.stats.spec.spec_tokens > 0,
+            "idle system should speculate"
+        );
         assert!(r.queue_delay() < 1e-9);
     }
 }
