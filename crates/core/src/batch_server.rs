@@ -1,0 +1,665 @@
+//! Continuous batching across requests.
+//!
+//! [`ServerSim`](crate::ServerSim) drains arrivals FIFO at batch size 1:
+//! every request runs to completion in isolation, so the accelerator's
+//! decode batch is only as wide as one request's beam frontier. This
+//! module adds the request-level scheduler a production serving system
+//! needs: [`BatchedServerSim`] admits arrivals *mid-flight*, steps every
+//! in-flight [`RequestRun`] one TTS iteration per lockstep round, and
+//! arbitrates the device KV budget between them through a
+//! [`PoolBudget`] reservation ledger.
+//!
+//! # Execution model
+//!
+//! * **Lockstep rounds.** Each round, every active request executes one
+//!   TTS iteration. Their decode kernels are co-batched: each run is
+//!   costed over the *combined* sequence batch (one shared weight
+//!   sweep, everyone's KV traffic — `RequestRun::set_co_batch`), so
+//!   wall time per round is the maximum of the members' iteration
+//!   times, not their sum. Runs that finish early idle-wait at the
+//!   round barrier (charged to their latency as `idle`).
+//! * **Admission control.** The device KV budget is divided into equal
+//!   shares among active requests. A request is admitted only when a
+//!   share can be reserved; shares shrink on admission and regrow on
+//!   completion. The ledger guarantees reservations never exceed the
+//!   pool.
+//! * **Preemption.** A request whose KV demand outgrows its share is
+//!   swapped out (PCIe-costed), its reservation released, and requeued;
+//!   it readmits when shares regrow, restoring or recomputing prefixes
+//!   through the normal pin path. Accepted tokens are never lost.
+//! * **Two-phase speculation.** Speculative Beam Extension runs only
+//!   while a request has the system to itself (no other active, queued
+//!   or preempted request) — the request-level generalization of the
+//!   paper's Sec. 4.1.2 rule, and exactly [`ServerSim`]'s rule when the
+//!   batch size is 1.
+//!
+//! With `max_batch = 1` and mid-flight admission disabled the scheduler
+//! reproduces [`ServerSim::run`] bit-for-bit (outcomes, latencies,
+//! eviction stats) — enforced by the lockstep tests in
+//! `crates/core/tests/batch_lockstep.rs`.
+//!
+//! [`ServerSim`]: crate::ServerSim
+
+use std::collections::VecDeque;
+
+use ftts_engine::{EngineError, RequestRun, SearchDriver};
+use ftts_kv::PoolBudget;
+use ftts_metrics::{StreamRecord, StreamSummary};
+use ftts_search::{make_driver, SearchKind};
+use ftts_workload::RequestArrival;
+use serde::{Deserialize, Serialize};
+
+use crate::server::{ServeOutcome, ServedRequest, TtsServer};
+
+/// Request-level scheduling knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum concurrently active requests.
+    pub max_batch: usize,
+    /// Admit new arrivals while others are in flight (continuous
+    /// batching). When `false`, admission waits for the device to drain
+    /// — batch-1 FIFO or gang scheduling depending on `max_batch`.
+    pub admit_mid_flight: bool,
+    /// Do not admit a request mid-flight if equal shares would fall
+    /// below this many bytes (0 = only `max_batch` limits admission).
+    pub min_share_bytes: u64,
+}
+
+impl BatchConfig {
+    /// FIFO batch-1 — semantically identical to [`crate::ServerSim`].
+    pub fn fifo() -> Self {
+        Self {
+            max_batch: 1,
+            admit_mid_flight: false,
+            min_share_bytes: 0,
+        }
+    }
+
+    /// Continuous batching: up to `max_batch` requests, joined and
+    /// retired mid-flight.
+    pub fn continuous(max_batch: usize) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            admit_mid_flight: true,
+            min_share_bytes: 0,
+        }
+    }
+
+    /// Gang (static) batching: admit up to `max_batch` only while the
+    /// device is idle, then run the gang to completion.
+    pub fn gang(max_batch: usize) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            admit_mid_flight: false,
+            min_share_bytes: 0,
+        }
+    }
+}
+
+/// Result of replaying one arrival stream through [`BatchedServerSim`].
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-request records, in arrival order.
+    pub served: Vec<ServedRequest>,
+    /// Lockstep rounds executed.
+    pub rounds: u64,
+    /// Total preemption events.
+    pub preemptions: u32,
+    /// High-water mark of KV reservations, bytes.
+    pub peak_reserved_bytes: u64,
+    /// The shared device KV budget, bytes.
+    pub pool_bytes: u64,
+}
+
+impl BatchRun {
+    /// First arrival to last completion, seconds.
+    pub fn makespan(&self) -> f64 {
+        let first = self
+            .served
+            .iter()
+            .map(|r| r.arrived_at)
+            .fold(f64::INFINITY, f64::min);
+        let last = self
+            .served
+            .iter()
+            .map(|r| r.finished_at)
+            .fold(0.0f64, f64::max);
+        (last - first).max(0.0)
+    }
+
+    /// Stream-level summary: system goodput over the makespan plus
+    /// latency / queueing distributions.
+    pub fn stream_summary(&self) -> StreamSummary {
+        let records: Vec<StreamRecord> = self
+            .served
+            .iter()
+            .map(|r| StreamRecord {
+                arrived_at: r.arrived_at,
+                finished_at: r.finished_at,
+                queue_delay: r.queue_delay(),
+                accepted_tokens: r.accepted_tokens(),
+            })
+            .collect();
+        StreamSummary::of(&records)
+    }
+}
+
+/// One in-flight (or preempted) request.
+struct InFlight {
+    /// Index into the arrival stream (doubles as the pool holder id).
+    idx: usize,
+    run: RequestRun,
+    driver: Box<dyn SearchDriver>,
+    arrived_at: f64,
+    /// Global time of first admission.
+    started_at: f64,
+    /// Admission sequence number; the largest is the youngest request
+    /// (the preemption victim, as in vLLM).
+    admit_seq: u64,
+    preemptions: u32,
+    preempted_secs: f64,
+    /// Global time this request was last preempted.
+    paused_at: f64,
+    /// Memoized readmission probe while paused: `(share, can_progress,
+    /// fits_working_set)`. The run's frontier is frozen while swapped
+    /// out, so the answer only changes when the offered share does —
+    /// re-probing (a replan + tree walk) every round would be pure
+    /// waste.
+    probe: Option<(u64, bool, bool)>,
+}
+
+/// Replays a request arrival stream with continuous batching across
+/// requests over one shared accelerator and KV pool.
+#[derive(Debug, Clone)]
+pub struct BatchedServerSim {
+    server: TtsServer,
+    n: usize,
+    kind: SearchKind,
+    config: BatchConfig,
+}
+
+impl BatchedServerSim {
+    /// Simulate `server` answering requests with `n` beams each under
+    /// the given batching policy.
+    pub fn new(server: TtsServer, n: usize, kind: SearchKind, config: BatchConfig) -> Self {
+        assert!(config.max_batch >= 1, "need at least one batch slot");
+        Self {
+            server,
+            n,
+            kind,
+            config,
+        }
+    }
+
+    /// The batching policy in effect.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Serve the arrival stream to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit even with
+    /// the entire pool to itself.
+    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<BatchRun, EngineError> {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival times must be non-decreasing"
+        );
+        let pool_bytes = self.server.config().kv_budget_bytes();
+        let device = self.server.config().device.clone();
+        let mut pool = PoolBudget::new(pool_bytes);
+        let mut global = 0.0f64;
+        let mut next_arrival = 0usize;
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+        let mut paused: VecDeque<InFlight> = VecDeque::new();
+        let mut active: Vec<InFlight> = Vec::new();
+        let mut served: Vec<Option<ServedRequest>> = (0..arrivals.len()).map(|_| None).collect();
+        let mut admit_seq = 0u64;
+        let mut rounds = 0u64;
+        let mut preemptions = 0u32;
+
+        loop {
+            // Ingest arrivals due by now.
+            while next_arrival < arrivals.len() && arrivals[next_arrival].at <= global {
+                waiting.push_back(next_arrival);
+                next_arrival += 1;
+            }
+
+            self.admit(
+                &mut active,
+                &mut paused,
+                &mut waiting,
+                &mut pool,
+                arrivals,
+                global,
+                &mut admit_seq,
+            )?;
+
+            if active.is_empty() {
+                if waiting.is_empty() && paused.is_empty() {
+                    if next_arrival >= arrivals.len() {
+                        break; // everything served
+                    }
+                    // Idle until the next arrival.
+                    global = global.max(arrivals[next_arrival].at);
+                    continue;
+                }
+                // A lone candidate that cannot fit the whole pool: fresh
+                // requests already propagated from admission, so this is
+                // a preempted run whose paths outgrew the device.
+                let p = paused.front().expect("paused candidate");
+                let (needed, capacity) = p.run.kv_demand();
+                return Err(EngineError::PathExceedsMemory { needed, capacity });
+            }
+
+            // Memory-pressure preemption: a request whose worst path no
+            // longer fits its share cannot progress at all; one whose
+            // frontier working set outgrew the share would thrash the
+            // cache with evict/recompute cycles every iteration. Either
+            // way requests are swapped out youngest-first (vLLM's victim
+            // rule) and the survivors regrow. A lone request is never
+            // preempted — it holds the whole pool, like FIFO would.
+            while active.len() > 1 {
+                let victim = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.run.can_progress() || !a.run.fits_working_set())
+                    .max_by_key(|(_, a)| a.admit_seq)
+                    .map(|(i, _)| i);
+                let Some(vi) = victim else { break };
+                let mut v = active.remove(vi);
+                let bytes = v.run.preempt();
+                global += device.pcie_transfer_seconds(bytes);
+                pool.release(v.idx as u64);
+                v.preemptions += 1;
+                preemptions += 1;
+                v.paused_at = global;
+                v.probe = None;
+                paused.push_back(v);
+                Self::regrow(&mut active, &mut pool);
+            }
+
+            // One lockstep round: every active request executes one TTS
+            // iteration over the shared, co-batched accelerator.
+            rounds += 1;
+            let loads: Vec<(usize, u64)> = active.iter().map(|a| a.run.decode_load()).collect();
+            let total_seqs: usize = loads.iter().map(|l| l.0).sum();
+            let total_ctx: u64 = loads.iter().map(|l| l.1).sum();
+            let alone = active.len() == 1 && waiting.is_empty() && paused.is_empty();
+            let next_at = arrivals.get(next_arrival).map(|a| a.at);
+            // The round barrier is the latest member's absolute clock
+            // (`started_at + internal clock` — never re-derived from
+            // deltas, which would drift bit-wise from the FIFO path).
+            let mut round_end = global;
+            let mut finished: Vec<usize> = Vec::new();
+            for (i, a) in active.iter_mut().enumerate() {
+                a.run
+                    .set_co_batch(total_seqs - loads[i].0, total_ctx - loads[i].1);
+                // Two-phase rule: speculate only while alone, and only
+                // until the next (known) arrival would start waiting.
+                let spec_off = if !alone {
+                    0.0
+                } else if let Some(at) = next_at {
+                    (at - a.started_at).max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                a.run.set_spec_off_after(spec_off);
+                let status = a.run.step(a.driver.as_mut())?;
+                round_end = round_end.max(a.started_at + a.run.clock());
+                if status.is_finished() {
+                    finished.push(i);
+                }
+            }
+            global = round_end;
+
+            // Completions leave the batch at their own finish instant.
+            for &i in finished.iter().rev() {
+                let a = active.remove(i);
+                pool.release(a.idx as u64);
+                let stats = a.run.finish();
+                let answer = ftts_metrics::top1_majority(&stats.answers());
+                served[a.idx] = Some(ServedRequest {
+                    arrived_at: a.arrived_at,
+                    started_at: a.started_at,
+                    finished_at: a.started_at + stats.latency(),
+                    preemptions: a.preemptions,
+                    preempted_secs: a.preempted_secs,
+                    outcome: ServeOutcome { stats, answer },
+                });
+            }
+
+            // Survivors idle-wait at the round barrier; regrow shares if
+            // the batch shrank.
+            if !active.is_empty() {
+                for a in &mut active {
+                    Self::sync_to_barrier(a, global);
+                }
+                if !finished.is_empty() {
+                    Self::regrow(&mut active, &mut pool);
+                }
+            }
+        }
+
+        Ok(BatchRun {
+            served: served
+                .into_iter()
+                .map(|r| r.expect("every request served"))
+                .collect(),
+            rounds,
+            preemptions,
+            peak_reserved_bytes: pool.peak_reserved_bytes(),
+            pool_bytes,
+        })
+    }
+
+    /// Admit readmission candidates (preempted runs hold accepted work,
+    /// so they go first), then fresh arrivals, at equal KV shares.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        active: &mut Vec<InFlight>,
+        paused: &mut VecDeque<InFlight>,
+        waiting: &mut VecDeque<usize>,
+        pool: &mut PoolBudget,
+        arrivals: &[RequestArrival],
+        global: f64,
+        admit_seq: &mut u64,
+    ) -> Result<(), EngineError> {
+        // Without mid-flight admission the gate only opens while the
+        // device is idle — but once open, the whole gang fills (up to
+        // `max_batch`) before the batch runs to completion.
+        if !self.config.admit_mid_flight && !active.is_empty() {
+            return Ok(());
+        }
+        loop {
+            if active.len() >= self.config.max_batch || (paused.is_empty() && waiting.is_empty()) {
+                return Ok(());
+            }
+            let share = pool.equal_share(active.len() + 1);
+            if !active.is_empty() && share < self.config.min_share_bytes {
+                return Ok(());
+            }
+            // First preempted run that can make progress at this share.
+            // Joining a multi-request batch additionally requires its
+            // working set to fit, or it would bounce straight back out;
+            // with the device to itself it may thrash, as FIFO would.
+            let joining_others = !active.is_empty();
+            let readmit = (0..paused.len()).find(|&i| {
+                let p = &mut paused[i];
+                if !matches!(p.probe, Some((s, _, _)) if s == share) {
+                    p.run.set_kv_budget(share);
+                    p.probe = Some((share, p.run.can_progress(), p.run.fits_working_set()));
+                }
+                let (_, can_progress, fits_ws) = p.probe.expect("probe just set");
+                can_progress && (!joining_others || fits_ws)
+            });
+            if let Some(pos) = readmit {
+                let mut p = paused.remove(pos).expect("index in range");
+                p.run.set_kv_budget(share);
+                Self::shrink(active, pool, share);
+                assert!(pool.reserve(p.idx as u64, share), "ledger must have room");
+                p.preempted_secs += global - p.paused_at;
+                Self::sync_to_barrier(&mut p, global);
+                p.admit_seq = *admit_seq;
+                *admit_seq += 1;
+                active.push(p);
+                continue;
+            }
+            let Some(&idx) = waiting.front() else {
+                // Only unfittable preempted runs remain; wait for the
+                // batch to drain and shares to regrow.
+                return Ok(());
+            };
+            let mut driver = make_driver(self.kind, self.n, 4);
+            match self.server.begin_request(
+                &arrivals[idx].problem,
+                self.n,
+                driver.as_mut(),
+                f64::INFINITY,
+                Some(share),
+            ) {
+                Ok(run) => {
+                    waiting.pop_front();
+                    Self::shrink(active, pool, share);
+                    assert!(pool.reserve(idx as u64, share), "ledger must have room");
+                    active.push(InFlight {
+                        idx,
+                        run,
+                        driver,
+                        arrived_at: arrivals[idx].at,
+                        started_at: global,
+                        admit_seq: *admit_seq,
+                        preemptions: 0,
+                        preempted_secs: 0.0,
+                        paused_at: 0.0,
+                        probe: None,
+                    });
+                    *admit_seq += 1;
+                }
+                // The whole pool cannot host this prompt: infeasible.
+                Err(e) if active.is_empty() => return Err(e),
+                // A share cannot: leave it queued until capacity frees.
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Idle-pad `a`'s internal clock up to the absolute instant
+    /// `global`. Skips members already at (or past) the barrier so the
+    /// relative→absolute round trip cannot perturb their clock by a ulp
+    /// — bit-exactness with the FIFO path depends on this.
+    fn sync_to_barrier(a: &mut InFlight, global: f64) {
+        let clock = a.run.clock();
+        let absolute = a.started_at + clock;
+        if absolute < global {
+            a.run.sync_clock_to(clock + (global - absolute));
+        }
+    }
+
+    /// Shrink every active request's reservation to `share` ahead of an
+    /// admission (shrinking always fits).
+    fn shrink(active: &mut [InFlight], pool: &mut PoolBudget, share: u64) {
+        for a in active.iter_mut() {
+            assert!(pool.resize(a.idx as u64, share), "shrink always fits");
+            a.run.set_kv_budget(share);
+        }
+    }
+
+    /// Regrow every active request's reservation to the equal share.
+    fn regrow(active: &mut [InFlight], pool: &mut PoolBudget) {
+        let share = pool.equal_share(active.len());
+        for a in active.iter_mut() {
+            assert!(pool.resize(a.idx as u64, share), "regrow must fit");
+            a.run.set_kv_budget(share);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftts_engine::ModelPairing;
+    use ftts_hw::GpuDevice;
+    use ftts_workload::{ArrivalPattern, Dataset};
+
+    fn server(seed: u64, memory_fraction: f64) -> TtsServer {
+        let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        s.config_mut().seed = seed;
+        s.config_mut().memory_fraction = memory_fraction;
+        s
+    }
+
+    fn overload_arrivals(count: usize, seed: u64) -> Vec<RequestArrival> {
+        let problems = Dataset::Amc2023.problems(count, seed);
+        ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0)
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(BatchConfig::fifo().max_batch, 1);
+        assert!(!BatchConfig::fifo().admit_mid_flight);
+        assert!(BatchConfig::continuous(4).admit_mid_flight);
+        assert_eq!(BatchConfig::continuous(0).max_batch, 1, "cap is clamped");
+        assert!(!BatchConfig::gang(4).admit_mid_flight);
+        assert_eq!(BatchConfig::gang(4).max_batch, 4);
+    }
+
+    #[test]
+    fn continuous_batching_beats_fifo_under_overload() {
+        let arrivals = overload_arrivals(6, 41);
+        let fifo = BatchedServerSim::new(
+            server(5, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::fifo(),
+        )
+        .run(&arrivals)
+        .expect("fifo");
+        let cont = BatchedServerSim::new(
+            server(5, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::continuous(4),
+        )
+        .run(&arrivals)
+        .expect("continuous");
+        let (f, c) = (fifo.stream_summary(), cont.stream_summary());
+        assert!(
+            c.stream_goodput > f.stream_goodput,
+            "continuous {} must beat FIFO {} tok/s",
+            c.stream_goodput,
+            f.stream_goodput
+        );
+        assert!(cont.makespan() < fifo.makespan());
+        assert!(
+            c.latency.mean < f.latency.mean,
+            "queueing dominates FIFO latency"
+        );
+        assert!(fifo.peak_reserved_bytes <= fifo.pool_bytes);
+        assert!(cont.peak_reserved_bytes <= cont.pool_bytes);
+    }
+
+    #[test]
+    fn batching_preserves_answers() {
+        // The reasoning tree is timing-independent: co-scheduling only
+        // changes clocks and memory traffic, never outcomes.
+        let arrivals = overload_arrivals(5, 23);
+        let fifo = BatchedServerSim::new(
+            server(9, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::fifo(),
+        )
+        .run(&arrivals)
+        .expect("fifo");
+        let cont = BatchedServerSim::new(
+            server(9, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::continuous(3),
+        )
+        .run(&arrivals)
+        .expect("continuous");
+        for (f, c) in fifo.served.iter().zip(&cont.served) {
+            assert_eq!(f.outcome.answer, c.outcome.answer);
+            assert_eq!(f.accepted_tokens(), c.accepted_tokens());
+        }
+    }
+
+    #[test]
+    fn gang_batching_admits_only_while_idle() {
+        let arrivals = overload_arrivals(5, 31);
+        let gang = BatchedServerSim::new(
+            server(3, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::gang(3),
+        )
+        .run(&arrivals)
+        .expect("gang");
+        // First gang: requests arrived by t=0 — only request 0 (the rest
+        // arrive later), so later arrivals queue until the device drains.
+        assert_eq!(gang.served.len(), 5);
+        for r in &gang.served {
+            assert!(r.finished_at > r.arrived_at);
+        }
+    }
+
+    #[test]
+    fn preemption_fires_under_memory_pressure_and_conserves_tokens() {
+        // A tight pool with several concurrent deep searches: equal
+        // shares shrink until some request's working set no longer
+        // fits, forcing a swap-out. "No accepted tokens lost" is
+        // checked the only non-vacuous way: every preempted request's
+        // final beams match the preemption-free FIFO replay of the same
+        // stream exactly.
+        let problems = Dataset::Aime2024.problems(4, 51);
+        let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+        let sim = BatchedServerSim::new(
+            server(13, 0.30),
+            24,
+            SearchKind::BeamSearch,
+            BatchConfig::continuous(4),
+        );
+        let run = sim.run(&arrivals).expect("pressured run completes");
+        assert_eq!(run.served.len(), 4);
+        assert!(run.preemptions > 0, "pressure must trigger preemption");
+        assert!(run.peak_reserved_bytes <= run.pool_bytes);
+        let fifo = crate::ServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch)
+            .run(&arrivals)
+            .expect("fifo replay");
+        let mut saw_preempted = false;
+        for (r, f) in run.served.iter().zip(&fifo) {
+            if r.preemptions == 0 {
+                continue;
+            }
+            saw_preempted = true;
+            assert!(r.preempted_secs > 0.0);
+            assert_eq!(
+                r.accepted_tokens(),
+                f.accepted_tokens(),
+                "swap-out/readmission must not lose generated tokens"
+            );
+            assert_eq!(r.outcome.answer, f.outcome.answer);
+            assert_eq!(r.outcome.stats.beams.len(), f.outcome.stats.beams.len());
+        }
+        assert!(saw_preempted);
+    }
+
+    #[test]
+    fn min_share_caps_concurrency() {
+        let arrivals = overload_arrivals(4, 61);
+        let pool = server(1, 0.9).config().kv_budget_bytes();
+        let mut config = BatchConfig::continuous(4);
+        // Equal shares for 3+ requests would dip below the floor.
+        config.min_share_bytes = pool / 2;
+        let run = BatchedServerSim::new(server(1, 0.9), 8, SearchKind::BeamSearch, config)
+            .run(&arrivals)
+            .expect("run");
+        assert_eq!(run.served.len(), 4);
+    }
+
+    #[test]
+    fn stream_summary_counts_everything() {
+        let arrivals = overload_arrivals(3, 71);
+        let run = BatchedServerSim::new(
+            server(2, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::continuous(2),
+        )
+        .run(&arrivals)
+        .expect("run");
+        let s = run.stream_summary();
+        assert_eq!(s.requests, 3);
+        assert!(s.stream_goodput > 0.0);
+        assert!(s.makespan > 0.0);
+        assert_eq!(
+            s.total_accepted_tokens,
+            run.served.iter().map(|r| r.accepted_tokens()).sum::<u64>()
+        );
+    }
+}

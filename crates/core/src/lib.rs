@@ -25,7 +25,12 @@
 //! paper's baseline (two statically-sized vLLM instances, FIFO
 //! scheduling, no speculation). [`AblationFlags`] selects any subset for
 //! the Fig. 16/18 breakdowns. [`ServerSim`] replays request arrival
-//! streams with two-phase preemptive scheduling (Sec. 4.1.2).
+//! streams with two-phase preemptive scheduling (Sec. 4.1.2), and
+//! [`BatchedServerSim`] scales that to *continuous batching across
+//! requests*: mid-flight admission, co-batched decode, equal-share KV
+//! pool reservations and vLLM-style preemption — see `batch_server`'s
+//! module docs for the execution model and its batch-1 lockstep
+//! equivalence guarantee.
 //!
 //! For evaluation at scale, the `sweep` module provides a parallel
 //! harness: [`ServerSim::run_parallel`] replays independent request
@@ -53,14 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch_server;
 mod eval;
 mod memalloc;
 mod prefix_sched;
 mod server;
 mod sweep;
 
+pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
-pub use ftts_engine::{EngineError, SpecConfig};
+pub use ftts_engine::{EngineError, RequestRun, SpecConfig, StepStatus};
 pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};

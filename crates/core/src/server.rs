@@ -224,6 +224,27 @@ impl TtsServer {
         )
     }
 
+    /// Start a resumable run for one request — the entry point the
+    /// continuous-batching scheduler uses to multiplex many requests
+    /// over one simulated accelerator. `kv_budget` is the request's
+    /// share of the shared KV pool (`None` = the whole device budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when the prompt cannot fit in the
+    /// share.
+    pub fn begin_request(
+        &self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn ftts_engine::SearchDriver,
+        spec_off_after: f64,
+        kv_budget: Option<u64>,
+    ) -> Result<ftts_engine::RequestRun, EngineError> {
+        self.engine()
+            .begin(problem, n, driver, spec_off_after, kv_budget)
+    }
+
     /// Serve one problem with `n` beams using a named search algorithm.
     ///
     /// # Errors
@@ -267,6 +288,11 @@ pub struct ServedRequest {
     pub started_at: f64,
     /// Time serving finished.
     pub finished_at: f64,
+    /// How many times the request was preempted mid-flight (always 0
+    /// under FIFO batch-1 serving).
+    pub preemptions: u32,
+    /// Seconds spent preempted (swapped out awaiting readmission).
+    pub preempted_secs: f64,
     /// The serve outcome.
     pub outcome: ServeOutcome,
 }
@@ -280,6 +306,11 @@ impl ServedRequest {
     /// End-to-end latency including queueing.
     pub fn total_latency(&self) -> f64 {
         self.finished_at - self.arrived_at
+    }
+
+    /// Accepted (generated, completed-beam) tokens of the request.
+    pub fn accepted_tokens(&self) -> u64 {
+        self.outcome.stats.beams.iter().map(|b| b.tokens).sum()
     }
 }
 
@@ -324,6 +355,8 @@ impl ServerSim {
                 arrived_at: req.at,
                 started_at: start,
                 finished_at: finish,
+                preemptions: 0,
+                preempted_secs: 0.0,
                 outcome: ServeOutcome { stats, answer },
             });
             clock = finish;

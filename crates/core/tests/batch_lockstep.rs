@@ -1,0 +1,107 @@
+//! Lockstep equivalence: `BatchedServerSim` with `max_batch = 1` and
+//! mid-flight admission disabled must reproduce `ServerSim::run`
+//! bit-identically — outcomes, latencies and eviction stats — over the
+//! existing arrival fixtures. This pins the continuous-batching
+//! scheduler to the known-good FIFO path before any batching is turned
+//! on.
+
+use ftts_core::{BatchConfig, BatchedServerSim, ServedRequest, ServerSim, TtsServer};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_search::SearchKind;
+use ftts_workload::{ArrivalPattern, Dataset, RequestArrival};
+
+fn server(seed: u64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s
+}
+
+fn assert_bit_identical(fifo: &[ServedRequest], batched: &[ServedRequest]) {
+    assert_eq!(fifo.len(), batched.len());
+    for (f, b) in fifo.iter().zip(batched) {
+        assert_eq!(f.arrived_at, b.arrived_at);
+        assert_eq!(f.started_at, b.started_at, "admission instants must match");
+        assert_eq!(
+            f.finished_at, b.finished_at,
+            "completion instants must match"
+        );
+        assert_eq!(b.preemptions, 0, "batch-1 FIFO never preempts");
+        assert_eq!(b.preempted_secs, 0.0);
+        let (fs, bs) = (&f.outcome.stats, &b.outcome.stats);
+        assert_eq!(f.outcome.answer, b.outcome.answer);
+        assert_eq!(fs.completion.latency, bs.completion.latency);
+        assert_eq!(fs.completion.breakdown, bs.completion.breakdown);
+        assert_eq!(fs.iterations, bs.iterations);
+        assert_eq!(fs.decoded_tokens, bs.decoded_tokens);
+        assert_eq!(fs.verified_tokens, bs.verified_tokens);
+        assert_eq!(fs.spec, bs.spec, "speculation counters must match");
+        assert_eq!(fs.gen_cache, bs.gen_cache, "gen eviction stats must match");
+        assert_eq!(fs.ver_cache, bs.ver_cache, "ver eviction stats must match");
+        assert_eq!(fs.beams.len(), bs.beams.len());
+        for (x, y) in fs.beams.iter().zip(&bs.beams) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!(x.completion_time, y.completion_time);
+            assert_eq!(x.answer, y.answer);
+            assert_eq!(x.score, y.score);
+        }
+    }
+}
+
+fn check_pattern(seed: u64, arrivals: &[RequestArrival], n: usize) {
+    let fifo = ServerSim::new(server(seed), n, SearchKind::BeamSearch)
+        .run(arrivals)
+        .expect("fifo run");
+    let batched =
+        BatchedServerSim::new(server(seed), n, SearchKind::BeamSearch, BatchConfig::fifo())
+            .run(arrivals)
+            .expect("batched run");
+    assert_bit_identical(&fifo, &batched.served);
+    assert_eq!(batched.preemptions, 0);
+    assert!(batched.peak_reserved_bytes <= batched.pool_bytes);
+}
+
+#[test]
+fn lockstep_burst_fixture() {
+    let problems = Dataset::Amc2023.problems(3, 9);
+    let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+    check_pattern(0, &arrivals, 8);
+}
+
+#[test]
+fn lockstep_poisson_fixture() {
+    let problems = Dataset::Amc2023.problems(4, 21);
+    let arrivals = ArrivalPattern::Poisson { rate: 0.05 }.schedule(&problems, 5);
+    check_pattern(3, &arrivals, 8);
+}
+
+#[test]
+fn lockstep_interactive_fixture() {
+    let problems = Dataset::Aime2024.problems(2, 13);
+    let arrivals = ArrivalPattern::Interactive.schedule(&problems, 0);
+    check_pattern(7, &arrivals, 8);
+}
+
+#[test]
+fn lockstep_uniform_overload_fixture() {
+    // Overload: arrivals far faster than service. FIFO queues them; the
+    // batch-1 scheduler must queue identically.
+    let problems = Dataset::Amc2023.problems(3, 33);
+    let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
+    check_pattern(11, &arrivals, 8);
+}
+
+#[test]
+fn lockstep_holds_for_baseline_server_too() {
+    // The vLLM baseline path (random order, static split, no spec).
+    let problems = Dataset::Amc2023.problems(3, 17);
+    let arrivals = ArrivalPattern::Burst { at: 2.0 }.schedule(&problems, 0);
+    let base = TtsServer::vllm_baseline(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let fifo = ServerSim::new(base.clone(), 8, SearchKind::BeamSearch)
+        .run(&arrivals)
+        .expect("fifo");
+    let batched = BatchedServerSim::new(base, 8, SearchKind::BeamSearch, BatchConfig::fifo())
+        .run(&arrivals)
+        .expect("batched");
+    assert_bit_identical(&fifo, &batched.served);
+}

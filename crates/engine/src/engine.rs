@@ -8,7 +8,7 @@ use ftts_model::{normal, stream, ProblemSpec, StepPlan, SyntheticGenerator, Synt
 use crate::beam::{Beam, BeamId, BeamState, ScoredBeam, SpecBranch};
 use crate::config::EngineConfig;
 use crate::order::{OrderItem, OrderPolicy};
-use crate::planner::{MemoryPlan, MemoryPlanner, PlanContext};
+use crate::planner::{MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
 use crate::stats::RunStats;
 
 /// Context handed to [`SearchDriver::select`].
@@ -155,9 +155,93 @@ impl Engine {
         spec_off_after: f64,
     ) -> Result<RunStats, EngineError> {
         assert!(n > 0, "need at least one beam");
-        let mut run = Run::new(self, problem, spec_off_after);
-        run.serve(n, driver)?;
-        Ok(run.finish())
+        // The policies move into the (owned, resumable) run and come back
+        // afterwards, so the engine stays usable for the next request.
+        let order = std::mem::replace(&mut self.order, Box::new(crate::order::FifoOrder));
+        let planner = std::mem::replace(&mut self.planner, Box::new(StaticSplitPlanner));
+        let mut run = RequestRun::start(
+            self.config.clone(),
+            order,
+            planner,
+            problem,
+            n,
+            spec_off_after,
+            None,
+        );
+        let mut result = run.init(driver);
+        if result.is_ok() {
+            loop {
+                match run.step(driver) {
+                    Ok(StepStatus::Running) => {}
+                    Ok(StepStatus::Finished) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+        }
+        let (stats, order, planner) = run.into_parts();
+        self.order = order;
+        self.planner = planner;
+        result.map(|()| stats)
+    }
+
+    /// Start a resumable per-request run, consuming the engine: the
+    /// config and policies move into the returned [`RequestRun`]. The
+    /// serving layer steps it with [`RequestRun::step`] — one TTS
+    /// iteration at a time — which is what lets one scheduler multiplex
+    /// many requests over shared hardware (continuous batching).
+    ///
+    /// `kv_budget` overrides the device KV budget for this request (its
+    /// share of a pool shared with other in-flight requests); `None`
+    /// means the whole device budget, exactly like [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when the prompt alone
+    /// cannot fit in the generator's KV allocation.
+    pub fn begin(
+        self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn SearchDriver,
+        spec_off_after: f64,
+        kv_budget: Option<u64>,
+    ) -> Result<RequestRun, EngineError> {
+        assert!(n > 0, "need at least one beam");
+        let Engine {
+            config,
+            order,
+            planner,
+        } = self;
+        let mut run = RequestRun::start(
+            config,
+            order,
+            planner,
+            problem,
+            n,
+            spec_off_after,
+            kv_budget,
+        );
+        run.init(driver)?;
+        Ok(run)
+    }
+}
+
+/// Progress of a [`RequestRun`] after one [`RequestRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The request still has active beams; call `step` again.
+    Running,
+    /// The request completed; call [`RequestRun::finish`].
+    Finished,
+}
+
+impl StepStatus {
+    /// Whether the run completed.
+    pub fn is_finished(self) -> bool {
+        matches!(self, StepStatus::Finished)
     }
 }
 
@@ -227,11 +311,18 @@ struct Scratch {
     spec_leftovers: Vec<NodeId>,
 }
 
-/// All per-request state.
-struct Run<'e> {
-    cfg: &'e EngineConfig,
-    order: &'e mut dyn OrderPolicy,
-    planner: &'e mut dyn MemoryPlanner,
+/// All per-request state of one TTS request, resumable step by step.
+///
+/// A `RequestRun` owns its KV caches, policies, search frontier and
+/// statistics, so a serving layer can hold many in-flight runs at once
+/// and interleave them one iteration at a time — the substrate for
+/// continuous batching across requests. [`Engine::run`] drives exactly
+/// this state machine to completion in a single call; [`Engine::begin`]
+/// hands it out for external scheduling.
+pub struct RequestRun {
+    cfg: std::sync::Arc<EngineConfig>,
+    order: Box<dyn OrderPolicy>,
+    planner: Box<dyn MemoryPlanner>,
     gen_roof: Roofline,
     ver_roof: Roofline,
     generator: SyntheticGenerator,
@@ -251,14 +342,47 @@ struct Run<'e> {
     born_counter: u32,
     root_eps: f64,
     scratch: Scratch,
+    /// Beam budget `n` of the request.
+    n: usize,
+    /// TTS iterations completed so far.
+    iteration: u32,
+    /// Iteration cap (`max_depth + 4`, as in the original serve loop).
+    max_iterations: u32,
+    /// Whether the run has completed (frontier drained or cap reached).
+    done: bool,
+    /// KV budget this request may plan against (its pool share).
+    kv_budget: u64,
+    /// Decode sequences co-resident from *other* requests sharing the
+    /// accelerator this step (continuous batching across requests).
+    co_seqs: usize,
+    /// Sum of those co-resident sequences' context lengths, in tokens.
+    co_ctx_sum: u64,
 }
 
-impl<'e> Run<'e> {
-    fn new(engine: &'e mut Engine, problem: &ProblemSpec, spec_off_after: f64) -> Self {
-        let cfg = &engine.config;
+impl std::fmt::Debug for RequestRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestRun")
+            .field("clock", &self.clock)
+            .field("iteration", &self.iteration)
+            .field("frontier", &self.frontier.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl RequestRun {
+    fn start(
+        cfg: std::sync::Arc<EngineConfig>,
+        order: Box<dyn OrderPolicy>,
+        planner: Box<dyn MemoryPlanner>,
+        problem: &ProblemSpec,
+        n: usize,
+        spec_off_after: f64,
+        kv_budget: Option<u64>,
+    ) -> Self {
         let gen_roof = Roofline::new(cfg.device.clone(), cfg.models.gen_spec.clone());
         let ver_roof = Roofline::new(cfg.device.clone(), cfg.models.ver_spec.clone());
-        let budget = cfg.kv_budget_bytes();
+        let budget = kv_budget.unwrap_or_else(|| cfg.kv_budget_bytes());
         // Initial half/half placeholder; the planner repartitions before
         // the first generation phase.
         let mut gen_kv = KvCache::new(KvCacheConfig {
@@ -287,9 +411,10 @@ impl<'e> Run<'e> {
         } else {
             None
         };
+        let max_iterations = problem.steps.max_depth + 4;
         let mut run = Self {
-            order: engine.order.as_mut(),
-            planner: engine.planner.as_mut(),
+            order,
+            planner,
             gen_roof,
             ver_roof,
             generator,
@@ -317,7 +442,14 @@ impl<'e> Run<'e> {
             born_counter: 0,
             root_eps,
             scratch: Scratch::default(),
-            cfg: &engine.config,
+            cfg,
+            n,
+            iteration: 0,
+            max_iterations,
+            done: false,
+            kv_budget: budget,
+            co_seqs: 0,
+            co_ctx_sum: 0,
         };
         // The prompt must be prefilled once by the generator before any
         // decoding; charged to the generator bucket.
@@ -363,7 +495,8 @@ impl<'e> Run<'e> {
         self.clock += seconds;
     }
 
-    fn serve(&mut self, n: usize, driver: &mut dyn SearchDriver) -> Result<(), EngineError> {
+    /// Feasibility check + initial expansion (the serve-loop preamble).
+    fn init(&mut self, driver: &mut dyn SearchDriver) -> Result<(), EngineError> {
         // The prompt itself must fit in the generator cache, or no path
         // ever can.
         let root_kv = self.beams[0].kv;
@@ -377,42 +510,213 @@ impl<'e> Run<'e> {
             }
         }
         // Initial expansion: n children of the prompt, subtree i for DVTS.
-        let initial: Vec<(usize, usize)> = vec![(0, n)];
+        let initial: Vec<(usize, usize)> = vec![(0, self.n)];
         self.branch(&initial, driver, true)?;
-
-        let max_iterations = self.problem.steps.max_depth + 4;
-        let mut iteration = 0u32;
-        while !self.frontier.is_empty() && iteration < max_iterations {
-            self.replan(driver);
-            let order = self.generation_phase(driver)?;
-            self.verification_phase(driver, &order);
-            self.scratch.ordered = order;
-            self.retire_terminals();
-            if self.frontier.is_empty() {
-                break;
-            }
-            let ctx = SelectCtx {
-                iteration,
-                n_target: n,
-                completed: self.stats.beams.len(),
-            };
-            let mut scored = std::mem::take(&mut self.scratch.scored);
-            scored.clear();
-            scored.extend(self.frontier.iter().map(|&i| self.scored_view(i)));
-            let selection = driver.select(&scored, &ctx);
-            self.scratch.scored = scored;
-            let mut picks = std::mem::take(&mut self.scratch.picks);
-            picks.clear();
-            picks.extend(selection.into_iter().map(|(id, c)| (id.0 as usize, c)));
-            let branched = self.branch(&picks, driver, false);
-            self.scratch.picks = picks;
-            branched?;
-            iteration += 1;
+        if self.frontier.is_empty() || self.iteration >= self.max_iterations {
+            self.finalize();
         }
-        self.stats.iterations = iteration;
+        Ok(())
+    }
+
+    /// Execute one TTS iteration: replan memory, run the generation and
+    /// verification phases, retire terminal beams and branch the
+    /// survivors. Returns [`StepStatus::Finished`] when the request is
+    /// complete (and [`RequestRun::finish`] should be called).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when a single path
+    /// cannot fit in the generator's KV allocation.
+    pub fn step(&mut self, driver: &mut dyn SearchDriver) -> Result<StepStatus, EngineError> {
+        if self.done {
+            return Ok(StepStatus::Finished);
+        }
+        self.replan();
+        let order = self.generation_phase(driver)?;
+        self.verification_phase(driver, &order);
+        self.scratch.ordered = order;
+        self.retire_terminals();
+        if self.frontier.is_empty() {
+            self.finalize();
+            return Ok(StepStatus::Finished);
+        }
+        let ctx = SelectCtx {
+            iteration: self.iteration,
+            n_target: self.n,
+            completed: self.stats.beams.len(),
+        };
+        let mut scored = std::mem::take(&mut self.scratch.scored);
+        scored.clear();
+        scored.extend(self.frontier.iter().map(|&i| self.scored_view(i)));
+        let selection = driver.select(&scored, &ctx);
+        self.scratch.scored = scored;
+        let mut picks = std::mem::take(&mut self.scratch.picks);
+        picks.clear();
+        picks.extend(selection.into_iter().map(|(id, c)| (id.0 as usize, c)));
+        let branched = self.branch(&picks, driver, false);
+        self.scratch.picks = picks;
+        branched?;
+        self.iteration += 1;
+        if self.frontier.is_empty() || self.iteration >= self.max_iterations {
+            self.finalize();
+            return Ok(StepStatus::Finished);
+        }
+        Ok(StepStatus::Running)
+    }
+
+    /// Seal completion statistics (idempotent; exactly the serve-loop
+    /// epilogue).
+    fn finalize(&mut self) {
+        self.done = true;
+        self.stats.iterations = self.iteration;
         self.stats.completion.latency = self.clock;
         self.stats.completion.breakdown = self.breakdown;
-        Ok(())
+    }
+
+    /// Whether the run has completed.
+    pub fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    /// The run's internal clock: seconds of simulated service time since
+    /// the request started (idle waits included).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Statistics accumulated so far (final once the run is finished).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Total tokens decoded so far (speculation included) — accepted
+    /// work that preemption must never lose.
+    pub fn decoded_tokens(&self) -> u64 {
+        self.stats.decoded_tokens
+    }
+
+    /// Move the speculation cut-off (two-phase scheduling): speculation
+    /// stops once the internal clock passes `t`. A serving layer calls
+    /// this before every step as its queue state changes.
+    pub fn set_spec_off_after(&mut self, t: f64) {
+        self.spec_off_after = t;
+    }
+
+    /// Re-budget this request's share of the device KV pool and replan
+    /// the generator/verifier split immediately. Shrinking below current
+    /// occupancy is allowed — the caches evict on demand.
+    pub fn set_kv_budget(&mut self, bytes: u64) {
+        self.kv_budget = bytes;
+        self.replan();
+    }
+
+    /// This request's current KV pool share, in bytes.
+    pub fn kv_budget(&self) -> u64 {
+        self.kv_budget
+    }
+
+    /// Declare sequences co-resident from other requests for the next
+    /// step: the decode kernel is costed over the combined batch (one
+    /// shared weight sweep, everyone's KV traffic), which is where
+    /// continuous batching wins its throughput.
+    pub fn set_co_batch(&mut self, seqs: usize, ctx_sum: u64) {
+        self.co_seqs = seqs;
+        self.co_ctx_sum = ctx_sum;
+    }
+
+    /// This request's decode load as seen by co-scheduled requests:
+    /// `(frontier sequences, total context tokens)`.
+    pub fn decode_load(&self) -> (usize, u64) {
+        let ctx = self
+            .frontier
+            .iter()
+            .map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv))
+            .sum();
+        (self.frontier.len(), ctx)
+    }
+
+    /// Advance the internal clock to `t` as idle time (a lockstep-round
+    /// barrier or a preemption gap). No-op if `t` is in the past.
+    pub fn sync_clock_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.breakdown.idle += t - self.clock;
+            self.clock = t;
+        }
+    }
+
+    /// Preempt the request: swap all unpinned KV (generator and
+    /// verifier) to host memory, freeing its device blocks for other
+    /// requests. Returns the bytes moved, for PCIe costing by the
+    /// scheduler. Accepted tokens are never lost — resuming restores or
+    /// recomputes prefixes through the normal pin path.
+    pub fn preempt(&mut self) -> u64 {
+        self.gen_kv.swap_out_unpinned() + self.ver_kv.swap_out_unpinned()
+    }
+
+    /// Worst single-path KV demand vs the generator's capacity, in
+    /// blocks. A request whose demand exceeds capacity cannot make
+    /// progress under its current pool share and should be preempted
+    /// until shares regrow.
+    pub fn kv_demand(&self) -> (u64, u64) {
+        let needed = self
+            .frontier
+            .iter()
+            .map(|&i| {
+                let b = &self.beams[i];
+                self.gen_kv.blocks_needed(b.kv, b.remaining()) + 2
+            })
+            .max()
+            .unwrap_or(0);
+        (needed, self.gen_kv.config().capacity_blocks())
+    }
+
+    /// Whether every frontier path individually fits the current share
+    /// (see [`RequestRun::kv_demand`]).
+    pub fn can_progress(&self) -> bool {
+        let (needed, capacity) = self.kv_demand();
+        needed <= capacity
+    }
+
+    /// Generator-side working set vs cache capacity, in bytes: the
+    /// unique tokens across all frontier paths (prefix sharing already
+    /// accounted) are what the cache must retain across iterations to
+    /// avoid recompute thrash.
+    pub fn kv_working_set(&self) -> (u64, u64) {
+        let leaves: Vec<NodeId> = self.frontier.iter().map(|&i| self.beams[i].kv).collect();
+        let tokens = self.gen_kv.unique_path_tokens(&leaves);
+        (
+            tokens * self.gen_kv.config().bytes_per_token,
+            self.gen_kv.config().capacity_bytes,
+        )
+    }
+
+    /// Whether the frontier's working set fits the current share (no
+    /// eviction thrash). A scheduler sharing the pool across requests
+    /// uses this as its soft preemption trigger.
+    pub fn fits_working_set(&self) -> bool {
+        let (set, capacity) = self.kv_working_set();
+        set <= capacity
+    }
+
+    /// Final statistics. The run is consumed; callable at any point (a
+    /// scheduler abandoning an unfinished run gets stats sealed at the
+    /// current clock/iteration).
+    pub fn finish(self) -> RunStats {
+        self.into_parts().0
+    }
+
+    /// Destructure into final stats plus the policy boxes (so
+    /// [`Engine::run`] can hand its policies back to the engine).
+    fn into_parts(mut self) -> (RunStats, Box<dyn OrderPolicy>, Box<dyn MemoryPlanner>) {
+        if !self.done {
+            // Abandoned mid-flight: seal completion at the current
+            // state so the record is internally consistent.
+            self.finalize();
+        }
+        self.stats.gen_cache = *self.gen_kv.stats();
+        self.stats.ver_cache = *self.ver_kv.stats();
+        self.stats.trace = self.trace.take();
+        (self.stats, self.order, self.planner)
     }
 
     fn scored_view(&self, idx: usize) -> ScoredBeam {
@@ -428,7 +732,7 @@ impl<'e> Run<'e> {
     }
 
     /// Invoke the memory planner on current state and apply capacities.
-    fn replan(&mut self, _driver: &mut dyn SearchDriver) {
+    fn replan(&mut self) {
         let avg_ctx = if self.frontier.is_empty() {
             self.problem.prompt_tokens
         } else {
@@ -445,7 +749,7 @@ impl<'e> Run<'e> {
         let tree_tokens = self.gen_kv.unique_path_tokens(&leaves);
         self.scratch.leaves = leaves;
         let ctx = PlanContext {
-            kv_budget_bytes: self.cfg.kv_budget_bytes(),
+            kv_budget_bytes: self.kv_budget,
             n_beams: self.frontier.len(),
             avg_ctx,
             step_tokens,
@@ -453,7 +757,7 @@ impl<'e> Run<'e> {
             tree_tokens,
             ver_caching: self.cfg.ver_prefix_caching,
         };
-        let plan = self.planner.plan(self.cfg, &ctx);
+        let plan = self.planner.plan(&self.cfg, &ctx);
         debug_assert!(plan.fits(ctx.kv_budget_bytes), "planner exceeded budget");
         self.plan = plan;
         self.gen_kv.set_capacity_bytes(plan.gen_kv_bytes);
@@ -604,8 +908,13 @@ impl<'e> Run<'e> {
                 .map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv))
                 .chain(spec_tasks.iter().map(|t| self.gen_kv.seq_tokens(t.node)))
                 .sum();
-            let avg_ctx = ctx_sum / batch as u64 + k / 2;
-            let step_cost = self.gen_roof.decode_step(batch, avg_ctx);
+            // Sequences co-scheduled from other requests ride the same
+            // decode kernel: one shared weight sweep, everyone's KV
+            // traffic. With no co-batch this reduces to the standalone
+            // cost exactly.
+            let total_batch = batch + self.co_seqs;
+            let avg_ctx = (ctx_sum + self.co_ctx_sum) / total_batch as u64 + k / 2;
+            let step_cost = self.gen_roof.decode_step(total_batch, avg_ctx);
             let dt = step_cost.seconds * k as f64;
             self.advance(dt, step_cost.compute_util, Phase::Generation);
             self.breakdown.generator += dt;
@@ -1195,12 +1504,5 @@ impl<'e> Run<'e> {
         };
         self.beams.push(beam);
         Ok(self.beams.len() - 1)
-    }
-
-    fn finish(mut self) -> RunStats {
-        self.stats.gen_cache = *self.gen_kv.stats();
-        self.stats.ver_cache = *self.ver_kv.stats();
-        self.stats.trace = self.trace.take();
-        self.stats
     }
 }

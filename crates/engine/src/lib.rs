@@ -41,7 +41,7 @@ mod stats;
 
 pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
-pub use engine::{Engine, EngineError, SearchDriver, SelectCtx};
+pub use engine::{Engine, EngineError, RequestRun, SearchDriver, SelectCtx, StepStatus};
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
 pub use stats::{RunStats, SpecStats};

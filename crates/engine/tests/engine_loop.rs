@@ -1,8 +1,8 @@
 //! End-to-end tests of the serving loop with a minimal beam-search driver.
 
 use ftts_engine::{
-    Engine, EngineConfig, FifoOrder, ModelPairing, ScoredBeam, SearchDriver, SelectCtx, SpecConfig,
-    StaticSplitPlanner,
+    Engine, EngineConfig, FifoOrder, ModelPairing, RunStats, ScoredBeam, SearchDriver, SelectCtx,
+    SpecConfig, StaticSplitPlanner, StepStatus,
 };
 use ftts_hw::GpuDevice;
 use ftts_workload::Dataset;
@@ -177,6 +177,139 @@ fn larger_n_generates_more_tokens() {
         eng.run(&problem(3), n, &mut driver).unwrap().decoded_tokens
     };
     assert!(run_tokens(32) > 2 * run_tokens(8));
+}
+
+fn assert_stats_identical(a: &RunStats, b: &RunStats) {
+    assert_eq!(a.latency(), b.latency());
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.decoded_tokens, b.decoded_tokens);
+    assert_eq!(a.verified_tokens, b.verified_tokens);
+    assert_eq!(a.gen_cache, b.gen_cache);
+    assert_eq!(a.ver_cache, b.ver_cache);
+    assert_eq!(a.beams.len(), b.beams.len());
+    for (x, y) in a.beams.iter().zip(&b.beams) {
+        assert_eq!(x.tokens, y.tokens);
+        assert_eq!(x.completion_time, y.completion_time);
+        assert_eq!(x.answer, y.answer);
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn stepped_run_matches_one_shot_run() {
+    // `Engine::begin` + `step` loop is the same state machine `run`
+    // drives; decomposing it must not change a single bit.
+    let one_shot = {
+        let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 11, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        eng.run(&problem(2), 16, &mut driver).unwrap()
+    };
+    let stepped = {
+        let eng = engine(SpecConfig::fasttts_default(), 0.9, 11, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        let mut run = eng
+            .begin(&problem(2), 16, &mut driver, f64::INFINITY, None)
+            .unwrap();
+        let mut steps = 0u32;
+        while run.step(&mut driver).unwrap() == StepStatus::Running {
+            steps += 1;
+        }
+        assert!(steps > 0, "multi-iteration request");
+        assert!(run.is_finished());
+        run.finish()
+    };
+    assert_stats_identical(&one_shot, &stepped);
+}
+
+#[test]
+fn interleaved_requests_share_no_state() {
+    // Two requests served step-by-step by interleaving on one simulated
+    // device: each run owns its Scratch, caches and policy state, so
+    // interleaving must reproduce the isolated runs exactly — no
+    // cross-request leakage through recycled containers.
+    let standalone = |idx: usize, seed: u64| {
+        let mut eng = engine(SpecConfig::disabled(), 0.9, seed, false);
+        let mut driver = PlainBeam { n: 8, b: 4 };
+        eng.run(&problem(idx), 8, &mut driver).unwrap()
+    };
+    let solo_a = standalone(0, 5);
+    let solo_b = standalone(1, 6);
+
+    let mut driver_a = PlainBeam { n: 8, b: 4 };
+    let mut driver_b = PlainBeam { n: 8, b: 4 };
+    let mut run_a = engine(SpecConfig::disabled(), 0.9, 5, false)
+        .begin(&problem(0), 8, &mut driver_a, f64::INFINITY, None)
+        .unwrap();
+    let mut run_b = engine(SpecConfig::disabled(), 0.9, 6, false)
+        .begin(&problem(1), 8, &mut driver_b, f64::INFINITY, None)
+        .unwrap();
+    let mut interleaves = 0u32;
+    while !(run_a.is_finished() && run_b.is_finished()) {
+        if !run_a.is_finished() {
+            run_a.step(&mut driver_a).unwrap();
+        }
+        if !run_b.is_finished() {
+            run_b.step(&mut driver_b).unwrap();
+            interleaves += 1;
+        }
+    }
+    assert!(interleaves > 1, "the runs actually interleaved");
+    assert_stats_identical(&solo_a, &run_a.finish());
+    assert_stats_identical(&solo_b, &run_b.finish());
+}
+
+#[test]
+fn co_batched_decode_amortizes_the_weight_sweep() {
+    // With co-resident sequences declared, a step takes longer on its
+    // own clock (bigger combined batch) but far less than two isolated
+    // requests run back to back — the continuous-batching win.
+    let run_with_co = |co: usize| {
+        let eng = engine(SpecConfig::disabled(), 0.9, 3, false);
+        let mut driver = PlainBeam { n: 8, b: 4 };
+        let mut run = eng
+            .begin(&problem(0), 8, &mut driver, f64::INFINITY, None)
+            .unwrap();
+        while !run.is_finished() {
+            let (seqs, ctx) = run.decode_load();
+            run.set_co_batch(co * seqs.max(1), co as u64 * ctx);
+            run.step(&mut driver).unwrap();
+        }
+        run.finish().latency()
+    };
+    let alone = run_with_co(0);
+    let shared = run_with_co(1);
+    assert!(shared > alone, "co-batching costs some per-request latency");
+    assert!(
+        shared < 1.5 * alone,
+        "one co-resident clone must cost far less than a second pass: {shared} vs {alone}"
+    );
+}
+
+#[test]
+fn preempt_swaps_out_and_resumes_without_losing_tokens() {
+    let eng = engine(SpecConfig::disabled(), 0.9, 7, false);
+    let mut driver = PlainBeam { n: 8, b: 4 };
+    let mut run = eng
+        .begin(&problem(1), 8, &mut driver, f64::INFINITY, None)
+        .unwrap();
+    run.step(&mut driver).unwrap();
+    let tokens_before = run.decoded_tokens();
+    let clock_before = run.clock();
+    let bytes = run.preempt();
+    assert!(bytes > 0, "mid-flight KV must be resident to swap out");
+    // The scheduler parks it, then resumes later at a new global time.
+    run.sync_clock_to(clock_before + 5.0);
+    while !run.is_finished() {
+        run.step(&mut driver).unwrap();
+    }
+    let stats = run.finish();
+    assert!(stats.decoded_tokens > tokens_before, "run kept generating");
+    assert!(stats.latency() > clock_before + 5.0);
+    assert_eq!(
+        stats.completion.breakdown.idle, 5.0,
+        "the preemption gap is accounted as idle time"
+    );
+    assert!(!stats.beams.is_empty());
 }
 
 #[test]

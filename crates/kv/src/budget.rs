@@ -1,0 +1,192 @@
+//! Shared device-KV budget split between concurrent requests.
+//!
+//! Under continuous batching many requests hold KV caches on one
+//! accelerator at the same time. Admission control must guarantee the
+//! sum of their capacities never exceeds the device budget — otherwise
+//! the simulation would hand out memory that does not exist. This
+//! ledger tracks per-holder byte reservations against a fixed total;
+//! the serving scheduler reserves a share at admission, resizes shares
+//! as the batch grows and shrinks, and releases them at completion or
+//! preemption.
+
+use std::collections::BTreeMap;
+
+/// A byte-reservation ledger over a fixed device KV budget.
+///
+/// # Invariant
+///
+/// The sum of all reservations never exceeds the total: every mutation
+/// that would break this fails (returning `false`) without changing any
+/// state. `peak_reserved_bytes` records the lifetime high-water mark,
+/// so tests can audit that a whole scheduling run stayed within budget.
+///
+/// # Example
+///
+/// ```
+/// use ftts_kv::PoolBudget;
+/// let mut pool = PoolBudget::new(100);
+/// assert!(pool.reserve(1, 60));
+/// assert!(!pool.reserve(2, 60)); // would overcommit
+/// assert!(pool.resize(1, 50));
+/// assert!(pool.reserve(2, 50));
+/// assert_eq!(pool.release(1), 50);
+/// assert_eq!(pool.reserved_bytes(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBudget {
+    total_bytes: u64,
+    reserved: BTreeMap<u64, u64>,
+    reserved_bytes: u64,
+    peak_reserved: u64,
+}
+
+impl PoolBudget {
+    /// A ledger over `total_bytes` of device KV memory.
+    pub fn new(total_bytes: u64) -> Self {
+        Self {
+            total_bytes,
+            reserved: BTreeMap::new(),
+            reserved_bytes: 0,
+            peak_reserved: 0,
+        }
+    }
+
+    /// The fixed device budget.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes currently reserved across all holders.
+    pub fn reserved_bytes(&self) -> u64 {
+        debug_assert_eq!(
+            self.reserved_bytes,
+            self.reserved.values().sum::<u64>(),
+            "reservation ledger out of sync"
+        );
+        self.reserved_bytes
+    }
+
+    /// Bytes still available for new reservations.
+    pub fn available_bytes(&self) -> u64 {
+        self.total_bytes - self.reserved_bytes
+    }
+
+    /// Lifetime maximum of [`PoolBudget::reserved_bytes`] — never above
+    /// the total, by construction.
+    pub fn peak_reserved_bytes(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// Number of holders with a live reservation.
+    pub fn holders(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// A holder's current reservation (0 if none).
+    pub fn share_of(&self, holder: u64) -> u64 {
+        self.reserved.get(&holder).copied().unwrap_or(0)
+    }
+
+    /// The equal share `k` concurrent holders would each get.
+    pub fn equal_share(&self, k: usize) -> u64 {
+        self.total_bytes / k.max(1) as u64
+    }
+
+    /// Reserve `bytes` for a new holder. Fails (changing nothing) if the
+    /// holder already has a reservation or the budget cannot cover it.
+    #[must_use]
+    pub fn reserve(&mut self, holder: u64, bytes: u64) -> bool {
+        if self.reserved.contains_key(&holder) || bytes > self.available_bytes() {
+            return false;
+        }
+        self.reserved.insert(holder, bytes);
+        self.reserved_bytes += bytes;
+        self.peak_reserved = self.peak_reserved.max(self.reserved_bytes);
+        true
+    }
+
+    /// Resize an existing reservation. Shrinking always succeeds;
+    /// growing succeeds only if the extra bytes are available. Fails for
+    /// unknown holders.
+    #[must_use]
+    pub fn resize(&mut self, holder: u64, bytes: u64) -> bool {
+        let Some(current) = self.reserved.get(&holder).copied() else {
+            return false;
+        };
+        if bytes > current && bytes - current > self.available_bytes() {
+            return false;
+        }
+        self.reserved.insert(holder, bytes);
+        self.reserved_bytes = self.reserved_bytes - current + bytes;
+        self.peak_reserved = self.peak_reserved.max(self.reserved_bytes);
+        true
+    }
+
+    /// Release a holder's reservation entirely, returning the bytes
+    /// freed (0 for unknown holders).
+    pub fn release(&mut self, holder: u64) -> u64 {
+        let freed = self.reserved.remove(&holder).unwrap_or(0);
+        self.reserved_bytes -= freed;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_resize_release_roundtrip() {
+        let mut p = PoolBudget::new(100);
+        assert!(p.reserve(7, 40));
+        assert!(p.reserve(8, 60));
+        assert_eq!(p.available_bytes(), 0);
+        assert_eq!(p.holders(), 2);
+        assert!(p.resize(7, 20));
+        assert_eq!(p.available_bytes(), 20);
+        assert!(p.resize(8, 80));
+        assert_eq!(p.release(7), 20);
+        assert_eq!(p.release(8), 80);
+        assert_eq!(p.reserved_bytes(), 0);
+        assert_eq!(p.peak_reserved_bytes(), 100);
+    }
+
+    #[test]
+    fn overcommit_is_rejected_without_side_effects() {
+        let mut p = PoolBudget::new(50);
+        assert!(p.reserve(1, 30));
+        assert!(!p.reserve(2, 30));
+        assert_eq!(p.holders(), 1);
+        assert!(!p.resize(1, 60));
+        assert_eq!(p.share_of(1), 30);
+        assert_eq!(p.peak_reserved_bytes(), 30);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_holders_fail() {
+        let mut p = PoolBudget::new(50);
+        assert!(p.reserve(1, 10));
+        assert!(!p.reserve(1, 10), "double reservation must fail");
+        assert!(!p.resize(2, 10), "unknown holder cannot resize");
+        assert_eq!(p.release(2), 0, "unknown holder releases nothing");
+        assert_eq!(p.share_of(2), 0);
+    }
+
+    #[test]
+    fn equal_share_divides_the_budget() {
+        let p = PoolBudget::new(99);
+        assert_eq!(p.equal_share(1), 99);
+        assert_eq!(p.equal_share(3), 33);
+        assert_eq!(p.equal_share(0), 99, "zero holders degrades to full");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_not_current() {
+        let mut p = PoolBudget::new(100);
+        assert!(p.reserve(1, 70));
+        p.release(1);
+        assert!(p.reserve(2, 10));
+        assert_eq!(p.peak_reserved_bytes(), 70);
+        assert_eq!(p.reserved_bytes(), 10);
+    }
+}

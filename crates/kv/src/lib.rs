@@ -47,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod cache;
 mod pool;
 mod stats;
 mod tree;
 
+pub use budget::PoolBudget;
 pub use cache::{KvCache, KvCacheConfig, KvError, PinCost};
 pub use pool::BlockPool;
 pub use stats::CacheStats;

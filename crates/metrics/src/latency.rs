@@ -14,12 +14,15 @@ pub struct LatencyBreakdown {
     pub recompute: f64,
     /// Seconds spent on host<->device KV transfers (offloading).
     pub offload: f64,
+    /// Seconds spent idle: lockstep-round barriers and preemption gaps
+    /// under continuous batching (always zero for isolated runs).
+    pub idle: f64,
 }
 
 impl LatencyBreakdown {
     /// Total accounted seconds.
     pub fn total(&self) -> f64 {
-        self.generator + self.verifier + self.recompute + self.offload
+        self.generator + self.verifier + self.recompute + self.offload + self.idle
     }
 
     /// Generator-side seconds (decode plus recompute — both run on the
@@ -34,6 +37,7 @@ impl LatencyBreakdown {
         self.verifier += other.verifier;
         self.recompute += other.recompute;
         self.offload += other.offload;
+        self.idle += other.idle;
     }
 
     /// Element-wise scaling (e.g. averaging over problems).
@@ -43,6 +47,7 @@ impl LatencyBreakdown {
             verifier: self.verifier * k,
             recompute: self.recompute * k,
             offload: self.offload * k,
+            idle: self.idle * k,
         }
     }
 }
@@ -67,8 +72,9 @@ mod tests {
             verifier: 2.0,
             recompute: 0.5,
             offload: 0.25,
+            idle: 0.25,
         };
-        assert_eq!(b.total(), 3.75);
+        assert_eq!(b.total(), 4.0);
         assert_eq!(b.generator_side(), 1.5);
     }
 

@@ -21,10 +21,12 @@ mod accuracy;
 mod goodput;
 mod latency;
 mod report;
+mod stream;
 mod summary;
 
 pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
 pub use goodput::{precise_goodput, BeamOutcome};
 pub use latency::{CompletionRecord, LatencyBreakdown};
 pub use report::{fmt, Table};
+pub use stream::{StreamRecord, StreamSummary};
 pub use summary::Summary;

@@ -1,0 +1,124 @@
+//! Stream-level (multi-request) serving metrics.
+//!
+//! Per-request Precise Goodput measures one request in isolation; under
+//! request-level batching the interesting quantity is the *system*
+//! perspective: how much accepted work the device delivers per second
+//! of wall time while many requests contend for it, and what latency
+//! distribution the contention produces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// The slice of one served request a stream summary needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Arrival time, seconds since stream start.
+    pub arrived_at: f64,
+    /// Completion time, seconds since stream start.
+    pub finished_at: f64,
+    /// Seconds queued before first admission.
+    pub queue_delay: f64,
+    /// Accepted (completed-beam) tokens generated for the request.
+    pub accepted_tokens: u64,
+}
+
+impl StreamRecord {
+    /// Arrival-to-completion latency.
+    pub fn total_latency(&self) -> f64 {
+        self.finished_at - self.arrived_at
+    }
+}
+
+/// Aggregate view of one served request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Requests served.
+    pub requests: usize,
+    /// First arrival to last completion, seconds.
+    pub makespan: f64,
+    /// Total accepted tokens across all requests.
+    pub total_accepted_tokens: u64,
+    /// System goodput: accepted tokens per second of makespan.
+    pub stream_goodput: f64,
+    /// Arrival-to-completion latency distribution.
+    pub latency: Summary,
+    /// Queueing-delay distribution.
+    pub queue_delay: Summary,
+}
+
+impl StreamSummary {
+    /// Summarize a stream. Returns an all-zero summary for no requests.
+    pub fn of(records: &[StreamRecord]) -> Self {
+        if records.is_empty() {
+            return Self {
+                requests: 0,
+                makespan: 0.0,
+                total_accepted_tokens: 0,
+                stream_goodput: 0.0,
+                latency: Summary::of(&[]),
+                queue_delay: Summary::of(&[]),
+            };
+        }
+        let first = records
+            .iter()
+            .map(|r| r.arrived_at)
+            .fold(f64::INFINITY, f64::min);
+        let last = records.iter().map(|r| r.finished_at).fold(0.0f64, f64::max);
+        let makespan = (last - first).max(0.0);
+        let tokens: u64 = records.iter().map(|r| r.accepted_tokens).sum();
+        let latencies: Vec<f64> = records.iter().map(|r| r.total_latency()).collect();
+        let delays: Vec<f64> = records.iter().map(|r| r.queue_delay).collect();
+        Self {
+            requests: records.len(),
+            makespan,
+            total_accepted_tokens: tokens,
+            stream_goodput: if makespan > 0.0 {
+                tokens as f64 / makespan
+            } else {
+                0.0
+            },
+            latency: Summary::of(&latencies),
+            queue_delay: Summary::of(&delays),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(arrived: f64, finished: f64, queued: f64, tokens: u64) -> StreamRecord {
+        StreamRecord {
+            arrived_at: arrived,
+            finished_at: finished,
+            queue_delay: queued,
+            accepted_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_zeroed() {
+        let s = StreamSummary::of(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.stream_goodput, 0.0);
+        assert_eq!(s.makespan, 0.0);
+    }
+
+    #[test]
+    fn goodput_is_tokens_over_makespan() {
+        let s = StreamSummary::of(&[rec(0.0, 4.0, 0.0, 300), rec(1.0, 6.0, 2.0, 300)]);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.makespan, 6.0);
+        assert_eq!(s.total_accepted_tokens, 600);
+        assert_eq!(s.stream_goodput, 100.0);
+        assert_eq!(s.latency.max, 5.0);
+        assert_eq!(s.queue_delay.max, 2.0);
+    }
+
+    #[test]
+    fn zero_makespan_guards_division() {
+        let s = StreamSummary::of(&[rec(2.0, 2.0, 0.0, 10)]);
+        assert_eq!(s.stream_goodput, 0.0);
+    }
+}

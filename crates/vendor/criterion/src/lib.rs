@@ -26,9 +26,58 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Distribution statistics over a benchmark's timed samples
+/// (per-iteration seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean_seconds: f64,
+    /// Fastest sample.
+    pub min_seconds: f64,
+    /// Population variance (seconds²).
+    pub variance_seconds2: f64,
+    /// Median (nearest-rank).
+    pub p50_seconds: f64,
+    /// 99th percentile (nearest-rank; the max for small sample counts).
+    pub p99_seconds: f64,
+}
+
+impl SampleStats {
+    /// Compute the statistics of a sample set (all-zero when empty).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                n: 0,
+                mean_seconds: 0.0,
+                min_seconds: 0.0,
+                variance_seconds2: 0.0,
+                p50_seconds: 0.0,
+                p99_seconds: 0.0,
+            };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            n,
+            mean_seconds: mean,
+            min_seconds: sorted[0],
+            variance_seconds2: variance,
+            p50_seconds: rank(0.50),
+            p99_seconds: rank(0.99),
+        }
+    }
+}
+
 /// Times one benchmark routine.
 pub struct Bencher {
     samples: usize,
+    sample_seconds: Vec<f64>,
     /// Mean seconds per iteration over the measured samples.
     pub mean_seconds: f64,
     /// Fastest observed sample, seconds per iteration.
@@ -39,6 +88,7 @@ impl Bencher {
     fn new(samples: usize) -> Self {
         Self {
             samples,
+            sample_seconds: Vec::with_capacity(samples),
             mean_seconds: 0.0,
             min_seconds: f64::INFINITY,
         }
@@ -46,8 +96,14 @@ impl Bencher {
 
     fn record(&mut self, total: Duration, iters: u64) {
         let per_iter = total.as_secs_f64() / iters.max(1) as f64;
+        self.sample_seconds.push(per_iter);
         self.mean_seconds += per_iter;
         self.min_seconds = self.min_seconds.min(per_iter);
+    }
+
+    /// Distribution statistics of the samples measured so far.
+    pub fn stats(&self) -> SampleStats {
+        SampleStats::from_samples(&self.sample_seconds)
     }
 
     /// Time `routine` repeatedly.
@@ -106,15 +162,26 @@ impl Criterion {
     }
 
     /// Run one benchmark and print its timing.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_stats(name, f);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`], but also returns the sample
+    /// distribution (variance, p50/p99) for machine-readable reports.
+    pub fn bench_stats<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> SampleStats {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
+        let stats = bencher.stats();
         println!(
-            "{name:<40} time: [mean {} | fastest {}]",
+            "{name:<40} time: [mean {} | fastest {} | p50 {} | p99 {} | σ {}]",
             format_seconds(bencher.mean_seconds),
-            format_seconds(bencher.min_seconds)
+            format_seconds(bencher.min_seconds),
+            format_seconds(stats.p50_seconds),
+            format_seconds(stats.p99_seconds),
+            format_seconds(stats.variance_seconds2.sqrt()),
         );
-        self
+        stats
     }
 }
 
@@ -183,6 +250,41 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn sample_stats_match_hand_computation() {
+        let s = SampleStats::from_samples(&[4.0, 2.0, 6.0, 8.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean_seconds, 5.0);
+        assert_eq!(s.min_seconds, 2.0);
+        // Population variance of {2,4,6,8} around 5: (9+1+1+9)/4 = 5.
+        assert_eq!(s.variance_seconds2, 5.0);
+        assert_eq!(s.p50_seconds, 4.0);
+        assert_eq!(s.p99_seconds, 8.0, "p99 of a small sample is the max");
+        let empty = SampleStats::from_samples(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.variance_seconds2, 0.0);
+    }
+
+    #[test]
+    fn p99_separates_from_p50_on_large_samples() {
+        let samples: Vec<f64> = (1..=200).map(|x| x as f64).collect();
+        let s = SampleStats::from_samples(&samples);
+        assert_eq!(s.p50_seconds, 100.0);
+        assert_eq!(s.p99_seconds, 198.0);
+        assert!(s.variance_seconds2 > 0.0);
+    }
+
+    #[test]
+    fn bench_stats_returns_the_distribution() {
+        let mut c = Criterion::default().sample_size(5);
+        let stats = c.bench_stats("stats", |b| b.iter(|| std::hint::black_box(17u64 * 3)));
+        assert_eq!(stats.n, 5);
+        assert!(stats.min_seconds <= stats.p50_seconds);
+        assert!(stats.p50_seconds <= stats.p99_seconds);
+        assert!(stats.mean_seconds > 0.0);
+        assert!(stats.variance_seconds2 >= 0.0);
     }
 
     #[test]

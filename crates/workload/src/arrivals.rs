@@ -34,6 +34,14 @@ pub enum ArrivalPattern {
         /// Burst instant in seconds.
         at: f64,
     },
+    /// Evenly spaced arrivals: request `i` arrives at `i * interval`.
+    /// With `interval` below the per-request service time this offers
+    /// sustained load above capacity — the overload regime where
+    /// request-level batching and admission control decide goodput.
+    Uniform {
+        /// Seconds between consecutive arrivals (may be zero).
+        interval: f64,
+    },
 }
 
 impl ArrivalPattern {
@@ -66,6 +74,17 @@ impl ArrivalPattern {
                 .iter()
                 .map(|p| RequestArrival { at, problem: *p })
                 .collect(),
+            ArrivalPattern::Uniform { interval } => {
+                assert!(interval >= 0.0, "uniform interval must be non-negative");
+                problems
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| RequestArrival {
+                        at: i as f64 * interval,
+                        problem: *p,
+                    })
+                    .collect()
+            }
         }
     }
 }
@@ -115,5 +134,24 @@ mod tests {
     fn zero_rate_panics() {
         let ps = Dataset::Math500.problems(1, 2);
         ArrivalPattern::Poisson { rate: 0.0 }.schedule(&ps, 0);
+    }
+
+    #[test]
+    fn uniform_spaces_arrivals_evenly() {
+        let ps = Dataset::Amc2023.problems(4, 3);
+        let arrivals = ArrivalPattern::Uniform { interval: 2.5 }.schedule(&ps, 0);
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.at, i as f64 * 2.5);
+        }
+        // Zero interval degenerates to a burst at t=0.
+        let burst = ArrivalPattern::Uniform { interval: 0.0 }.schedule(&ps, 0);
+        assert!(burst.iter().all(|a| a.at == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform interval")]
+    fn negative_interval_panics() {
+        let ps = Dataset::Math500.problems(1, 2);
+        ArrivalPattern::Uniform { interval: -1.0 }.schedule(&ps, 0);
     }
 }

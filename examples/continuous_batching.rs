@@ -1,0 +1,45 @@
+//! Continuous batching across requests: the same overloaded arrival
+//! stream served FIFO batch-1 (the paper's interactive setting), as an
+//! idle-gang batch, and with full mid-flight admission against a shared
+//! KV pool.
+//!
+//! ```sh
+//! cargo run --release --example continuous_batching
+//! ```
+
+use fasttts::{
+    ArrivalPattern, BatchConfig, BatchedServerSim, Dataset, GpuDevice, ModelPairing, SearchKind,
+    TtsServer,
+};
+
+fn main() -> Result<(), fasttts::EngineError> {
+    let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    let problems = Dataset::Amc2023.problems(6, 29);
+    // One arrival per second against multi-second service times:
+    // offered load far above single-request capacity.
+    let arrivals = ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0);
+
+    println!(
+        "{:<14} {:>14} {:>12} {:>14} {:>12} {:>6}",
+        "policy", "goodput tok/s", "makespan s", "mean latency", "mean queue", "preempt"
+    );
+    for (label, config) in [
+        ("fifo batch-1", BatchConfig::fifo()),
+        ("gang-3", BatchConfig::gang(3)),
+        ("continuous-3", BatchConfig::continuous(3)),
+    ] {
+        let sim = BatchedServerSim::new(server.clone(), 8, SearchKind::BeamSearch, config);
+        let run = sim.run(&arrivals)?;
+        let s = run.stream_summary();
+        println!(
+            "{label:<14} {:>14.1} {:>12.1} {:>14.1} {:>12.1} {:>6}",
+            s.stream_goodput, s.makespan, s.latency.mean, s.queue_delay.mean, run.preemptions,
+        );
+    }
+    println!(
+        "\nMid-flight admission keeps the decode batch wide (one shared weight\n\
+         sweep for every co-resident sequence), so overload drains far faster\n\
+         than run-to-completion scheduling — while answers stay identical."
+    );
+    Ok(())
+}

@@ -44,11 +44,13 @@ pub use ftts_search as search;
 pub use ftts_workload as workload;
 
 pub use ftts_core::{
-    evaluate, parallel_map, sweep, AblationFlags, EngineError, EvalConfig, EvalSummary,
-    PrefixAwareOrder, RooflinePlanner, ServeOutcome, ServedRequest, ServerSim, SpecConfig,
-    SweepJob, TtsServer, WorstCaseOrder,
+    evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun, BatchedServerSim,
+    EngineError, EvalConfig, EvalSummary, PrefixAwareOrder, RooflinePlanner, ServeOutcome,
+    ServedRequest, ServerSim, SpecConfig, SweepJob, TtsServer, WorstCaseOrder,
 };
-pub use ftts_engine::{Engine, EngineConfig, ModelPairing, RunStats, SearchDriver};
+pub use ftts_engine::{
+    Engine, EngineConfig, ModelPairing, RequestRun, RunStats, SearchDriver, StepStatus,
+};
 pub use ftts_hw::{GpuDevice, ModelSpec, Roofline};
 pub use ftts_search::SearchKind;
 pub use ftts_workload::{ArrivalPattern, Dataset};
