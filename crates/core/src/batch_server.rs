@@ -11,22 +11,49 @@
 //!
 //! # Execution model
 //!
-//! * **Lockstep rounds.** Each round, every active request executes one
-//!   TTS iteration. Their decode kernels are co-batched: each run is
-//!   costed over the *combined* sequence batch (one shared weight
-//!   sweep, everyone's KV traffic — `RequestRun::set_co_batch`), so
-//!   wall time per round is the maximum of the members' iteration
-//!   times, not their sum. Runs that finish early idle-wait at the
-//!   round barrier (charged to their latency as `idle`).
-//! * **Admission control.** The device KV budget is divided into equal
-//!   shares among active requests. A request is admitted only when a
-//!   share can be reserved; shares shrink on admission and regrow on
-//!   completion. The ledger guarantees reservations never exceed the
-//!   pool.
+//! * **Phase-split lockstep rounds.** Each round, every active request
+//!   executes one TTS iteration through `RequestRun`'s split-phase API,
+//!   in four explicit stages: **plan** (`plan_iteration` — memory
+//!   replan plus the co-batched decode: each run is costed over the
+//!   *combined* sequence batch, one shared weight sweep, everyone's KV
+//!   traffic — `RequestRun::set_co_batch`), **gather**
+//!   (`take_verify_batch` — every run's verifier mirror work and its
+//!   pending prefill chunks), **cost** (the scheduler prices all
+//!   verifier sweeps over the one shared accelerator) and **commit**
+//!   (`apply_verify_results` — charge the sweeps, reveal scores,
+//!   branch). Runs that finish early idle-wait at the round barrier
+//!   (charged to their latency as `idle`).
+//! * **Cross-request verifier co-batching.** The verifier is a shared
+//!   device. Without fusion ([`BatchConfig::fused_verify`] off) the
+//!   requests' prefill sweeps are distinct kernels and *serialize* in
+//!   admission order — later requests wait their turn as `idle` time.
+//!   With fusion on, all requests' wave-`w` chunks launch as **one
+//!   shared fused sweep per round** (`Roofline::prefill_fused`): the
+//!   weights stream once instead of `k` times, sub-batches are
+//!   processed back to back inside the kernel, and each participant is
+//!   charged the prefix of the kernel up to its own sequences — its
+//!   slice as `LatencyBreakdown::verifier` busy time, the wait for
+//!   earlier sub-batches as `idle` — so the slices sum to the kernel
+//!   seconds exactly and busy time is never double-counted across
+//!   requests.
+//! * **Admission control and elastic shares.** The device KV budget is
+//!   split among active requests through the [`PoolBudget`] ledger:
+//!   equal shares by default, or **demand-proportional** shares
+//!   ([`BatchConfig::demand_shares`]) sized by each run's working-set
+//!   estimate (live beams × mean depth × bytes/token) with a floor that
+//!   keeps accepted tokens resident. Shares rebalance only at
+//!   admission, completion and preemption boundaries; idle reservation
+//!   is reclaimed without evicting anyone's accepted tokens. The ledger
+//!   guarantees reservations never exceed the pool.
 //! * **Preemption.** A request whose KV demand outgrows its share is
 //!   swapped out (PCIe-costed), its reservation released, and requeued;
 //!   it readmits when shares regrow, restoring or recomputing prefixes
 //!   through the normal pin path. Accepted tokens are never lost.
+//! * **First Finish cut (opt-in).** With [`BatchConfig::first_finish`]
+//!   set, a request whose best verified beam clears the acceptance bar
+//!   cancels its sibling beams and completes immediately, releasing its
+//!   reservation to waiting work (First Finish Search). Answers of
+//!   non-opted runs are untouched.
 //! * **Two-phase speculation.** Speculative Beam Extension runs only
 //!   while a request has the system to itself (no other active, queued
 //!   or preempted request) — the request-level generalization of the
@@ -35,15 +62,17 @@
 //!
 //! With `max_batch = 1` and mid-flight admission disabled the scheduler
 //! reproduces [`ServerSim::run`] bit-for-bit (outcomes, latencies,
-//! eviction stats) — enforced by the lockstep tests in
+//! eviction stats) — with or without `fused_verify`, since a fused
+//! sweep over one participant degenerates to that request's own solo
+//! sweep. Enforced by the lockstep tests in
 //! `crates/core/tests/batch_lockstep.rs`.
 //!
 //! [`ServerSim`]: crate::ServerSim
 
 use std::collections::VecDeque;
 
-use ftts_engine::{EngineError, RequestRun, SearchDriver};
-use ftts_kv::PoolBudget;
+use ftts_engine::{EngineError, RequestRun, SearchDriver, VerifyCharge, VerifyChunk};
+use ftts_kv::{PoolBudget, ShareRequest};
 use ftts_metrics::{StreamRecord, StreamSummary};
 use ftts_search::{make_driver, SearchKind};
 use ftts_workload::RequestArrival;
@@ -63,6 +92,22 @@ pub struct BatchConfig {
     /// Do not admit a request mid-flight if equal shares would fall
     /// below this many bytes (0 = only `max_batch` limits admission).
     pub min_share_bytes: u64,
+    /// Fuse all in-flight requests' verifier prefills into one shared
+    /// sweep per round instead of serializing per-request kernels on
+    /// the shared accelerator.
+    pub fused_verify: bool,
+    /// Size KV shares proportionally to each request's declared
+    /// working-set demand (rebalanced at admission / completion /
+    /// preemption boundaries) instead of an equal split.
+    pub demand_shares: bool,
+    /// First Finish cut: complete a request as soon as its best
+    /// verified beam clears [`BatchConfig::first_finish_bar`],
+    /// cancelling sibling beams and releasing their reservation.
+    /// Changes which beams finish (never how any path is generated), so
+    /// it is opt-in and excluded from the equivalence suite.
+    pub first_finish: bool,
+    /// Acceptance bar for the First Finish cut (a verifier score).
+    pub first_finish_bar: f64,
 }
 
 impl BatchConfig {
@@ -72,6 +117,10 @@ impl BatchConfig {
             max_batch: 1,
             admit_mid_flight: false,
             min_share_bytes: 0,
+            fused_verify: false,
+            demand_shares: false,
+            first_finish: false,
+            first_finish_bar: 0.0,
         }
     }
 
@@ -81,7 +130,7 @@ impl BatchConfig {
         Self {
             max_batch: max_batch.max(1),
             admit_mid_flight: true,
-            min_share_bytes: 0,
+            ..Self::fifo()
         }
     }
 
@@ -91,8 +140,26 @@ impl BatchConfig {
         Self {
             max_batch: max_batch.max(1),
             admit_mid_flight: false,
-            min_share_bytes: 0,
+            ..Self::fifo()
         }
+    }
+
+    /// The full PR-3 serving policy: continuous batching with the
+    /// cross-request fused verifier sweep and demand-proportional
+    /// elastic KV shares.
+    pub fn fused(max_batch: usize) -> Self {
+        Self {
+            fused_verify: true,
+            demand_shares: true,
+            ..Self::continuous(max_batch)
+        }
+    }
+
+    /// Enable the First Finish cut at the given acceptance bar.
+    pub fn with_first_finish(mut self, bar: f64) -> Self {
+        self.first_finish = true;
+        self.first_finish_bar = bar;
+        self
     }
 }
 
@@ -109,6 +176,15 @@ pub struct BatchRun {
     pub peak_reserved_bytes: u64,
     /// The shared device KV budget, bytes.
     pub pool_bytes: u64,
+    /// Verifier prefill sweeps launched on the shared device (a fused
+    /// sweep counts once regardless of how many requests it served).
+    pub ver_sweeps: u64,
+    /// Sequences prefilled across all verifier sweeps.
+    pub ver_seqs: u64,
+    /// Device-busy seconds across all verifier sweeps. Equals the sum
+    /// of every served request's attributed `verifier` breakdown: the
+    /// no-double-count audit for fused sweeps.
+    pub ver_busy_secs: f64,
 }
 
 impl BatchRun {
@@ -127,8 +203,9 @@ impl BatchRun {
         (last - first).max(0.0)
     }
 
-    /// Stream-level summary: system goodput over the makespan plus
-    /// latency / queueing distributions.
+    /// Stream-level summary: system goodput over the makespan, latency
+    /// / queueing distributions, per-phase goodput over attributed busy
+    /// time, and the verifier-sweep occupancy the scheduler measured.
     pub fn stream_summary(&self) -> StreamSummary {
         let records: Vec<StreamRecord> = self
             .served
@@ -138,9 +215,35 @@ impl BatchRun {
                 finished_at: r.finished_at,
                 queue_delay: r.queue_delay(),
                 accepted_tokens: r.accepted_tokens(),
+                generator_secs: r.outcome.stats.breakdown().generator_side(),
+                verifier_secs: r.outcome.stats.breakdown().verifier,
             })
             .collect();
-        StreamSummary::of(&records)
+        let occupancy = if self.ver_sweeps > 0 {
+            self.ver_seqs as f64 / self.ver_sweeps as f64
+        } else {
+            0.0
+        };
+        StreamSummary::of(&records).with_verifier_occupancy(occupancy)
+    }
+}
+
+/// Verifier-device accounting of one round's sweeps.
+#[derive(Debug, Default, Clone, Copy)]
+struct SweepTally {
+    sweeps: u64,
+    seqs: u64,
+    busy_secs: f64,
+}
+
+impl SweepTally {
+    fn record(&mut self, cost: &ftts_hw::KernelCost, members: usize) {
+        if cost.seconds <= 0.0 {
+            return;
+        }
+        self.sweeps += 1;
+        self.seqs += members as u64;
+        self.busy_secs += cost.seconds;
     }
 }
 
@@ -166,6 +269,10 @@ struct InFlight {
     /// re-probing (a replan + tree walk) every round would be pure
     /// waste.
     probe: Option<(u64, bool, bool)>,
+    /// Working-set demand declared at the last elastic rebalance (0
+    /// until the first declaration); drifting ±25% past it triggers the
+    /// next rebalance.
+    declared_demand: u64,
 }
 
 /// Replays a request arrival stream with continuous batching across
@@ -219,6 +326,9 @@ impl BatchedServerSim {
         let mut admit_seq = 0u64;
         let mut rounds = 0u64;
         let mut preemptions = 0u32;
+        let mut ver_sweeps = 0u64;
+        let mut ver_seqs = 0u64;
+        let mut ver_busy_secs = 0.0f64;
 
         loop {
             // Ingest arrivals due by now.
@@ -227,7 +337,7 @@ impl BatchedServerSim {
                 next_arrival += 1;
             }
 
-            self.admit(
+            let admitted = self.admit(
                 &mut active,
                 &mut paused,
                 &mut waiting,
@@ -236,6 +346,10 @@ impl BatchedServerSim {
                 global,
                 &mut admit_seq,
             )?;
+            // Admission boundary: size elastic shares by demand.
+            if admitted && self.config.demand_shares {
+                Self::rebalance_demand(&mut active, &mut pool);
+            }
 
             if active.is_empty() {
                 if waiting.is_empty() && paused.is_empty() {
@@ -278,11 +392,13 @@ impl BatchedServerSim {
                 v.paused_at = global;
                 v.probe = None;
                 paused.push_back(v);
-                Self::regrow(&mut active, &mut pool);
+                // Preemption boundary: survivors regrow or rebalance.
+                Self::reshare(&self.config, &mut active, &mut pool);
             }
 
             // One lockstep round: every active request executes one TTS
-            // iteration over the shared, co-batched accelerator.
+            // iteration over the shared, co-batched accelerator, in four
+            // explicit phases (plan → gather → cost → commit).
             rounds += 1;
             let loads: Vec<(usize, u64)> = active.iter().map(|a| a.run.decode_load()).collect();
             let total_seqs: usize = loads.iter().map(|l| l.0).sum();
@@ -294,6 +410,9 @@ impl BatchedServerSim {
             // deltas, which would drift bit-wise from the FIFO path).
             let mut round_end = global;
             let mut finished: Vec<usize> = Vec::new();
+
+            // Phase 1 — plan: memory replan plus the co-batched decode.
+            let mut planned: Vec<bool> = Vec::with_capacity(active.len());
             for (i, a) in active.iter_mut().enumerate() {
                 a.run
                     .set_co_batch(total_seqs - loads[i].0, total_ctx - loads[i].1);
@@ -307,9 +426,48 @@ impl BatchedServerSim {
                     f64::INFINITY
                 };
                 a.run.set_spec_off_after(spec_off);
-                let status = a.run.step(a.driver.as_mut())?;
+                planned.push(!a.run.plan_iteration(a.driver.as_mut())?.is_finished());
+            }
+
+            // Phase 2 — gather: every run's verifier mirror work and the
+            // prefill chunks still owed kernel time.
+            let plans: Vec<Vec<VerifyChunk>> = active
+                .iter_mut()
+                .zip(&planned)
+                .map(|(a, &p)| {
+                    if p {
+                        a.run.take_verify_batch().to_vec()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+
+            // Phase 3 — cost: price all verifier sweeps over the one
+            // shared accelerator (fused or serialized).
+            let mut charges: Vec<Vec<VerifyCharge>> = vec![Vec::new(); active.len()];
+            let sweep = self.cost_verify_sweeps(&mut active, &plans, &mut charges);
+            ver_sweeps += sweep.sweeps;
+            ver_seqs += sweep.seqs;
+            ver_busy_secs += sweep.busy_secs;
+
+            // Phase 4 — commit: charge the sweeps, reveal scores, branch
+            // survivors; apply the opt-in First Finish cut.
+            for (i, a) in active.iter_mut().enumerate() {
+                let status = if planned[i] {
+                    a.run.apply_verify_results(a.driver.as_mut(), &charges[i])?
+                } else {
+                    ftts_engine::StepStatus::Finished
+                };
+                let mut done = status.is_finished();
+                if !done
+                    && self.config.first_finish
+                    && a.run.first_finish_cut(self.config.first_finish_bar)
+                {
+                    done = true;
+                }
                 round_end = round_end.max(a.started_at + a.run.clock());
-                if status.is_finished() {
+                if done {
                     finished.push(i);
                 }
             }
@@ -331,14 +489,29 @@ impl BatchedServerSim {
                 });
             }
 
-            // Survivors idle-wait at the round barrier; regrow shares if
-            // the batch shrank.
+            // Survivors idle-wait at the round barrier; regrow or
+            // rebalance shares if the batch shrank (completion
+            // boundary).
             if !active.is_empty() {
                 for a in &mut active {
                     Self::sync_to_barrier(a, global);
                 }
                 if !finished.is_empty() {
-                    Self::regrow(&mut active, &mut pool);
+                    Self::reshare(&self.config, &mut active, &mut pool);
+                } else if self.config.demand_shares {
+                    // Demand-drift boundary: trees grow for many rounds
+                    // between admissions/completions; shares frozen at
+                    // an early snapshot would shrink a growing request
+                    // into preemption. Re-declare and rebalance once any
+                    // run's demand drifts ±25% past its declaration.
+                    let drifted = active.iter().any(|a| {
+                        let demand = a.run.demand_bytes();
+                        let declared = a.declared_demand.max(1);
+                        demand * 4 > declared * 5 || demand * 5 < declared * 4
+                    });
+                    if drifted {
+                        Self::rebalance_demand(&mut active, &mut pool);
+                    }
                 }
             }
         }
@@ -352,11 +525,109 @@ impl BatchedServerSim {
             preemptions,
             peak_reserved_bytes: pool.peak_reserved_bytes(),
             pool_bytes,
+            ver_sweeps,
+            ver_seqs,
+            ver_busy_secs,
         })
     }
 
+    /// Price this round's verifier prefill chunks over the shared
+    /// accelerator, filling `charges` (one [`VerifyCharge`] per chunk,
+    /// per request).
+    ///
+    /// Unfused: each request's sweeps are separate kernels that
+    /// serialize in admission order — a request whose turn has not come
+    /// idle-waits for the device. Fused: all requests' wave-`w` chunks
+    /// launch as one shared `prefill_batch` sweep; every participant
+    /// waits the full kernel but is attributed only its
+    /// `new_tokens`-proportional share as verifier busy time. Either
+    /// way a single participant degenerates to its own solo sweep, which
+    /// is what keeps batch-1 lockstep bit-identical to `ServerSim`.
+    fn cost_verify_sweeps(
+        &self,
+        active: &mut [InFlight],
+        plans: &[Vec<VerifyChunk>],
+        charges: &mut [Vec<VerifyCharge>],
+    ) -> SweepTally {
+        let mut tally = SweepTally::default();
+        if self.config.fused_verify {
+            let waves = plans.iter().map(Vec::len).max().unwrap_or(0);
+            for wave in 0..waves {
+                let members: Vec<usize> = (0..plans.len())
+                    .filter(|&i| plans[i].len() > wave)
+                    .collect();
+                // One shared kernel for the whole wave: every part keeps
+                // its own attention shape, the verifier weights stream
+                // once. Like co-batched decode, each participant
+                // advances the shared-kernel time from its own clock
+                // (the lockstep barrier re-aligns the round); a single
+                // participant degenerates to its own solo sweep
+                // bit-for-bit.
+                let parts: Vec<(usize, u64, u64)> = members
+                    .iter()
+                    .map(|&i| {
+                        let c = plans[i][wave];
+                        let m = c.members.max(1);
+                        (m, c.new_tokens / m as u64, c.cached_tokens / m as u64)
+                    })
+                    .collect();
+                let cost = active[members[0]]
+                    .run
+                    .verifier_roofline()
+                    .prefill_fused(&parts);
+                let total_new: u64 = members.iter().map(|&i| plans[i][wave].new_tokens).sum();
+                // The fused kernel streams its sub-batches back to back
+                // (continuous batching inside the verifier): request
+                // `i`'s scores are ready once the prefix of the launch
+                // holding its sequences has been processed, so it is
+                // charged the prefix end — its own slice as `verifier`
+                // busy time, the wait for earlier sub-batches as idle.
+                // The last participant pays the whole kernel, so the
+                // round barrier conserves device time, and the slices
+                // sum to the kernel exactly (no double-count).
+                let mut seqs = 0usize;
+                let mut prefix = 0.0f64;
+                for &i in &members {
+                    let chunk = plans[i][wave];
+                    seqs += chunk.members;
+                    let slice = if total_new > 0 {
+                        cost.seconds * chunk.new_tokens as f64 / total_new as f64
+                    } else {
+                        cost.seconds / members.len() as f64
+                    };
+                    prefix += slice;
+                    charges[i].push(VerifyCharge {
+                        seconds: prefix,
+                        compute_util: cost.compute_util,
+                        busy_seconds: slice,
+                    });
+                }
+                tally.record(&cost, seqs);
+            }
+        } else {
+            let mut device_free = f64::NEG_INFINITY;
+            for (i, a) in active.iter_mut().enumerate() {
+                if plans[i].is_empty() {
+                    continue;
+                }
+                Self::sync_to_barrier(a, device_free);
+                let mut end = a.started_at + a.run.clock();
+                for chunk in &plans[i] {
+                    let cost = chunk.solo_cost(a.run.verifier_roofline());
+                    end += cost.seconds;
+                    charges[i].push(VerifyCharge::full(&cost));
+                    tally.record(&cost, chunk.members);
+                }
+                device_free = end;
+            }
+        }
+        tally
+    }
+
     /// Admit readmission candidates (preempted runs hold accepted work,
-    /// so they go first), then fresh arrivals, at equal KV shares.
+    /// so they go first), then fresh arrivals, at equal KV shares (a
+    /// demand-proportional policy rebalances right after the admission
+    /// boundary). Returns whether anyone was admitted.
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
@@ -367,20 +638,21 @@ impl BatchedServerSim {
         arrivals: &[RequestArrival],
         global: f64,
         admit_seq: &mut u64,
-    ) -> Result<(), EngineError> {
+    ) -> Result<bool, EngineError> {
+        let mut admitted = false;
         // Without mid-flight admission the gate only opens while the
         // device is idle — but once open, the whole gang fills (up to
         // `max_batch`) before the batch runs to completion.
         if !self.config.admit_mid_flight && !active.is_empty() {
-            return Ok(());
+            return Ok(admitted);
         }
         loop {
             if active.len() >= self.config.max_batch || (paused.is_empty() && waiting.is_empty()) {
-                return Ok(());
+                return Ok(admitted);
             }
             let share = pool.equal_share(active.len() + 1);
             if !active.is_empty() && share < self.config.min_share_bytes {
-                return Ok(());
+                return Ok(admitted);
             }
             // First preempted run that can make progress at this share.
             // Joining a multi-request batch additionally requires its
@@ -406,12 +678,13 @@ impl BatchedServerSim {
                 p.admit_seq = *admit_seq;
                 *admit_seq += 1;
                 active.push(p);
+                admitted = true;
                 continue;
             }
             let Some(&idx) = waiting.front() else {
                 // Only unfittable preempted runs remain; wait for the
                 // batch to drain and shares to regrow.
-                return Ok(());
+                return Ok(admitted);
             };
             let mut driver = make_driver(self.kind, self.n, 4);
             match self.server.begin_request(
@@ -436,13 +709,15 @@ impl BatchedServerSim {
                         preempted_secs: 0.0,
                         paused_at: 0.0,
                         probe: None,
+                        declared_demand: 0,
                     });
                     *admit_seq += 1;
+                    admitted = true;
                 }
                 // The whole pool cannot host this prompt: infeasible.
                 Err(e) if active.is_empty() => return Err(e),
                 // A share cannot: leave it queued until capacity frees.
-                Err(_) => return Ok(()),
+                Err(_) => return Ok(admitted),
             }
         }
     }
@@ -459,12 +734,21 @@ impl BatchedServerSim {
         }
     }
 
-    /// Shrink every active request's reservation to `share` ahead of an
-    /// admission (shrinking always fits).
+    /// Resize every active request's reservation to `share` ahead of an
+    /// admission. Shrinks apply before grows so the intermediate ledger
+    /// state never overcommits — with equal shares everyone shrinks (the
+    /// legacy path, byte-identical), but after a demand-proportional
+    /// rebalance small holders may need to grow back to the equal probe
+    /// share.
     fn shrink(active: &mut [InFlight], pool: &mut PoolBudget, share: u64) {
-        for a in active.iter_mut() {
-            assert!(pool.resize(a.idx as u64, share), "shrink always fits");
-            a.run.set_kv_budget(share);
+        for pass in 0..2 {
+            for a in active.iter_mut() {
+                let shrinking = pool.share_of(a.idx as u64) >= share;
+                if (pass == 0) == shrinking {
+                    assert!(pool.resize(a.idx as u64, share), "equal reshare must fit");
+                    a.run.set_kv_budget(share);
+                }
+            }
         }
     }
 
@@ -474,6 +758,54 @@ impl BatchedServerSim {
         for a in active.iter_mut() {
             assert!(pool.resize(a.idx as u64, share), "regrow must fit");
             a.run.set_kv_budget(share);
+        }
+    }
+
+    /// Completion/preemption boundary: re-share the surviving batch —
+    /// equal split by default, demand-proportional when configured.
+    fn reshare(config: &BatchConfig, active: &mut [InFlight], pool: &mut PoolBudget) {
+        if active.is_empty() {
+            return;
+        }
+        if config.demand_shares {
+            Self::rebalance_demand(active, pool);
+        } else {
+            Self::regrow(active, pool);
+        }
+    }
+
+    /// Demand-proportional elastic rebalance: every active run declares
+    /// its working-set demand (live beams × mean depth × bytes/token)
+    /// and the floor that keeps its accepted tokens resident; the
+    /// ledger re-shares the whole pool proportionally (idle reservation
+    /// flows to deep searches without evicting anyone's accepted
+    /// prefixes — see [`ftts_kv::PoolBudget::rebalance`]).
+    fn rebalance_demand(active: &mut [InFlight], pool: &mut PoolBudget) {
+        if active.is_empty() {
+            return;
+        }
+        let requests: Vec<ShareRequest> = active
+            .iter_mut()
+            .map(|a| {
+                let demand = a.run.demand_bytes();
+                a.declared_demand = demand;
+                ShareRequest {
+                    holder: a.idx as u64,
+                    demand,
+                    // The floor (resident unique tree plus one step of
+                    // growth, scaled to a full gen+ver share) must hold
+                    // until the next boundary — see
+                    // `RequestRun::kv_floor_bytes`.
+                    floor: a.run.kv_floor_bytes(),
+                }
+            })
+            .collect();
+        assert!(
+            pool.rebalance(&requests),
+            "active set must cover the reservation ledger exactly"
+        );
+        for a in active.iter_mut() {
+            a.run.set_kv_budget(pool.share_of(a.idx as u64));
         }
     }
 }

@@ -67,7 +67,7 @@ mod sweep;
 
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
-pub use ftts_engine::{EngineError, RequestRun, SpecConfig, StepStatus};
+pub use ftts_engine::{EngineError, RequestRun, SpecConfig, StepStatus, VerifyCharge, VerifyChunk};
 pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};

@@ -48,17 +48,20 @@ fn assert_bit_identical(fifo: &[ServedRequest], batched: &[ServedRequest]) {
     }
 }
 
-fn check_pattern(seed: u64, arrivals: &[RequestArrival], n: usize) {
+fn check_pattern_with(seed: u64, arrivals: &[RequestArrival], n: usize, config: BatchConfig) {
     let fifo = ServerSim::new(server(seed), n, SearchKind::BeamSearch)
         .run(arrivals)
         .expect("fifo run");
-    let batched =
-        BatchedServerSim::new(server(seed), n, SearchKind::BeamSearch, BatchConfig::fifo())
-            .run(arrivals)
-            .expect("batched run");
+    let batched = BatchedServerSim::new(server(seed), n, SearchKind::BeamSearch, config)
+        .run(arrivals)
+        .expect("batched run");
     assert_bit_identical(&fifo, &batched.served);
     assert_eq!(batched.preemptions, 0);
     assert!(batched.peak_reserved_bytes <= batched.pool_bytes);
+}
+
+fn check_pattern(seed: u64, arrivals: &[RequestArrival], n: usize) {
+    check_pattern_with(seed, arrivals, n, BatchConfig::fifo());
 }
 
 #[test]
@@ -89,6 +92,27 @@ fn lockstep_uniform_overload_fixture() {
     let problems = Dataset::Amc2023.problems(3, 33);
     let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
     check_pattern(11, &arrivals, 8);
+}
+
+#[test]
+fn lockstep_survives_the_phase_split_extras_at_batch1() {
+    // The PR-3 features must be no-ops at batch 1: a fused sweep over
+    // one participant degenerates to that request's own solo sweep, and
+    // a demand-proportional rebalance of a single holder hands it the
+    // whole pool — exactly the equal split. Bit-for-bit both ways.
+    let problems = Dataset::Amc2023.problems(3, 9);
+    let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+    let fused = BatchConfig {
+        fused_verify: true,
+        ..BatchConfig::fifo()
+    };
+    check_pattern_with(0, &arrivals, 8, fused);
+    let elastic = BatchConfig {
+        fused_verify: true,
+        demand_shares: true,
+        ..BatchConfig::fifo()
+    };
+    check_pattern_with(0, &arrivals, 8, elastic);
 }
 
 #[test]

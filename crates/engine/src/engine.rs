@@ -245,6 +245,84 @@ impl StepStatus {
     }
 }
 
+/// Where a [`RequestRun`] stands inside the split-phase iteration
+/// protocol (`plan_iteration` → `take_verify_batch` →
+/// `apply_verify_results`). [`RequestRun::step`] drives the whole cycle
+/// itself; an external scheduler advances it phase by phase so verifier
+/// prefills can be costed *across* requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IterPhase {
+    /// Between iterations: `plan_iteration` is the only legal call.
+    Ready,
+    /// Generation ran; `take_verify_batch` must run next.
+    Generated,
+    /// Verifier mirror work done, chunks await costing;
+    /// `apply_verify_results` must run next.
+    VerifyPending,
+}
+
+/// One verifier prefill batch a [`RequestRun`] needs costed: `members`
+/// sequences, each adding `new_tokens / members` fresh tokens on top of
+/// `cached_tokens / members` cached ones. The KV-cache side effects
+/// (mirroring, pins, PCIe transfers) already happened when the chunk was
+/// produced by [`RequestRun::take_verify_batch`]; only the prefill
+/// *kernel time* is still owed, which is what lets a scheduler fuse
+/// chunks from many requests into one shared sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyChunk {
+    /// Sequences in the batch (≥ 1).
+    pub members: usize,
+    /// Total fresh tokens prefetched across the batch.
+    pub new_tokens: u64,
+    /// Total cached-prefix tokens reused across the batch.
+    pub cached_tokens: u64,
+}
+
+impl VerifyChunk {
+    /// Cost this chunk as its own (unfused) sweep — exactly what the
+    /// monolithic [`RequestRun::step`] charges. Kept as the single
+    /// source of truth so the wrapper and external schedulers can never
+    /// diverge bit-wise at batch 1.
+    pub fn solo_cost(&self, roof: &Roofline) -> ftts_hw::KernelCost {
+        let members = self.members.max(1);
+        roof.prefill_batch(
+            members,
+            self.new_tokens / members as u64,
+            self.cached_tokens / members as u64,
+        )
+    }
+}
+
+/// The time a scheduler charges one [`VerifyChunk`]: the wall-clock
+/// `seconds` the request waits for the sweep, of which `busy_seconds`
+/// are attributed to *this* request's verifier work. For an unfused
+/// sweep the two are equal; for a sweep fused across requests each
+/// participant waits the full sweep but is attributed only its share,
+/// so summing `LatencyBreakdown::verifier` across requests never
+/// double-counts shared sweep seconds (the remainder lands in `idle`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyCharge {
+    /// Wall-clock seconds the request's clock advances.
+    pub seconds: f64,
+    /// Compute-utilization fraction of the sweep (for traces).
+    pub compute_util: f64,
+    /// Seconds attributed to this request's `verifier` bucket
+    /// (clamped to `seconds`; the rest is `idle`).
+    pub busy_seconds: f64,
+}
+
+impl VerifyCharge {
+    /// A charge that attributes the whole sweep to this request — the
+    /// unfused case.
+    pub fn full(cost: &ftts_hw::KernelCost) -> Self {
+        Self {
+            seconds: cost.seconds,
+            compute_util: cost.compute_util,
+            busy_seconds: cost.seconds,
+        }
+    }
+}
+
 /// Transient speculative decoding task (one filled slot).
 struct SpecTask {
     beam: usize,
@@ -309,6 +387,8 @@ struct Scratch {
     selected: std::collections::HashSet<usize>,
     /// Unconsumed speculative KV nodes being discarded.
     spec_leftovers: Vec<NodeId>,
+    /// Per-chunk verifier charges (the solo-costing wrapper path).
+    charges: Vec<VerifyCharge>,
 }
 
 /// All per-request state of one TTS request, resumable step by step.
@@ -357,6 +437,19 @@ pub struct RequestRun {
     co_seqs: usize,
     /// Sum of those co-resident sequences' context lengths, in tokens.
     co_ctx_sum: u64,
+    /// Split-phase protocol position (see [`RequestRun::plan_iteration`]).
+    phase: IterPhase,
+    /// Verifier chunks produced by `take_verify_batch`, awaiting their
+    /// `apply_verify_results` charges.
+    pending_chunks: Vec<VerifyChunk>,
+    /// `driver.verify_every_step()` captured at plan time.
+    pending_verify_all: bool,
+    /// Memoized elastic-share demand declaration (see
+    /// [`RequestRun::demand_bytes`]); refreshed on every replan.
+    last_demand: u64,
+    /// Memoized accepted-token share floor (see
+    /// [`RequestRun::kv_floor_bytes`]); refreshed on every replan.
+    last_floor: u64,
 }
 
 impl std::fmt::Debug for RequestRun {
@@ -450,6 +543,11 @@ impl RequestRun {
             kv_budget: budget,
             co_seqs: 0,
             co_ctx_sum: 0,
+            phase: IterPhase::Ready,
+            pending_chunks: Vec::new(),
+            pending_verify_all: true,
+            last_demand: 0,
+            last_floor: 0,
         };
         // The prompt must be prefilled once by the generator before any
         // decoding; charged to the generator bucket.
@@ -515,6 +613,12 @@ impl RequestRun {
         if self.frontier.is_empty() || self.iteration >= self.max_iterations {
             self.finalize();
         }
+        // A scheduler may ask for share declarations right after
+        // admission, before the first replan; seed the memos from the
+        // initial frontier (pure bookkeeping — the planner is not
+        // consulted, so `run` and `begin` stay bit-identical).
+        let ctx = self.plan_context();
+        self.refresh_share_declarations(&ctx);
         Ok(())
     }
 
@@ -523,18 +627,121 @@ impl RequestRun {
     /// survivors. Returns [`StepStatus::Finished`] when the request is
     /// complete (and [`RequestRun::finish`] should be called).
     ///
+    /// This is a thin wrapper over the split-phase protocol —
+    /// [`RequestRun::plan_iteration`], [`RequestRun::take_verify_batch`],
+    /// [`RequestRun::apply_verify_results`] — costing each verifier
+    /// chunk as its own sweep, so a batch-1 scheduler driving the phases
+    /// explicitly reproduces `step` bit for bit.
+    ///
     /// # Errors
     ///
     /// Returns [`EngineError::PathExceedsMemory`] when a single path
     /// cannot fit in the generator's KV allocation.
     pub fn step(&mut self, driver: &mut dyn SearchDriver) -> Result<StepStatus, EngineError> {
+        if self.plan_iteration(driver)?.is_finished() {
+            return Ok(StepStatus::Finished);
+        }
+        self.take_verify_batch();
+        let mut charges = std::mem::take(&mut self.scratch.charges);
+        charges.clear();
+        for i in 0..self.pending_chunks.len() {
+            let cost = self.pending_chunks[i].solo_cost(&self.ver_roof);
+            charges.push(VerifyCharge::full(&cost));
+        }
+        let status = self.apply_verify_results(driver, &charges);
+        self.scratch.charges = charges;
+        status
+    }
+
+    /// Split phase 1 of an iteration: replan memory and run the
+    /// (co-batched) generation phase. Returns [`StepStatus::Finished`]
+    /// without doing anything when the run already completed; otherwise
+    /// [`RequestRun::take_verify_batch`] must be called next.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when a single path
+    /// cannot fit in the generator's KV allocation.
+    pub fn plan_iteration(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+    ) -> Result<StepStatus, EngineError> {
+        assert!(
+            self.phase == IterPhase::Ready,
+            "plan_iteration called mid-iteration (phase {:?})",
+            self.phase
+        );
         if self.done {
             return Ok(StepStatus::Finished);
         }
         self.replan();
         let order = self.generation_phase(driver)?;
-        self.verification_phase(driver, &order);
         self.scratch.ordered = order;
+        self.pending_verify_all = driver.verify_every_step();
+        self.phase = IterPhase::Generated;
+        Ok(StepStatus::Running)
+    }
+
+    /// Split phase 2: mirror this iteration's fresh steps into the
+    /// verifier cache (all KV side effects and PCIe transfers happen
+    /// here, exactly as the monolithic path would) and return the
+    /// prefill batches still owed kernel time. A scheduler costs them —
+    /// solo, serialized, or fused with other requests' chunks into one
+    /// shared sweep — and settles via
+    /// [`RequestRun::apply_verify_results`].
+    pub fn take_verify_batch(&mut self) -> &[VerifyChunk] {
+        assert!(
+            self.phase == IterPhase::Generated,
+            "take_verify_batch requires a planned iteration (phase {:?})",
+            self.phase
+        );
+        self.phase = IterPhase::VerifyPending;
+        self.prepare_verify();
+        &self.pending_chunks
+    }
+
+    /// Split phase 3: charge the costed verifier sweeps (one
+    /// [`VerifyCharge`] per pending chunk, in order), reveal scores,
+    /// retire terminal beams and branch the survivors — the commit of
+    /// one iteration. `busy_seconds` of each charge lands in the
+    /// `verifier` latency bucket, the remainder of `seconds` in `idle`
+    /// (see [`VerifyCharge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when branching cannot
+    /// fit a child path in the generator's KV allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of phase order or with a charge count
+    /// different from the pending chunk count.
+    pub fn apply_verify_results(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+        charges: &[VerifyCharge],
+    ) -> Result<StepStatus, EngineError> {
+        assert!(
+            self.phase == IterPhase::VerifyPending,
+            "apply_verify_results requires a pending verify batch (phase {:?})",
+            self.phase
+        );
+        assert_eq!(
+            charges.len(),
+            self.pending_chunks.len(),
+            "one charge per pending verifier chunk"
+        );
+        self.phase = IterPhase::Ready;
+        for (i, charge) in charges.iter().enumerate() {
+            let chunk = self.pending_chunks[i];
+            self.advance(charge.seconds, charge.compute_util, Phase::Verification);
+            let busy = charge.busy_seconds.min(charge.seconds);
+            self.breakdown.verifier += busy;
+            self.breakdown.idle += charge.seconds - busy;
+            self.stats.verified_tokens += chunk.new_tokens;
+            self.stats.ver_sweeps += 1;
+        }
+        self.settle_verify_scores();
         self.retire_terminals();
         if self.frontier.is_empty() {
             self.finalize();
@@ -561,7 +768,43 @@ impl RequestRun {
             self.finalize();
             return Ok(StepStatus::Finished);
         }
+        // Post-branch share declarations: a scheduler's end-of-round
+        // drift check reads the frontier the *next* round will decode.
+        let ctx = self.plan_context();
+        self.refresh_share_declarations(&ctx);
         Ok(StepStatus::Running)
+    }
+
+    /// First Finish Search cut (opt-in): if any *completed, verified*
+    /// beam has cleared `bar`, prune the surviving frontier — sibling
+    /// beams are cancelled, their speculative KV discarded and their
+    /// leaf nodes dropped from the cache — and finish the run, freeing
+    /// the request's pool reservation for waiting work. Returns whether
+    /// the cut fired. Only legal between iterations; non-opted runs
+    /// never call this, so their answers are untouched.
+    pub fn first_finish_cut(&mut self, bar: f64) -> bool {
+        assert!(
+            self.phase == IterPhase::Ready,
+            "first_finish_cut is only legal between iterations"
+        );
+        if self.done || self.frontier.is_empty() {
+            return false;
+        }
+        if !self.stats.beams.iter().any(|b| b.score >= bar) {
+            return false;
+        }
+        let frontier = std::mem::take(&mut self.frontier);
+        for &bi in &frontier {
+            self.beams[bi].state = BeamState::Pruned;
+            self.discard_leftover_spec(bi);
+            self.gen_kv.discard(self.beams[bi].kv);
+        }
+        let mut recycled = frontier;
+        recycled.clear();
+        self.scratch.frontier_next = recycled;
+        self.stats.first_finish_cuts += 1;
+        self.finalize();
+        true
     }
 
     /// Seal completion statistics (idempotent; exactly the serve-loop
@@ -731,8 +974,8 @@ impl RequestRun {
         }
     }
 
-    /// Invoke the memory planner on current state and apply capacities.
-    fn replan(&mut self) {
+    /// Current planner input, derived from the live frontier.
+    fn plan_context(&mut self) -> PlanContext {
         let avg_ctx = if self.frontier.is_empty() {
             self.problem.prompt_tokens
         } else {
@@ -748,7 +991,7 @@ impl RequestRun {
         leaves.extend(self.frontier.iter().map(|&i| self.beams[i].kv));
         let tree_tokens = self.gen_kv.unique_path_tokens(&leaves);
         self.scratch.leaves = leaves;
-        let ctx = PlanContext {
+        PlanContext {
             kv_budget_bytes: self.kv_budget,
             n_beams: self.frontier.len(),
             avg_ctx,
@@ -756,12 +999,65 @@ impl RequestRun {
             ver_seq: avg_ctx + step_tokens,
             tree_tokens,
             ver_caching: self.cfg.ver_prefix_caching,
-        };
+        }
+    }
+
+    /// Working-set demand estimate for elastic pool shares (bytes): live
+    /// beams × mean path depth (plus one decode step) × KV bytes/token
+    /// across both models, floored by the resident unique tree — see
+    /// [`crate::planner::working_set_demand`]. A scheduler rebalancing a
+    /// shared pool sizes shares proportionally to this.
+    ///
+    /// Memoized by the replan that every `plan_iteration` /
+    /// `set_kv_budget` performs, so a scheduler's per-round drift check
+    /// costs an accessor, not a frontier scan plus prefix-tree walk.
+    pub fn demand_bytes(&self) -> u64 {
+        self.last_demand
+    }
+
+    /// Bytes of pool share needed to keep the accepted generator
+    /// working set resident — the floor below which a rebalance would
+    /// force the cache to evict accepted tokens into recompute thrash.
+    /// The working set lives in the *generator's* slice of the share,
+    /// so the floor is scaled up by the planner's current split (a
+    /// share equal to the raw working set would leave the generator
+    /// only its fraction of it), and includes one decode step of growth
+    /// per live path: a share at the floor must survive until the next
+    /// rebalance boundary, not just this round. Memoized like
+    /// [`RequestRun::demand_bytes`].
+    pub fn kv_floor_bytes(&self) -> u64 {
+        self.last_floor
+    }
+
+    /// The verifier-side cost model of this request (all requests served
+    /// by one engine config share identical parameters, so a scheduler
+    /// may cost a fused sweep with any participant's roofline).
+    pub fn verifier_roofline(&self) -> &Roofline {
+        &self.ver_roof
+    }
+
+    /// Invoke the memory planner on current state and apply capacities;
+    /// refresh the memoized demand/floor declarations from the same
+    /// context.
+    fn replan(&mut self) {
+        let ctx = self.plan_context();
         let plan = self.planner.plan(&self.cfg, &ctx);
         debug_assert!(plan.fits(ctx.kv_budget_bytes), "planner exceeded budget");
         self.plan = plan;
         self.gen_kv.set_capacity_bytes(plan.gen_kv_bytes);
         self.ver_kv.set_capacity_bytes(plan.ver_kv_bytes);
+        self.refresh_share_declarations(&ctx);
+    }
+
+    /// Refresh the memoized elastic-share declarations from a planner
+    /// context (demand estimate and accepted-token floor).
+    fn refresh_share_declarations(&mut self, ctx: &PlanContext) {
+        self.last_demand = crate::planner::working_set_demand(&self.cfg, ctx);
+        let bytes_per_token = self.gen_kv.config().bytes_per_token;
+        let working_set = ctx.tree_tokens * bytes_per_token;
+        let growth = ctx.n_beams as u64 * ctx.step_tokens * bytes_per_token;
+        let gen_fraction = self.plan.gen_kv_bytes.max(1) as f64 / self.kv_budget.max(1) as f64;
+        self.last_floor = ((working_set + growth) as f64 / gen_fraction.clamp(0.1, 1.0)) as u64;
     }
 
     /// Blocks a beam will need to finish its step, with slack.
@@ -1173,9 +1469,17 @@ impl RequestRun {
         }
     }
 
-    /// Verify every beam that stepped this iteration (plus LookAhead
-    /// piggybacks), in scheduler order, batched by the memory plan.
-    fn verification_phase(&mut self, driver: &mut dyn SearchDriver, order: &[usize]) {
+    /// The verifier mirror pass: mirror every beam that stepped this
+    /// iteration (plus LookAhead piggybacks) into the verifier cache, in
+    /// scheduler order, batched by the memory plan. All cache side
+    /// effects and PCIe transfers happen here; the prefill kernel time
+    /// of each batch is *recorded* as a [`VerifyChunk`] instead of
+    /// charged, so the sweeps can be costed solo (the [`RequestRun::step`]
+    /// wrapper), serialized behind other requests, or fused across
+    /// requests into one shared sweep.
+    fn prepare_verify(&mut self) {
+        self.pending_chunks.clear();
+        let order = std::mem::take(&mut self.scratch.ordered);
         if self.plan.offload {
             // Generator yields; verifier KV returns on demand via pins.
             let bytes = self.gen_kv.swap_out_unpinned();
@@ -1183,7 +1487,7 @@ impl RequestRun {
             self.advance(t, 0.0, Phase::Verification);
             self.breakdown.offload += t;
         }
-        let verify_all = driver.verify_every_step();
+        let verify_all = self.pending_verify_all;
         let mut to_verify = std::mem::take(&mut self.scratch.to_verify);
         to_verify.clear();
         to_verify.extend(order.iter().copied().filter(|&bi| {
@@ -1191,7 +1495,7 @@ impl RequestRun {
             b.preverified.is_none() && (verify_all || b.latent.terminal)
         }));
         // Beams skipped thanks to LookAhead still need their score set.
-        for &bi in order {
+        for &bi in &order {
             if let Some(score) = self.beams[bi].preverified {
                 self.beams[bi].score = Some(score);
                 self.stats.spec.lookahead_hits += 1;
@@ -1267,33 +1571,41 @@ impl RequestRun {
                     }
                 }
             }
-            let members = chunk.len().max(1);
-            let cost = self.ver_roof.prefill_batch(
-                members,
-                new_tokens / members as u64,
-                cached_tokens / members as u64,
-            );
-            self.advance(cost.seconds, cost.compute_util, Phase::Verification);
-            self.breakdown.verifier += cost.seconds;
-            self.stats.verified_tokens += new_tokens;
+            self.pending_chunks.push(VerifyChunk {
+                members: chunk.len().max(1),
+                new_tokens,
+                cached_tokens,
+            });
+            // Unpinning here (before the next chunk's mirror work, after
+            // this chunk's) keeps the cache-operation sequence identical
+            // to the monolithic verify loop, whose prefill charge sat in
+            // between but never touched the cache.
             for &node in &pinned {
                 self.ver_kv.unpin(node);
             }
         }
         self.scratch.pinned = pinned;
-        // Reveal scores (the verifier's output) for all verified beams.
+        self.scratch.to_verify = to_verify;
+        self.scratch.ordered = order;
+    }
+
+    /// Reveal verifier outputs after the sweeps were charged: scores for
+    /// every verified beam, previous scores carried forward for
+    /// unverified ones (Best-of-N intermediate steps).
+    fn settle_verify_scores(&mut self) {
+        let to_verify = std::mem::take(&mut self.scratch.to_verify);
         for &bi in &to_verify {
             let b = &mut self.beams[bi];
             b.score = Some(self.prm.score(b.latent.quality, b.eps));
         }
         self.scratch.to_verify = to_verify;
-        // Unverified beams (Best-of-N intermediate steps) carry their
-        // previous score forward for bookkeeping.
-        for &bi in order {
+        let order = std::mem::take(&mut self.scratch.ordered);
+        for &bi in &order {
             if self.beams[bi].score.is_none() {
                 self.beams[bi].score = Some(self.beams[bi].prev_score);
             }
         }
+        self.scratch.ordered = order;
     }
 
     /// Mirror one step into the verifier cache: fork from the parent's

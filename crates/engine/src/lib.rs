@@ -41,7 +41,9 @@ mod stats;
 
 pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
-pub use engine::{Engine, EngineError, RequestRun, SearchDriver, SelectCtx, StepStatus};
+pub use engine::{
+    Engine, EngineError, RequestRun, SearchDriver, SelectCtx, StepStatus, VerifyCharge, VerifyChunk,
+};
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
-pub use planner::{MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
+pub use planner::{working_set_demand, MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
 pub use stats::{RunStats, SpecStats};

@@ -63,6 +63,25 @@ impl MemoryPlan {
     }
 }
 
+/// Working-set demand estimate of one request, in bytes: live beams ×
+/// mean path depth (plus one decode step of growth) × KV bytes/token of
+/// *both* models (the pool share is split between generator and
+/// verifier mirrors by the planner), floored by the resident unique
+/// tree so a request never under-declares memory it already holds.
+///
+/// A scheduler sharing one KV pool across requests sizes
+/// demand-proportional elastic shares with this — deep beam searches
+/// declare more and stop starving behind shallow ones hoarding an equal
+/// split.
+pub fn working_set_demand(config: &EngineConfig, ctx: &PlanContext) -> u64 {
+    let per_token =
+        config.models.gen_spec.kv_bytes_per_token() + config.models.ver_spec.kv_bytes_per_token();
+    let depth = ctx.avg_ctx + ctx.step_tokens;
+    let forward = (ctx.n_beams.max(1) as u64) * depth * per_token;
+    let resident = ctx.tree_tokens * config.models.gen_spec.kv_bytes_per_token();
+    forward.max(resident)
+}
+
 /// Decides the generator/verifier KV split.
 pub trait MemoryPlanner: std::fmt::Debug + Send {
     /// Planner name for reports.

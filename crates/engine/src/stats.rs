@@ -44,6 +44,14 @@ pub struct RunStats {
     pub decoded_tokens: u64,
     /// Total tokens prefilled by the verifier.
     pub verified_tokens: u64,
+    /// Verifier prefill sweeps this request was charged for (fused
+    /// sweeps shared with other requests count once per participant;
+    /// their *seconds* are attributed without double-counting — see
+    /// `LatencyBreakdown::verifier`).
+    pub ver_sweeps: u64,
+    /// Times the First Finish cut cancelled this request's sibling
+    /// beams (0 unless the serving layer opted in).
+    pub first_finish_cuts: u32,
     /// Generator KV-cache counters.
     pub gen_cache: CacheStats,
     /// Verifier KV-cache counters.

@@ -222,6 +222,95 @@ fn stepped_run_matches_one_shot_run() {
 }
 
 #[test]
+fn split_phases_match_step_bit_for_bit() {
+    // `step` is a wrapper over plan_iteration / take_verify_batch /
+    // apply_verify_results with solo-costed sweeps; driving the phases
+    // explicitly (as a cross-request scheduler does) must not change a
+    // single bit.
+    use ftts_engine::{VerifyCharge, VerifyChunk};
+    let stepped = {
+        let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 11, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        eng.run(&problem(2), 16, &mut driver).unwrap()
+    };
+    let phased = {
+        let eng = engine(SpecConfig::fasttts_default(), 0.9, 11, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        let mut run = eng
+            .begin(&problem(2), 16, &mut driver, f64::INFINITY, None)
+            .unwrap();
+        let mut sweeps = 0usize;
+        while !run.is_finished() {
+            if run.plan_iteration(&mut driver).unwrap().is_finished() {
+                break;
+            }
+            let chunks: Vec<VerifyChunk> = run.take_verify_batch().to_vec();
+            let charges: Vec<VerifyCharge> = chunks
+                .iter()
+                .map(|c| VerifyCharge::full(&c.solo_cost(run.verifier_roofline())))
+                .collect();
+            sweeps += charges.len();
+            if run
+                .apply_verify_results(&mut driver, &charges)
+                .unwrap()
+                .is_finished()
+            {
+                break;
+            }
+        }
+        assert!(sweeps > 0, "the request actually verified something");
+        run.finish()
+    };
+    assert_stats_identical(&stepped, &phased);
+    assert_eq!(stepped.ver_sweeps, phased.ver_sweeps);
+    assert_eq!(stepped.completion.breakdown, phased.completion.breakdown);
+}
+
+#[test]
+fn first_finish_cut_prunes_siblings_and_finishes_early() {
+    let full = {
+        let mut eng = engine(SpecConfig::disabled(), 0.9, 5, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        eng.run(&problem(0), 16, &mut driver).unwrap()
+    };
+    let cut = {
+        let eng = engine(SpecConfig::disabled(), 0.9, 5, false);
+        let mut driver = PlainBeam { n: 16, b: 4 };
+        let mut run = eng
+            .begin(&problem(0), 16, &mut driver, f64::INFINITY, None)
+            .unwrap();
+        while !run.is_finished() {
+            run.step(&mut driver).unwrap();
+            // Bar 0.0: cut as soon as the first verified beam completes.
+            if !run.is_finished() && run.first_finish_cut(0.0) {
+                break;
+            }
+        }
+        run.finish()
+    };
+    assert!(!cut.beams.is_empty(), "the accepted beam survives the cut");
+    assert!(
+        cut.beams.len() < full.beams.len(),
+        "siblings were cancelled: {} vs {}",
+        cut.beams.len(),
+        full.beams.len()
+    );
+    assert_eq!(cut.first_finish_cuts, 1);
+    assert_eq!(full.first_finish_cuts, 0, "non-opted runs never cut");
+    assert!(
+        cut.latency() < full.latency(),
+        "cutting siblings finishes the request early"
+    );
+    // The beams that did complete are the same beams the full run
+    // completed first — the cut cancels futures, never rewrites pasts.
+    for (c, f) in cut.beams.iter().zip(&full.beams) {
+        assert_eq!(c.tokens, f.tokens);
+        assert_eq!(c.answer, f.answer);
+        assert_eq!(c.score, f.score);
+    }
+}
+
+#[test]
 fn interleaved_requests_share_no_state() {
     // Two requests served step-by-step by interleaving on one simulated
     // device: each run owns its Scratch, caches and policy state, so

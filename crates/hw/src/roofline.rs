@@ -180,6 +180,31 @@ impl Roofline {
         self.cost(flops, bytes)
     }
 
+    /// Cost of one prefill sweep fused from heterogeneous sub-batches:
+    /// each `(batch, new_per_seq, cached_per_seq)` part keeps its own
+    /// attention shape (a fused kernel never changes per-sequence
+    /// attention work), but the weight sweep is streamed **once** for
+    /// the whole launch instead of once per part — exactly the saving
+    /// cross-request verifier co-batching is after. With a single part
+    /// this is identical to [`Roofline::prefill_batch`].
+    pub fn prefill_fused(&self, parts: &[(usize, u64, u64)]) -> KernelCost {
+        let mut flops = 0.0;
+        let mut bytes = self.model.weight_bytes() as f64;
+        let kv_per_token = self.model.kv_bytes_per_token() as f64;
+        for &(batch, new_per_seq, cached_per_seq) in parts {
+            if batch == 0 || new_per_seq == 0 {
+                continue;
+            }
+            flops += batch as f64 * self.model.prefill_flops(new_per_seq, cached_per_seq);
+            bytes += batch as f64 * cached_per_seq as f64 * kv_per_token;
+            bytes += batch as f64 * new_per_seq as f64 * kv_per_token;
+        }
+        if flops <= 0.0 {
+            return KernelCost::zero();
+        }
+        self.cost(flops, bytes)
+    }
+
     /// Batch decode throughput in tokens/second at the given batch size
     /// and context (used by the memory-allocation search, Fig. 10).
     pub fn decode_throughput(&self, batch: usize, avg_ctx: u64) -> f64 {
@@ -332,6 +357,26 @@ mod tests {
         assert!(batched.flops < monolith.flops);
         assert!(batched.seconds < monolith.seconds);
         assert_eq!(roof.prefill_batch(0, 100, 0), KernelCost::zero());
+    }
+
+    #[test]
+    fn fused_prefill_amortizes_the_weight_sweep_only() {
+        let roof = roof_1_5b();
+        let a = (4usize, 300u64, 600u64);
+        let b = (2usize, 900u64, 100u64);
+        let fused = roof.prefill_fused(&[a, b]);
+        let solo_a = roof.prefill_batch(a.0, a.1, a.2);
+        let solo_b = roof.prefill_batch(b.0, b.1, b.2);
+        // Per-sequence attention work is preserved exactly...
+        assert!((fused.flops - (solo_a.flops + solo_b.flops)).abs() < 1.0);
+        // ...but the weights are streamed once, not twice.
+        let w = roof.model().weight_bytes() as f64;
+        assert!((fused.bytes - (solo_a.bytes + solo_b.bytes - w)).abs() < 1.0);
+        assert!(fused.seconds <= solo_a.seconds + solo_b.seconds);
+        // One part degenerates to the uniform batch cost.
+        assert_eq!(roof.prefill_fused(&[a]), roof.prefill_batch(a.0, a.1, a.2));
+        assert_eq!(roof.prefill_fused(&[]), KernelCost::zero());
+        assert_eq!(roof.prefill_fused(&[(0, 10, 0)]), KernelCost::zero());
     }
 
     #[test]

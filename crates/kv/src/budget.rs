@@ -11,6 +11,20 @@
 
 use std::collections::BTreeMap;
 
+/// One holder's input to a demand-proportional rebalance: how many
+/// bytes it *wants* (its working-set estimate) and the floor below
+/// which shrinking its share would strand accepted tokens (evicting
+/// retained prefixes into recompute thrash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareRequest {
+    /// The holder being re-shared (must hold a live reservation).
+    pub holder: u64,
+    /// Working-set demand in bytes (0 = idle; gets the base floor only).
+    pub demand: u64,
+    /// Bytes needed to keep already-accepted tokens resident.
+    pub floor: u64,
+}
+
 /// A byte-reservation ledger over a fixed device KV budget.
 ///
 /// # Invariant
@@ -129,6 +143,86 @@ impl PoolBudget {
         self.reserved_bytes -= freed;
         freed
     }
+
+    /// Plan demand-proportional elastic shares over the whole budget.
+    ///
+    /// Every holder is guaranteed an *effective floor* of
+    /// `min(max(request.floor, total/(2k)), total/k)` — its declared
+    /// floor, raised to a base share of half the equal split so nobody
+    /// starves, and capped at the equal split so the floors always fit.
+    /// The remaining bytes are split proportionally to declared demand
+    /// (equally when every demand is 0), with the integer remainder
+    /// handed to the highest-demand holder so the full budget is
+    /// distributed: the returned shares sum to exactly `total_bytes`.
+    ///
+    /// Pure planning — the ledger is untouched; apply with
+    /// [`PoolBudget::rebalance`].
+    pub fn proportional_shares(&self, requests: &[ShareRequest]) -> Vec<(u64, u64)> {
+        let k = requests.len() as u64;
+        if k == 0 {
+            return Vec::new();
+        }
+        let cap = self.total_bytes / k;
+        let base = self.total_bytes / (2 * k);
+        let floors: Vec<u64> = requests
+            .iter()
+            .map(|r| r.floor.max(base).min(cap))
+            .collect();
+        let floored: u64 = floors.iter().sum();
+        let remaining = self.total_bytes - floored; // floors ≤ k·cap ≤ total
+        let weight_sum: u128 = requests.iter().map(|r| r.demand as u128).sum();
+        let mut shares: Vec<(u64, u64)> = requests
+            .iter()
+            .zip(&floors)
+            .map(|(r, &floor)| {
+                let weighted = (remaining as u128 * r.demand as u128)
+                    .checked_div(weight_sum)
+                    .map_or_else(|| remaining / k, |w| w as u64);
+                (r.holder, floor + weighted)
+            })
+            .collect();
+        // Hand the rounding remainder to the hungriest holder: the full
+        // budget is always distributed, so reclaiming idle reservation
+        // conserves bytes instead of leaking them.
+        let distributed: u64 = shares.iter().map(|&(_, s)| s).sum();
+        let leftover = self.total_bytes - distributed;
+        if leftover > 0 {
+            let (pos, _) = requests
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, r)| (r.demand, std::cmp::Reverse(*i)))
+                .expect("non-empty requests");
+            shares[pos].1 += leftover;
+        }
+        shares
+    }
+
+    /// Atomically re-share the whole budget among the current holders by
+    /// demand ([`PoolBudget::proportional_shares`]). Fails (changing
+    /// nothing) unless `requests` names exactly the live holders. On
+    /// success the ledger is fully subscribed (`reserved_bytes ==
+    /// total_bytes`), every share respects its effective floor, and no
+    /// overcommit is possible by construction.
+    #[must_use]
+    pub fn rebalance(&mut self, requests: &[ShareRequest]) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        if requests.len() != self.reserved.len()
+            || requests
+                .iter()
+                .any(|r| !self.reserved.contains_key(&r.holder) || !seen.insert(r.holder))
+        {
+            return false;
+        }
+        // Distinct holders, all present, same count ⇒ exact cover.
+        let shares = self.proportional_shares(requests);
+        for &(holder, share) in &shares {
+            self.reserved.insert(holder, share);
+        }
+        self.reserved_bytes = self.reserved.values().sum();
+        debug_assert_eq!(self.reserved_bytes, self.total_bytes);
+        self.peak_reserved = self.peak_reserved.max(self.reserved_bytes);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +272,75 @@ mod tests {
         assert_eq!(p.equal_share(1), 99);
         assert_eq!(p.equal_share(3), 33);
         assert_eq!(p.equal_share(0), 99, "zero holders degrades to full");
+    }
+
+    fn req(holder: u64, demand: u64, floor: u64) -> ShareRequest {
+        ShareRequest {
+            holder,
+            demand,
+            floor,
+        }
+    }
+
+    #[test]
+    fn proportional_shares_follow_demand_and_conserve_bytes() {
+        let p = PoolBudget::new(1200);
+        let shares = p.proportional_shares(&[req(1, 900, 0), req(2, 300, 0), req(3, 0, 0)]);
+        let total: u64 = shares.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 1200, "full budget distributed");
+        let of = |h: u64| shares.iter().find(|&&(x, _)| x == h).unwrap().1;
+        // Base floor is total/(2k) = 200; the idle holder gets exactly it.
+        assert_eq!(of(3), 200);
+        assert!(of(1) > of(2), "deeper demand earns the bigger share");
+        assert!(of(2) > of(3));
+    }
+
+    #[test]
+    fn proportional_floors_are_respected_and_capped() {
+        let p = PoolBudget::new(900);
+        // Declared floor above the equal split is capped to it (300).
+        let shares = p.proportional_shares(&[req(1, 0, 800), req(2, 0, 0), req(3, 0, 0)]);
+        let of = |h: u64| shares.iter().find(|&&(x, _)| x == h).unwrap().1;
+        assert!(of(1) >= 300, "floor capped at the equal split");
+        assert!(of(2) >= 150 && of(3) >= 150, "base floor total/(2k)");
+        assert_eq!(shares.iter().map(|&(_, s)| s).sum::<u64>(), 900);
+        assert!(p.proportional_shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn rebalance_is_atomic_and_validates_holders() {
+        let mut p = PoolBudget::new(100);
+        assert!(p.reserve(1, 50));
+        assert!(p.reserve(2, 50));
+        // Unknown holder, missing holder, duplicate holder: all rejected.
+        assert!(!p.rebalance(&[req(1, 1, 0), req(3, 1, 0)]));
+        assert!(!p.rebalance(&[req(1, 1, 0)]));
+        assert!(!p.rebalance(&[req(1, 1, 0), req(1, 1, 0)]));
+        assert_eq!(p.share_of(1), 50);
+        assert_eq!(p.share_of(2), 50);
+        // A valid rebalance re-shares the full budget by demand.
+        assert!(p.rebalance(&[req(1, 300, 0), req(2, 100, 0)]));
+        assert_eq!(p.reserved_bytes(), 100);
+        assert!(p.share_of(1) > p.share_of(2));
+        assert!(p.share_of(2) >= 25, "base floor total/(2k)");
+        assert!(p.peak_reserved_bytes() <= p.total_bytes());
+    }
+
+    #[test]
+    fn rebalance_reclaims_idle_reservation() {
+        let mut p = PoolBudget::new(1000);
+        assert!(p.reserve(1, 500));
+        assert!(p.reserve(2, 500));
+        // Holder 1 went idle (tiny demand); its excess flows to holder 2
+        // without any release/re-reserve churn.
+        assert!(p.rebalance(&[req(1, 10, 100), req(2, 2000, 100)]));
+        assert!(p.share_of(2) > 500);
+        assert!(p.share_of(1) >= 100, "floor keeps accepted tokens resident");
+        assert_eq!(
+            p.share_of(1) + p.share_of(2),
+            1000,
+            "reclaim conserves bytes"
+        );
     }
 
     #[test]

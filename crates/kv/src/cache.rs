@@ -212,6 +212,16 @@ impl KvCache {
         self.pool.resize(self.config.capacity_blocks());
     }
 
+    /// Blocks of occupancy in excess of the current capacity (see
+    /// [`BlockPool::deficit`]) — nonzero only right after an elastic
+    /// share rebalance or repartition shrank this cache below what it
+    /// holds; eviction works it off on the next allocations.
+    ///
+    /// [`BlockPool::deficit`]: crate::BlockPool::deficit
+    pub fn block_deficit(&self) -> u64 {
+        self.pool.deficit()
+    }
+
     /// Create a new independent sequence (a prompt) of `tokens` tokens.
     /// The node starts absent; `pin` it before use.
     ///

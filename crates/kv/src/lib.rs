@@ -53,7 +53,7 @@ mod pool;
 mod stats;
 mod tree;
 
-pub use budget::PoolBudget;
+pub use budget::{PoolBudget, ShareRequest};
 pub use cache::{KvCache, KvCacheConfig, KvError, PinCost};
 pub use pool::BlockPool;
 pub use stats::CacheStats;

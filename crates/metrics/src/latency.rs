@@ -7,15 +7,22 @@ use serde::{Deserialize, Serialize};
 pub struct LatencyBreakdown {
     /// Seconds spent in generator decode (including speculative decode).
     pub generator: f64,
-    /// Seconds spent in verifier prefill.
+    /// Seconds of verifier prefill *attributed* to this request. For a
+    /// sweep fused across requests each participant waits the full
+    /// kernel but books only its proportional share here (the rest goes
+    /// to `idle`), so summing `verifier` across co-scheduled requests
+    /// recovers the device's busy seconds exactly — shared sweeps are
+    /// never double-counted.
     pub verifier: f64,
     /// Seconds spent recomputing evicted prefixes (re-prefill on the
     /// generator).
     pub recompute: f64,
     /// Seconds spent on host<->device KV transfers (offloading).
     pub offload: f64,
-    /// Seconds spent idle: lockstep-round barriers and preemption gaps
-    /// under continuous batching (always zero for isolated runs).
+    /// Seconds spent idle: lockstep-round barriers, preemption gaps,
+    /// waits for the shared verifier device (serialized sweeps) and the
+    /// unattributed remainder of fused verifier sweeps (always zero for
+    /// isolated runs).
     pub idle: f64,
 }
 

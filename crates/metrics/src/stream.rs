@@ -21,6 +21,13 @@ pub struct StreamRecord {
     pub queue_delay: f64,
     /// Accepted (completed-beam) tokens generated for the request.
     pub accepted_tokens: u64,
+    /// Seconds the request spent in generator decode (plus recompute).
+    pub generator_secs: f64,
+    /// Seconds of verifier prefill *attributed* to the request. Under
+    /// fused cross-request sweeps each participant is attributed only
+    /// its share of the shared kernel, so summing this across records
+    /// equals the device's verifier busy time — never a multiple of it.
+    pub verifier_secs: f64,
 }
 
 impl StreamRecord {
@@ -45,6 +52,18 @@ pub struct StreamSummary {
     pub latency: Summary,
     /// Queueing-delay distribution.
     pub queue_delay: Summary,
+    /// Accepted tokens per second of (attributed) generator busy time —
+    /// how hard the decode phase worked for the tokens that survived.
+    pub generator_goodput: f64,
+    /// Accepted tokens per second of (attributed) verifier busy time.
+    /// Fused verifier sweeps raise this directly: the same accepted
+    /// tokens cost fewer shared-kernel seconds.
+    pub verifier_goodput: f64,
+    /// Mean sequences per verifier prefill sweep (0 when the serving
+    /// layer does not track sweeps — set via
+    /// [`StreamSummary::with_verifier_occupancy`]). Cross-request
+    /// fusion pushes this above one request's batch size.
+    pub verifier_occupancy: f64,
 }
 
 impl StreamSummary {
@@ -58,6 +77,9 @@ impl StreamSummary {
                 stream_goodput: 0.0,
                 latency: Summary::of(&[]),
                 queue_delay: Summary::of(&[]),
+                generator_goodput: 0.0,
+                verifier_goodput: 0.0,
+                verifier_occupancy: 0.0,
             };
         }
         let first = records
@@ -69,6 +91,15 @@ impl StreamSummary {
         let tokens: u64 = records.iter().map(|r| r.accepted_tokens).sum();
         let latencies: Vec<f64> = records.iter().map(|r| r.total_latency()).collect();
         let delays: Vec<f64> = records.iter().map(|r| r.queue_delay).collect();
+        let gen_secs: f64 = records.iter().map(|r| r.generator_secs).sum();
+        let ver_secs: f64 = records.iter().map(|r| r.verifier_secs).sum();
+        let per_phase = |secs: f64| {
+            if secs > 0.0 {
+                tokens as f64 / secs
+            } else {
+                0.0
+            }
+        };
         Self {
             requests: records.len(),
             makespan,
@@ -80,7 +111,17 @@ impl StreamSummary {
             },
             latency: Summary::of(&latencies),
             queue_delay: Summary::of(&delays),
+            generator_goodput: per_phase(gen_secs),
+            verifier_goodput: per_phase(ver_secs),
+            verifier_occupancy: 0.0,
         }
+    }
+
+    /// Attach the mean verifier-sweep occupancy (sequences per sweep)
+    /// measured by the serving layer.
+    pub fn with_verifier_occupancy(mut self, occupancy: f64) -> Self {
+        self.verifier_occupancy = occupancy;
+        self
     }
 }
 
@@ -94,6 +135,8 @@ mod tests {
             finished_at: finished,
             queue_delay: queued,
             accepted_tokens: tokens,
+            generator_secs: (finished - arrived) * 0.5,
+            verifier_secs: (finished - arrived) * 0.25,
         }
     }
 
@@ -120,5 +163,19 @@ mod tests {
     fn zero_makespan_guards_division() {
         let s = StreamSummary::of(&[rec(2.0, 2.0, 0.0, 10)]);
         assert_eq!(s.stream_goodput, 0.0);
+        assert_eq!(s.generator_goodput, 0.0, "zero phase time guards too");
+        assert_eq!(s.verifier_goodput, 0.0);
+    }
+
+    #[test]
+    fn per_phase_goodput_uses_attributed_busy_time() {
+        // 600 tokens over 2.5 s of generator time and 1.25 s of verifier
+        // time across both requests.
+        let s = StreamSummary::of(&[rec(0.0, 4.0, 0.0, 300), rec(1.0, 2.0, 0.0, 300)]);
+        assert!((s.generator_goodput - 600.0 / 2.5).abs() < 1e-9);
+        assert!((s.verifier_goodput - 600.0 / 1.25).abs() < 1e-9);
+        assert_eq!(s.verifier_occupancy, 0.0, "unset without a serving layer");
+        let s = s.with_verifier_occupancy(24.5);
+        assert_eq!(s.verifier_occupancy, 24.5);
     }
 }

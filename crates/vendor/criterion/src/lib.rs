@@ -28,9 +28,16 @@ pub enum BatchSize {
 
 /// Distribution statistics over a benchmark's timed samples
 /// (per-iteration seconds).
+///
+/// Like real criterion, samples outside the Tukey fences
+/// `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` (quartiles taken over the raw
+/// samples) are rejected as outliers before the statistics are
+/// computed, so one GC pause or scheduler hiccup cannot poison the
+/// mean/variance. Rejection is skipped for fewer than four samples,
+/// where quartiles are meaningless.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {
-    /// Number of samples.
+    /// Samples the statistics were computed over (outliers excluded).
     pub n: usize,
     /// Arithmetic mean.
     pub mean_seconds: f64,
@@ -42,10 +49,13 @@ pub struct SampleStats {
     pub p50_seconds: f64,
     /// 99th percentile (nearest-rank; the max for small sample counts).
     pub p99_seconds: f64,
+    /// Samples rejected by the IQR fences.
+    pub outliers_rejected: usize,
 }
 
 impl SampleStats {
-    /// Compute the statistics of a sample set (all-zero when empty).
+    /// Compute the statistics of a sample set (all-zero when empty),
+    /// rejecting IQR outliers first.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self {
@@ -55,13 +65,24 @@ impl SampleStats {
                 variance_seconds2: 0.0,
                 p50_seconds: 0.0,
                 p99_seconds: 0.0,
+                outliers_rejected: 0,
             };
         }
-        let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let raw_n = sorted.len();
+        let raw_rank = |q: f64| sorted[((q * raw_n as f64).ceil() as usize).clamp(1, raw_n) - 1];
+        if raw_n >= 4 {
+            let (q1, q3) = (raw_rank(0.25), raw_rank(0.75));
+            let iqr = q3 - q1;
+            let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+            sorted.retain(|&s| s >= lo && s <= hi);
+        }
+        let n = sorted.len();
+        debug_assert!(n > 0, "the median always survives its own fences");
+        let outliers_rejected = raw_n - n;
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let variance = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         Self {
             n,
@@ -70,6 +91,7 @@ impl SampleStats {
             variance_seconds2: variance,
             p50_seconds: rank(0.50),
             p99_seconds: rank(0.99),
+            outliers_rejected,
         }
     }
 }
@@ -173,13 +195,17 @@ impl Criterion {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
         let stats = bencher.stats();
+        // Every figure on the line comes from the same IQR-filtered
+        // sample set — mixing the raw accumulators in would print a
+        // hiccup-inflated mean next to a post-rejection σ.
         println!(
-            "{name:<40} time: [mean {} | fastest {} | p50 {} | p99 {} | σ {}]",
-            format_seconds(bencher.mean_seconds),
-            format_seconds(bencher.min_seconds),
+            "{name:<40} time: [mean {} | fastest {} | p50 {} | p99 {} | σ {} | {} outliers]",
+            format_seconds(stats.mean_seconds),
+            format_seconds(stats.min_seconds),
             format_seconds(stats.p50_seconds),
             format_seconds(stats.p99_seconds),
             format_seconds(stats.variance_seconds2.sqrt()),
+            stats.outliers_rejected,
         );
         stats
     }
@@ -256,6 +282,7 @@ mod tests {
     fn sample_stats_match_hand_computation() {
         let s = SampleStats::from_samples(&[4.0, 2.0, 6.0, 8.0]);
         assert_eq!(s.n, 4);
+        assert_eq!(s.outliers_rejected, 0, "a tight sample keeps everything");
         assert_eq!(s.mean_seconds, 5.0);
         assert_eq!(s.min_seconds, 2.0);
         // Population variance of {2,4,6,8} around 5: (9+1+1+9)/4 = 5.
@@ -265,6 +292,41 @@ mod tests {
         let empty = SampleStats::from_samples(&[]);
         assert_eq!(empty.n, 0);
         assert_eq!(empty.variance_seconds2, 0.0);
+    }
+
+    #[test]
+    fn iqr_fences_reject_outliers() {
+        // Ten well-behaved ~1 ms samples plus one 1 s hiccup: the
+        // fences drop the hiccup, so mean/variance/p99 describe the
+        // steady state instead of the glitch.
+        let mut samples = vec![1e-3; 10];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s += i as f64 * 1e-6;
+        }
+        let clean = SampleStats::from_samples(&samples);
+        samples.push(1.0);
+        let robust = SampleStats::from_samples(&samples);
+        assert_eq!(robust.outliers_rejected, 1);
+        assert_eq!(robust.n, 10);
+        assert!((robust.mean_seconds - clean.mean_seconds).abs() < 1e-9);
+        assert!(robust.p99_seconds < 2e-3, "p99 must ignore the hiccup");
+        assert!(robust.variance_seconds2 < 1e-9);
+        // Low-side outliers are rejected symmetrically.
+        samples.pop();
+        samples.push(1e-9);
+        let low = SampleStats::from_samples(&samples);
+        assert_eq!(low.outliers_rejected, 1);
+        assert!(low.min_seconds >= 1e-3);
+    }
+
+    #[test]
+    fn tiny_samples_skip_rejection() {
+        // Quartiles over <4 samples are meaningless; everything is kept.
+        let s = SampleStats::from_samples(&[1.0, 100.0, 10_000.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.outliers_rejected, 0);
+        assert_eq!(s.min_seconds, 1.0);
+        assert_eq!(s.p99_seconds, 10_000.0);
     }
 
     #[test]
@@ -280,7 +342,8 @@ mod tests {
     fn bench_stats_returns_the_distribution() {
         let mut c = Criterion::default().sample_size(5);
         let stats = c.bench_stats("stats", |b| b.iter(|| std::hint::black_box(17u64 * 3)));
-        assert_eq!(stats.n, 5);
+        assert_eq!(stats.n + stats.outliers_rejected, 5);
+        assert!(stats.n >= 1);
         assert!(stats.min_seconds <= stats.p50_seconds);
         assert!(stats.p50_seconds <= stats.p99_seconds);
         assert!(stats.mean_seconds > 0.0);
