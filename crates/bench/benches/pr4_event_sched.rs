@@ -1,0 +1,260 @@
+//! PR-4 benchmark: event-driven (iteration-granularity) scheduling vs
+//! lockstep rounds, with a machine-readable `BENCH_PR4.json` report.
+//!
+//! **Fixture: straggler-heavy overload.** Shallow AMC-2023 requests
+//! interleaved with deep AIME-2024 stragglers, one arrival per second,
+//! n = 16 beam search — the workload where the lockstep round barrier
+//! hurts most: every round waits for the deepest search while shallow
+//! requests burn `barrier_idle`. The PR-3 policy (lockstep fused-8) is
+//! the baseline; the PR-4 policy (`EventServerSim`, fused-8, finite
+//! co-batch window) removes the barrier.
+//!
+//! Asserted gates (the PR's acceptance criteria):
+//!
+//! * event-driven stream goodput ≥ [`GOODPUT_TARGET`] × lockstep
+//!   fused-8 on this fixture;
+//! * event-driven idle *fraction* (idle seconds over total attributed
+//!   seconds) strictly below lockstep's, with **zero** barrier idle —
+//!   the wait the scheduler exists to drain;
+//! * answers are schedule-invariant (the reasoning trees match
+//!   request-for-request).
+//!
+//! A window sweep (0 / 0.1 / 0.5 / ∞ seconds) shows the dial between
+//! "never wait" and "wait for everyone"; the infinite point must
+//! reproduce the lockstep numbers exactly (the equivalence anchor,
+//! asserted here too). Wall-clock of the event scheduler itself is
+//! reported through the criterion shim's IQR-filtered statistics.
+//!
+//! Run with `cargo bench --bench pr4_event_sched` (release profile).
+
+use criterion::{Criterion, SampleStats};
+use ftts_core::{BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, TtsServer};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_search::SearchKind;
+use ftts_workload::{ArrivalPattern, Dataset, RequestArrival};
+
+const N_BEAMS: usize = 16;
+const ARRIVAL_INTERVAL_S: f64 = 1.0;
+const MAX_BATCH: usize = 8;
+/// The PR-4 co-batch window, seconds.
+const WINDOW_S: f64 = 0.1;
+const GOODPUT_TARGET: f64 = 1.3;
+
+fn server(seed: u64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s.config_mut().memory_fraction = 0.9;
+    s
+}
+
+/// Shallow AMC requests interleaved with deep AIME stragglers: the
+/// heterogeneity that makes lockstep rounds straggler-bound.
+fn straggler_arrivals() -> Vec<RequestArrival> {
+    let shallow = Dataset::Amc2023.problems(5, 29);
+    let deep = Dataset::Aime2024.problems(3, 43);
+    let problems = vec![
+        shallow[0], deep[0], shallow[1], shallow[2], deep[1], shallow[3], deep[2], shallow[4],
+    ];
+    ArrivalPattern::Uniform {
+        interval: ARRIVAL_INTERVAL_S,
+    }
+    .schedule(&problems, 0)
+}
+
+fn run_lockstep(arrivals: &[RequestArrival]) -> BatchRun {
+    BatchedServerSim::new(
+        server(17),
+        N_BEAMS,
+        SearchKind::BeamSearch,
+        BatchConfig::fused(MAX_BATCH),
+    )
+    .run(arrivals)
+    .expect("lockstep run")
+}
+
+fn run_event(arrivals: &[RequestArrival], window: f64) -> BatchRun {
+    EventServerSim::new(
+        server(17),
+        N_BEAMS,
+        SearchKind::BeamSearch,
+        EventConfig::windowed(MAX_BATCH, window),
+    )
+    .run(arrivals)
+    .expect("event run")
+}
+
+/// (idle fraction, barrier-idle seconds) over a run's attributed time.
+fn idle_profile(run: &BatchRun) -> (f64, f64) {
+    let mut idle = 0.0f64;
+    let mut barrier = 0.0f64;
+    let mut total = 0.0f64;
+    for r in &run.served {
+        let b = r.outcome.stats.breakdown();
+        idle += b.idle;
+        barrier += b.barrier_idle;
+        total += b.total();
+    }
+    (idle / total.max(1e-12), barrier)
+}
+
+fn policy_json(label: &str, run: &BatchRun) -> String {
+    let s = run.stream_summary();
+    let (idle_fraction, barrier_idle) = idle_profile(run);
+    format!(
+        r#"    "{label}": {{
+      "stream_goodput_tok_per_s": {goodput:.2},
+      "makespan_s": {makespan:.3},
+      "total_accepted_tokens": {tokens},
+      "latency_mean_s": {lat_mean:.3},
+      "latency_p95_s": {lat_p95:.3},
+      "queue_delay_mean_s": {qd_mean:.3},
+      "idle_fraction": {idle_fraction:.4},
+      "barrier_idle_s": {barrier_idle:.3},
+      "launches": {rounds},
+      "mean_cobatch_width": {width:.2},
+      "verifier_sweeps": {sweeps},
+      "verifier_occupancy_seqs_per_sweep": {occ:.3},
+      "preemptions": {preemptions},
+      "peak_reserved_bytes": {peak},
+      "pool_bytes": {pool}
+    }}"#,
+        goodput = s.stream_goodput,
+        makespan = s.makespan,
+        tokens = s.total_accepted_tokens,
+        lat_mean = s.latency.mean,
+        lat_p95 = s.latency.p95,
+        qd_mean = s.queue_delay.mean,
+        rounds = run.rounds,
+        width = run.group_iters as f64 / run.rounds.max(1) as f64,
+        sweeps = run.ver_sweeps,
+        occ = s.verifier_occupancy,
+        preemptions = run.preemptions,
+        peak = run.peak_reserved_bytes,
+        pool = run.pool_bytes,
+    )
+}
+
+fn wall_json(stats: &SampleStats) -> String {
+    format!(
+        r#"  "event_wall_clock": {{
+    "samples": {n},
+    "outliers_rejected": {outliers},
+    "mean_s": {mean:.6},
+    "min_s": {min:.6},
+    "variance_s2": {var:.9},
+    "p50_s": {p50:.6},
+    "p99_s": {p99:.6}
+  }}"#,
+        n = stats.n,
+        outliers = stats.outliers_rejected,
+        mean = stats.mean_seconds,
+        min = stats.min_seconds,
+        var = stats.variance_seconds2,
+        p50 = stats.p50_seconds,
+        p99 = stats.p99_seconds,
+    )
+}
+
+fn main() {
+    let arrivals = straggler_arrivals();
+    let lockstep = run_lockstep(&arrivals);
+    let event = run_event(&arrivals, WINDOW_S);
+
+    println!("== pr4: event-driven scheduling on the straggler-heavy overload ==");
+    println!(
+        "{} requests (AMC + AIME mix), n={N_BEAMS} beam search, one arrival per {ARRIVAL_INTERVAL_S:.1} s",
+        arrivals.len()
+    );
+    let window_sweep: Vec<(String, BatchRun)> = [0.0, 0.1, 0.5, f64::INFINITY]
+        .into_iter()
+        .map(|w| (format!("event window {w:>4}s"), run_event(&arrivals, w)))
+        .collect();
+    let mut rows: Vec<(String, &BatchRun)> =
+        vec![("lockstep fused-8 (pr3)".to_string(), &lockstep)];
+    rows.extend(window_sweep.iter().map(|(l, r)| (l.clone(), r)));
+    for (label, run) in &rows {
+        let s = run.stream_summary();
+        let (idle_fraction, barrier) = idle_profile(run);
+        println!(
+            "  {label:<24} goodput {goodput:>8.1} tok/s | makespan {makespan:>6.1} s | idle {idle:>5.1}% (barrier {barrier:>6.1} s) | {launches:>3} launches x {width:>4.1} wide",
+            goodput = s.stream_goodput,
+            makespan = s.makespan,
+            idle = idle_fraction * 100.0,
+            launches = run.rounds,
+            width = run.group_iters as f64 / run.rounds.max(1) as f64,
+        );
+    }
+
+    let (ls, es) = (lockstep.stream_summary(), event.stream_summary());
+    let speedup = es.stream_goodput / ls.stream_goodput.max(1e-12);
+    let (lock_idle, lock_barrier) = idle_profile(&lockstep);
+    let (event_idle, event_barrier) = idle_profile(&event);
+    println!("  event vs lockstep goodput: {speedup:.3}x");
+    assert!(
+        speedup >= GOODPUT_TARGET,
+        "acceptance criterion: event-driven scheduling must deliver >= {GOODPUT_TARGET}x \
+         stream goodput over lockstep fused-8 on the straggler fixture ({} vs {} tok/s)",
+        es.stream_goodput,
+        ls.stream_goodput
+    );
+    assert!(
+        event_idle < lock_idle,
+        "event-driven scheduling must lower the idle fraction ({event_idle:.4} vs {lock_idle:.4})"
+    );
+    assert!(
+        lock_barrier > 0.0,
+        "the lockstep baseline must actually wait at barriers on this fixture"
+    );
+    assert!(
+        event_barrier == 0.0,
+        "event-driven scheduling must never book barrier idle ({event_barrier} s)"
+    );
+    // Scheduling moves clocks, never outcomes.
+    for (l, e) in lockstep.served.iter().zip(&event.served) {
+        assert_eq!(
+            l.outcome.answer, e.outcome.answer,
+            "answers are schedule-invariant"
+        );
+        assert_eq!(l.accepted_tokens(), e.accepted_tokens());
+    }
+    // The infinite-window point of the sweep is the equivalence anchor:
+    // it must land exactly on the lockstep numbers.
+    let infinite = &window_sweep.last().expect("sweep non-empty").1;
+    assert_eq!(
+        infinite.stream_summary().stream_goodput,
+        ls.stream_goodput,
+        "infinite window must reproduce lockstep exactly"
+    );
+    assert_eq!(infinite.rounds, lockstep.rounds);
+
+    // Wall-clock of the event scheduler itself (IQR-robust).
+    println!("\n== pr4: scheduler wall-clock (simulator hot path) ==");
+    let mut criterion = Criterion::default().sample_size(15);
+    let wall = criterion.bench_stats("event_window_replay", |b| {
+        b.iter(|| run_event(&arrivals, WINDOW_S))
+    });
+
+    let sweep_json: Vec<String> = [0.0, 0.1, 0.5]
+        .iter()
+        .zip(&window_sweep)
+        .map(|(w, (_, run))| {
+            format!(
+                r#"    {{ "window_s": {w}, "stream_goodput_tok_per_s": {gp:.2}, "idle_fraction": {idle:.4} }}"#,
+                gp = run.stream_summary().stream_goodput,
+                idle = idle_profile(run).0,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pr4_event_sched\",\n  \"workload\": {{\n    \"requests\": {requests},\n    \"n_beams\": {N_BEAMS},\n    \"arrival_interval_s\": {ARRIVAL_INTERVAL_S},\n    \"mix\": \"amc2023+aime2024 stragglers\",\n    \"search\": \"beam\"\n  }},\n  \"policies\": {{\n{lockstep_json},\n{event_json}\n  }},\n  \"event_goodput_speedup_vs_lockstep_fused8\": {speedup:.3},\n  \"lockstep_idle_fraction\": {lock_idle:.4},\n  \"event_idle_fraction\": {event_idle:.4},\n  \"lockstep_barrier_idle_s\": {lock_barrier:.3},\n  \"event_barrier_idle_s\": {event_barrier:.3},\n  \"window_sweep\": [\n{sweep}\n  ],\n  \"infinite_window_matches_lockstep\": true,\n{wall}\n}}\n",
+        requests = arrivals.len(),
+        lockstep_json = policy_json("lockstep_fused8", &lockstep),
+        event_json = policy_json("event_fused8_window", &event),
+        sweep = sweep_json.join(",\n"),
+        wall = wall_json(&wall),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(out_path, &json).expect("write BENCH_PR4.json");
+    println!("\nwrote {out_path}");
+}

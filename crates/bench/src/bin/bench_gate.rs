@@ -1,0 +1,76 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench-gate --baseline <dir> --fresh <dir>   # compare reports, exit 1 on regression
+//! bench-gate --self-test                      # verify the gate fails a synthetic regression
+//! ```
+//!
+//! Prints the delta table as markdown and, when `$GITHUB_STEP_SUMMARY`
+//! is set, appends it to the job summary. See `docs/ci.md` for the
+//! tolerance policy and how to refresh baselines intentionally.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftts_bench::gate;
+
+fn emit(markdown: &str) {
+    println!("{markdown}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(summary)
+        {
+            let _ = writeln!(f, "{markdown}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from),
+            "--fresh" => fresh = it.next().map(PathBuf::from),
+            "--self-test" => self_test = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: bench-gate --baseline <dir> --fresh <dir> | --self-test");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        return match gate::self_test() {
+            Ok(()) => {
+                println!("RESULT bench-gate self-test: gate fails synthetic regressions");
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("bench-gate self-test FAILED: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        eprintln!("usage: bench-gate --baseline <dir> --fresh <dir> | --self-test");
+        return ExitCode::from(2);
+    };
+    let report = gate::run_gate(&baseline, &fresh, &gate::default_specs());
+    emit(&report.to_markdown());
+    if report.passed() {
+        println!("RESULT bench-gate: all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-gate: regression detected (see table above)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,600 @@
+//! Bench-regression gate: compares freshly emitted `BENCH_PR*.json`
+//! reports against committed baselines with per-metric tolerances.
+//!
+//! Every PR's benchmark asserts its *own* acceptance gate (e.g. "fused
+//! ≥ 1.15x continuous"), but nothing used to stop a later PR from
+//! silently eroding an earlier PR's win while still clearing that PR's
+//! absolute bar. The gate closes the loop: CI snapshots the committed
+//! `BENCH_PR*.json` files before re-running the benches, then compares
+//! the fresh numbers against the snapshot metric by metric. A metric
+//! regressing past its tolerance fails the build; the whole comparison
+//! is printed as a markdown delta table for the job summary.
+//!
+//! Baselines are refreshed *intentionally* by committing the fresh
+//! `BENCH_PR*.json` files a bench run writes to the repo root — see
+//! `docs/ci.md`.
+//!
+//! The JSON the benches emit is parsed by the minimal reader in this
+//! module (the workspace is offline; the vendored `serde` shim has no
+//! deserializer), which supports exactly the subset the reports use:
+//! objects, arrays, numbers, strings, booleans and null.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed JSON value (minimal reader for the bench reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// An object, with insertion-order-independent key lookup.
+    Object(BTreeMap<String, Json>),
+    /// An array.
+    Array(Vec<Json>),
+    /// A number (all JSON numbers are read as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Navigate a dot-separated path of object keys (e.g.
+    /// `"policies.fused_batch8.stream_goodput_tok_per_s"`).
+    pub fn at(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Object(map) => cur = map.get(key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The numeric value at a dot-separated path, if any.
+    pub fn number_at(&self, path: &str) -> Option<f64> {
+        match self.at(path)? {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("invalid number '{s}' at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                });
+            }
+            _ => out.push(b as char),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (speedups, goodput).
+    HigherIsBetter,
+    /// Smaller is better (idle fractions, latencies).
+    LowerIsBetter,
+}
+
+/// One gated metric: where to find it and how much erosion to tolerate.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Report file name, e.g. `"BENCH_PR3.json"`.
+    pub file: &'static str,
+    /// Dot-separated path inside the report.
+    pub path: &'static str,
+    /// Short human label for the delta table.
+    pub label: &'static str,
+    /// Minimum tolerated goodness ratio (fresh vs baseline, direction-
+    /// normalized): `0.95` fails on a > 5% regression. Ignored when
+    /// [`MetricSpec::absolute`] is set.
+    pub min_ratio: f64,
+    /// Absolute bound that *replaces* the baseline-relative ratio test:
+    /// a floor for higher-is-better metrics, a ceiling for
+    /// lower-is-better ones. Use it for metrics where ratios misbehave —
+    /// wall-clock-derived numbers (whose committed baseline was measured
+    /// on a different machine) and near-zero fractions (where tiny
+    /// absolute shifts produce huge ratios).
+    pub absolute: Option<f64>,
+    /// Which way the metric is supposed to move.
+    pub direction: Direction,
+}
+
+/// The committed gate: one entry per headline metric of each PR's
+/// bench. All simulated-time metrics (goodput, speedups) are
+/// deterministic — any drift is a code change — so their ratio
+/// tolerances are deliberately loose (5%) erosion catchers. The two
+/// exceptions use absolute bounds instead: PR 1's eviction speedup is
+/// *wall-clock*-derived (machine-dependent, so a cross-machine ratio
+/// would be flaky) and PR 4's idle fraction sits near zero (where a
+/// ratio trips on numeric dust).
+pub fn default_specs() -> Vec<MetricSpec> {
+    use Direction::{HigherIsBetter, LowerIsBetter};
+    vec![
+        MetricSpec {
+            file: "BENCH_PR1.json",
+            path: "eviction.speedup_vs_seed",
+            label: "PR1 eviction speedup vs seed scan",
+            min_ratio: 0.0,
+            // Wall-clock metric: the indexed eviction win is ~26x on
+            // any machine; the gate only needs to catch the index
+            // collapsing back toward the seed scan's 1x.
+            absolute: Some(5.0),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR2.json",
+            path: "continuous_goodput_speedup_vs_fifo",
+            label: "PR2 continuous-4 goodput vs FIFO",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR2.json",
+            path: "policies.continuous_batch4.stream_goodput_tok_per_s",
+            label: "PR2 continuous-4 stream goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR3.json",
+            path: "fused8_goodput_speedup_vs_continuous4",
+            label: "PR3 fused-8 goodput vs continuous-4",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR3.json",
+            path: "policies.fused_batch8.stream_goodput_tok_per_s",
+            label: "PR3 fused-8 stream goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR4.json",
+            path: "event_goodput_speedup_vs_lockstep_fused8",
+            label: "PR4 event goodput vs lockstep fused-8",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR4.json",
+            path: "policies.event_fused8_window.stream_goodput_tok_per_s",
+            label: "PR4 event stream goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR4.json",
+            path: "event_idle_fraction",
+            label: "PR4 event idle fraction",
+            min_ratio: 0.0,
+            // Near-zero fraction (0.004 at the baseline): an absolute
+            // ceiling expresses the actual invariant — event-driven
+            // scheduling keeps idle far below lockstep's ~46% — without
+            // tripping on half-a-percentage-point shifts.
+            absolute: Some(0.05),
+            direction: LowerIsBetter,
+        },
+    ]
+}
+
+/// Outcome of one gated metric.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// The metric's human label.
+    pub label: &'static str,
+    /// Baseline value, if the file/path resolved.
+    pub baseline: Option<f64>,
+    /// Fresh value, if the file/path resolved.
+    pub fresh: Option<f64>,
+    /// Direction-normalized goodness ratio (`>= 1.0` means improved).
+    pub ratio: Option<f64>,
+    /// Whether the metric clears its tolerance.
+    pub ok: bool,
+    /// Human rendering of the tolerance applied (ratio or absolute).
+    pub tolerance: String,
+}
+
+/// A full gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One row per gated metric.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// Whether every metric cleared its tolerance.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Render the delta table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("## Bench-regression gate\n\n");
+        out.push_str("| metric | baseline | fresh | ratio | tolerance | status |\n");
+        out.push_str("|---|---:|---:|---:|---:|:---:|\n");
+        for r in &self.rows {
+            let fmt =
+                |v: Option<f64>| v.map_or_else(|| "missing".to_string(), |x| format!("{x:.4}"));
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                r.label,
+                fmt(r.baseline),
+                fmt(r.fresh),
+                fmt(r.ratio),
+                r.tolerance,
+                if r.ok { "ok" } else { "REGRESSED" },
+            );
+        }
+        let verdict = if self.passed() {
+            "\nAll gated metrics within tolerance.\n"
+        } else {
+            "\n**Regression detected** — a gated metric eroded past its tolerance. \
+             If the change is intentional, refresh the committed `BENCH_PR*.json` \
+             baselines (see docs/ci.md).\n"
+        };
+        out.push_str(verdict);
+        out
+    }
+}
+
+/// The direction-normalized goodness ratio of `fresh` vs `baseline`:
+/// `>= 1.0` means at least as good. Values at (or below) zero are
+/// clamped to an epsilon so "idle fraction 0.0" baselines cannot divide
+/// by zero — a fresh zero against a zero baseline reads as 1.0.
+pub fn goodness_ratio(baseline: f64, fresh: f64, direction: Direction) -> f64 {
+    const EPS: f64 = 1e-9;
+    let (b, f) = (baseline.max(EPS), fresh.max(EPS));
+    match direction {
+        Direction::HigherIsBetter => f / b,
+        Direction::LowerIsBetter => b / f,
+    }
+}
+
+/// Compare the reports in `fresh_dir` against those in `baseline_dir`
+/// over `specs`. A missing file or metric on either side fails that row
+/// (the gate must not silently pass because a bench stopped emitting a
+/// number).
+pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path, specs: &[MetricSpec]) -> GateReport {
+    let mut cache: BTreeMap<(bool, &'static str), Option<Json>> = BTreeMap::new();
+    let mut load = |fresh: bool, file: &'static str| -> Option<Json> {
+        cache
+            .entry((fresh, file))
+            .or_insert_with(|| {
+                let dir = if fresh { fresh_dir } else { baseline_dir };
+                std::fs::read_to_string(dir.join(file))
+                    .ok()
+                    .and_then(|text| Json::parse(&text).ok())
+            })
+            .clone()
+    };
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let baseline = load(false, spec.file).and_then(|j| j.number_at(spec.path));
+            let fresh = load(true, spec.file).and_then(|j| j.number_at(spec.path));
+            let ratio = baseline
+                .zip(fresh)
+                .map(|(b, f)| goodness_ratio(b, f, spec.direction));
+            let (ok, tolerance) = match (spec.absolute, spec.direction) {
+                (Some(bound), Direction::HigherIsBetter) => {
+                    (fresh.is_some_and(|f| f >= bound), format!("abs >= {bound}"))
+                }
+                (Some(bound), Direction::LowerIsBetter) => {
+                    (fresh.is_some_and(|f| f <= bound), format!("abs <= {bound}"))
+                }
+                (None, _) => (
+                    ratio.is_some_and(|r| r >= spec.min_ratio),
+                    format!("ratio >= {:.2}", spec.min_ratio),
+                ),
+            };
+            GateRow {
+                label: spec.label,
+                baseline,
+                fresh,
+                ratio,
+                ok,
+                tolerance,
+            }
+        })
+        .collect();
+    GateReport { rows }
+}
+
+/// The negative self-test: run the gate over a synthetic baseline and a
+/// deliberately regressed fresh report, and verify the gate **fails**
+/// (plus a control where the fresh report improved, which must pass).
+/// Returns an error description if the gate misbehaves either way.
+///
+/// # Errors
+///
+/// Returns `Err` when the gate passes a regression or fails an
+/// improvement — either means the gate is broken and CI must go red.
+pub fn self_test() -> Result<(), String> {
+    let specs = vec![
+        MetricSpec {
+            file: "BENCH_SELFTEST.json",
+            path: "policies.best.goodput",
+            label: "selftest goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: Direction::HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_SELFTEST.json",
+            path: "idle_fraction",
+            label: "selftest idle fraction",
+            min_ratio: 0.0,
+            absolute: Some(0.15),
+            direction: Direction::LowerIsBetter,
+        },
+    ];
+    let dir = std::env::temp_dir().join(format!("ftts-bench-gate-selftest-{}", std::process::id()));
+    let (base_dir, good_dir, bad_dir) = (dir.join("base"), dir.join("good"), dir.join("bad"));
+    for d in [&base_dir, &good_dir, &bad_dir] {
+        std::fs::create_dir_all(d).map_err(|e| e.to_string())?;
+    }
+    let report = |goodput: f64, idle: f64| {
+        format!(
+            r#"{{ "policies": {{ "best": {{ "goodput": {goodput} }} }}, "idle_fraction": {idle} }}"#
+        )
+    };
+    let write = |dir: &Path, text: &str| {
+        std::fs::write(dir.join("BENCH_SELFTEST.json"), text).map_err(|e| e.to_string())
+    };
+    write(&base_dir, &report(1000.0, 0.10))?;
+    write(&good_dir, &report(1010.0, 0.09))?; // mild improvement
+                                              // 30% goodput regression AND the idle fraction blowing through its
+                                              // absolute ceiling — both tolerance kinds must trip.
+    write(&bad_dir, &report(700.0, 0.50))?;
+    let good = run_gate(&base_dir, &good_dir, &specs);
+    let bad = run_gate(&base_dir, &bad_dir, &specs);
+    let _ = std::fs::remove_dir_all(&dir);
+    if !good.passed() {
+        return Err(format!(
+            "gate failed an improved report:\n{}",
+            good.to_markdown()
+        ));
+    }
+    if bad.rows.iter().any(|r| r.ok) {
+        return Err(format!(
+            "both the ratio and the absolute tolerance must trip:\n{}",
+            bad.to_markdown()
+        ));
+    }
+    if bad.passed() {
+        return Err(format!(
+            "gate passed a 30% goodput regression:\n{}",
+            bad.to_markdown()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_report_shapes() {
+        let j =
+            Json::parse(r#"{ "a": { "b": [1, 2.5, -3e2] }, "s": "x\n", "t": true, "n": null }"#)
+                .expect("parse");
+        assert_eq!(j.number_at("a.b"), None, "arrays are not numbers");
+        assert_eq!(
+            j.at("a.b"),
+            Some(&Json::Array(vec![
+                Json::Number(1.0),
+                Json::Number(2.5),
+                Json::Number(-300.0),
+            ]))
+        );
+        assert_eq!(j.at("s"), Some(&Json::String("x\n".to_string())));
+        assert_eq!(j.at("t"), Some(&Json::Bool(true)));
+        assert_eq!(j.at("n"), Some(&Json::Null));
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_the_real_reports() {
+        // The committed baselines must stay parseable by the gate.
+        for file in ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"] {
+            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file);
+            let text = std::fs::read_to_string(&path).expect("baseline exists");
+            let json = Json::parse(&text).expect("baseline parses");
+            assert!(json.at("bench").is_some(), "{file} names its bench");
+        }
+    }
+
+    #[test]
+    fn goodness_ratio_normalizes_direction() {
+        assert!((goodness_ratio(100.0, 110.0, Direction::HigherIsBetter) - 1.1).abs() < 1e-12);
+        assert!((goodness_ratio(0.2, 0.1, Direction::LowerIsBetter) - 2.0).abs() < 1e-12);
+        // Zero-against-zero reads as unchanged, not a crash.
+        assert!((goodness_ratio(0.0, 0.0, Direction::LowerIsBetter) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_metrics_fail_the_gate() {
+        let dir = std::env::temp_dir().join(format!("ftts-gate-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let specs = vec![MetricSpec {
+            file: "BENCH_NOPE.json",
+            path: "x",
+            label: "missing",
+            min_ratio: 0.9,
+            absolute: None,
+            direction: Direction::HigherIsBetter,
+        }];
+        let report = run_gate(&dir, &dir, &specs);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!report.passed(), "a vanished metric must not pass silently");
+        assert!(report.to_markdown().contains("missing"));
+    }
+
+    #[test]
+    fn synthetic_regression_fails_and_improvement_passes() {
+        // The negative test the ISSUE requires: the gate must go red on
+        // a synthetic regression (and green on an improvement).
+        self_test().expect("gate distinguishes regression from improvement");
+    }
+
+    #[test]
+    fn default_specs_cover_every_bench_report() {
+        let specs = default_specs();
+        for file in [
+            "BENCH_PR1.json",
+            "BENCH_PR2.json",
+            "BENCH_PR3.json",
+            "BENCH_PR4.json",
+        ] {
+            assert!(
+                specs.iter().any(|s| s.file == file),
+                "{file} must have at least one gated metric"
+            );
+        }
+    }
+}

@@ -3,9 +3,14 @@
 //! Every figure in the paper's evaluation has a `[[bench]]` target in
 //! this crate (`harness = false`), so `cargo bench --workspace`
 //! regenerates the full evaluation as printed tables. EXPERIMENTS.md
-//! records the paper-vs-measured comparison.
+//! records the paper-vs-measured comparison. The [`gate`] module (and
+//! the `bench-gate` binary) compares freshly emitted `BENCH_PR*.json`
+//! reports against committed baselines so CI catches cross-PR
+//! regressions of earlier wins.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
 
 use ftts_core::{AblationFlags, ServeOutcome, TtsServer};
 use ftts_engine::{EngineError, ModelPairing};

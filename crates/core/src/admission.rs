@@ -1,0 +1,508 @@
+//! Scheduler plumbing shared by the lockstep ([`BatchedServerSim`]) and
+//! event-driven ([`EventServerSim`]) request schedulers: the in-flight
+//! request record, the admission/readmission loop with its deterministic
+//! ordering tiebreak, KV-share resizing (equal and demand-proportional),
+//! and the shared-accelerator verifier sweep pricing.
+//!
+//! Both schedulers arbitrate the *same* resources — one [`PoolBudget`]
+//! reservation ledger and one simulated accelerator — so the policies
+//! live here once. The lockstep scheduler passes its whole active set as
+//! the `group`; the event-driven scheduler passes the co-batch group
+//! that is launching plus the `rest` of the in-flight set (requests
+//! mid-iteration outside the batching window), because shares and
+//! admission caps must count *everyone* holding pool reservations, not
+//! just the requests in the current launch.
+//!
+//! [`BatchedServerSim`]: crate::BatchedServerSim
+//! [`EventServerSim`]: crate::EventServerSim
+
+use std::collections::VecDeque;
+
+use ftts_engine::{EngineError, RequestRun, SearchDriver, VerifyCharge, VerifyChunk};
+use ftts_kv::{PoolBudget, ShareRequest};
+use ftts_search::{make_driver, SearchKind};
+use ftts_workload::RequestArrival;
+
+use crate::batch_server::BatchConfig;
+use crate::server::TtsServer;
+
+/// One in-flight (or preempted) request.
+pub(crate) struct InFlight {
+    /// Index into the arrival stream (doubles as the pool holder id).
+    pub(crate) idx: usize,
+    pub(crate) run: RequestRun,
+    pub(crate) driver: Box<dyn SearchDriver>,
+    pub(crate) arrived_at: f64,
+    /// Global time of first admission.
+    pub(crate) started_at: f64,
+    /// Admission sequence number; the largest is the youngest request
+    /// (the preemption victim, as in vLLM).
+    pub(crate) admit_seq: u64,
+    pub(crate) preemptions: u32,
+    pub(crate) preempted_secs: f64,
+    /// Global time this request was last preempted.
+    pub(crate) paused_at: f64,
+    /// Memoized readmission probe while paused: `(share, can_progress,
+    /// fits_working_set)`. The run's frontier is frozen while swapped
+    /// out, so the answer only changes when the offered share does —
+    /// re-probing (a replan + tree walk) every round would be pure
+    /// waste.
+    pub(crate) probe: Option<(u64, bool, bool)>,
+    /// Working-set demand declared at the last elastic rebalance (0
+    /// until the first declaration); drifting ±25% past it triggers the
+    /// next rebalance.
+    pub(crate) declared_demand: u64,
+}
+
+impl InFlight {
+    /// The absolute device time this request's next iteration could
+    /// start — the event a ready queue is keyed on.
+    pub(crate) fn ready_at(&self) -> f64 {
+        self.started_at + self.run.next_event_at()
+    }
+}
+
+/// An admission candidate, in the order classes the tiebreak ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitCandidate {
+    /// A preempted run awaiting readmission, by position in the paused
+    /// queue (pause order).
+    Readmit(usize),
+    /// A fresh arrival at the head of the waiting queue, by arrival
+    /// index (stream position).
+    Fresh(usize),
+}
+
+/// The deterministic admission-order tiebreak both schedulers share.
+///
+/// Readmission candidates outrank fresh arrivals — a preempted run
+/// holds accepted tokens that must not starve behind new work — and
+/// within a class, earlier position wins: pause order for readmits,
+/// stream position for arrivals. Simultaneous arrivals therefore admit
+/// in arrival-index order, deterministically, on every scheduler.
+pub(crate) fn admission_rank(candidate: AdmitCandidate) -> (u8, usize) {
+    match candidate {
+        AdmitCandidate::Readmit(pos) => (0, pos),
+        AdmitCandidate::Fresh(idx) => (1, idx),
+    }
+}
+
+/// Everything `admit` needs to know about the serving policy.
+pub(crate) struct SchedCtx<'a> {
+    pub(crate) server: &'a TtsServer,
+    pub(crate) n: usize,
+    pub(crate) kind: SearchKind,
+    pub(crate) config: &'a BatchConfig,
+}
+
+/// Idle-pad `a`'s internal clock up to the absolute instant `global` —
+/// a co-batch window wait, a readmission gap or a shared-device wait.
+/// Skips members already at (or past) the instant so the
+/// relative→absolute round trip cannot perturb their clock by a ulp —
+/// bit-exactness with the FIFO path depends on this.
+pub(crate) fn pad_to(a: &mut InFlight, global: f64) {
+    let clock = a.run.clock();
+    let absolute = a.started_at + clock;
+    if absolute < global {
+        a.run.sync_clock_to(clock + (global - absolute));
+    }
+}
+
+/// Like [`pad_to`], but books the gap as *barrier* idle — the lockstep
+/// round-barrier wait event-driven scheduling removes.
+pub(crate) fn pad_to_barrier(a: &mut InFlight, global: f64) {
+    let clock = a.run.clock();
+    let absolute = a.started_at + clock;
+    if absolute < global {
+        a.run.sync_clock_to_barrier(clock + (global - absolute));
+    }
+}
+
+/// Resize every in-flight request's reservation to `share` ahead of an
+/// admission. Shrinks apply before grows so the intermediate ledger
+/// state never overcommits — with equal shares everyone shrinks (the
+/// legacy path, byte-identical), but after a demand-proportional
+/// rebalance small holders may need to grow back to the equal probe
+/// share.
+pub(crate) fn shrink(
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+    share: u64,
+) {
+    for pass in 0..2 {
+        for a in group.iter_mut().chain(rest.iter_mut()) {
+            let shrinking = pool.share_of(a.idx as u64) >= share;
+            if (pass == 0) == shrinking {
+                assert!(pool.resize(a.idx as u64, share), "equal reshare must fit");
+                a.run.set_kv_budget(share);
+            }
+        }
+    }
+}
+
+/// Regrow every in-flight request's reservation to the equal share.
+pub(crate) fn regrow(group: &mut [InFlight], rest: &mut [InFlight], pool: &mut PoolBudget) {
+    let share = pool.equal_share(group.len() + rest.len());
+    for a in group.iter_mut().chain(rest.iter_mut()) {
+        assert!(pool.resize(a.idx as u64, share), "regrow must fit");
+        a.run.set_kv_budget(share);
+    }
+}
+
+/// Completion/preemption boundary: re-share the surviving in-flight set
+/// — equal split by default, demand-proportional when configured.
+pub(crate) fn reshare(
+    config: &BatchConfig,
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+) {
+    if group.is_empty() && rest.is_empty() {
+        return;
+    }
+    if config.demand_shares {
+        rebalance_demand(group, rest, pool);
+    } else {
+        regrow(group, rest, pool);
+    }
+}
+
+/// Demand-proportional elastic rebalance: every in-flight run declares
+/// its working-set demand (live beams × mean depth × bytes/token) and
+/// the floor that keeps its accepted tokens resident; the ledger
+/// re-shares the whole pool proportionally (idle reservation flows to
+/// deep searches without evicting anyone's accepted prefixes — see
+/// [`ftts_kv::PoolBudget::rebalance`]).
+pub(crate) fn rebalance_demand(
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+) {
+    if group.is_empty() && rest.is_empty() {
+        return;
+    }
+    let requests: Vec<ShareRequest> = group
+        .iter_mut()
+        .chain(rest.iter_mut())
+        .map(|a| {
+            let demand = a.run.demand_bytes();
+            a.declared_demand = demand;
+            ShareRequest {
+                holder: a.idx as u64,
+                demand,
+                // The floor (resident unique tree plus one step of
+                // growth, scaled to a full gen+ver share) must hold
+                // until the next boundary — see
+                // `RequestRun::kv_floor_bytes`.
+                floor: a.run.kv_floor_bytes(),
+            }
+        })
+        .collect();
+    assert!(
+        pool.rebalance(&requests),
+        "active set must cover the reservation ledger exactly"
+    );
+    for a in group.iter_mut().chain(rest.iter_mut()) {
+        a.run.set_kv_budget(pool.share_of(a.idx as u64));
+    }
+}
+
+/// Whether any in-flight run's working-set demand drifted ±25% past its
+/// last declaration — the trigger for an off-boundary elastic
+/// rebalance. Trees grow for many rounds between admissions and
+/// completions; shares frozen at an early snapshot would shrink a
+/// growing request into preemption.
+pub(crate) fn demand_drifted(group: &[InFlight], rest: &[InFlight]) -> bool {
+    group.iter().chain(rest.iter()).any(|a| {
+        let demand = a.run.demand_bytes();
+        let declared = a.declared_demand.max(1);
+        demand * 4 > declared * 5 || demand * 5 < declared * 4
+    })
+}
+
+/// Admit readmission candidates and fresh arrivals into `group`, at
+/// equal KV shares (a demand-proportional policy rebalances right after
+/// the admission boundary). Candidate order is [`admission_rank`]:
+/// preempted runs hold accepted work, so they go first; fresh arrivals
+/// stay FIFO (only the queue head is ever attempted). `rest` is the
+/// portion of the in-flight set outside the launching group — its
+/// reservations resize with everyone else's and it counts against
+/// `max_batch`, but admissions never join it. Returns whether anyone
+/// was admitted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn admit(
+    ctx: &SchedCtx<'_>,
+    group: &mut Vec<InFlight>,
+    rest: &mut [InFlight],
+    paused: &mut VecDeque<InFlight>,
+    waiting: &mut VecDeque<usize>,
+    pool: &mut PoolBudget,
+    arrivals: &[RequestArrival],
+    global: f64,
+    admit_seq: &mut u64,
+) -> Result<bool, EngineError> {
+    let mut admitted = false;
+    // Without mid-flight admission the gate only opens while the device
+    // is idle — but once open, the whole gang fills (up to `max_batch`)
+    // before the batch runs to completion.
+    let device_idle = group.is_empty() && rest.is_empty();
+    if !ctx.config.admit_mid_flight && !device_idle {
+        return Ok(admitted);
+    }
+    loop {
+        let in_flight = group.len() + rest.len();
+        if in_flight >= ctx.config.max_batch || (paused.is_empty() && waiting.is_empty()) {
+            return Ok(admitted);
+        }
+        let share = pool.equal_share(in_flight + 1);
+        if in_flight > 0 && share < ctx.config.min_share_bytes {
+            return Ok(admitted);
+        }
+        // Candidates in tiebreak order: every readmission candidate
+        // (pause order), then the head of the arrival queue.
+        let mut candidates: Vec<AdmitCandidate> = (0..paused.len())
+            .map(AdmitCandidate::Readmit)
+            .chain(waiting.front().map(|&idx| AdmitCandidate::Fresh(idx)))
+            .collect();
+        candidates.sort_by_key(|&c| admission_rank(c));
+        let joining_others = in_flight > 0;
+        let mut progressed = false;
+        for cand in candidates {
+            match cand {
+                AdmitCandidate::Readmit(pos) => {
+                    // First preempted run that can make progress at this
+                    // share. Joining a multi-request batch additionally
+                    // requires its working set to fit, or it would
+                    // bounce straight back out; with the device to
+                    // itself it may thrash, as FIFO would.
+                    let p = &mut paused[pos];
+                    if !matches!(p.probe, Some((s, _, _)) if s == share) {
+                        p.run.set_kv_budget(share);
+                        p.probe = Some((share, p.run.can_progress(), p.run.fits_working_set()));
+                    }
+                    let (_, can_progress, fits_ws) = p.probe.expect("probe just set");
+                    if !(can_progress && (!joining_others || fits_ws)) {
+                        continue;
+                    }
+                    let mut p = paused.remove(pos).expect("index in range");
+                    p.run.set_kv_budget(share);
+                    shrink(group, rest, pool, share);
+                    assert!(pool.reserve(p.idx as u64, share), "ledger must have room");
+                    p.preempted_secs += global - p.paused_at;
+                    pad_to(&mut p, global);
+                    p.admit_seq = *admit_seq;
+                    *admit_seq += 1;
+                    group.push(p);
+                    admitted = true;
+                    progressed = true;
+                }
+                AdmitCandidate::Fresh(idx) => {
+                    let mut driver = make_driver(ctx.kind, ctx.n, 4);
+                    match ctx.server.begin_request(
+                        &arrivals[idx].problem,
+                        ctx.n,
+                        driver.as_mut(),
+                        f64::INFINITY,
+                        Some(share),
+                    ) {
+                        Ok(run) => {
+                            waiting.pop_front();
+                            shrink(group, rest, pool, share);
+                            assert!(pool.reserve(idx as u64, share), "ledger must have room");
+                            group.push(InFlight {
+                                idx,
+                                run,
+                                driver,
+                                arrived_at: arrivals[idx].at,
+                                started_at: global,
+                                admit_seq: *admit_seq,
+                                preemptions: 0,
+                                preempted_secs: 0.0,
+                                paused_at: 0.0,
+                                probe: None,
+                                declared_demand: 0,
+                            });
+                            *admit_seq += 1;
+                            admitted = true;
+                            progressed = true;
+                        }
+                        // The whole pool cannot host this prompt:
+                        // infeasible.
+                        Err(e) if in_flight == 0 => return Err(e),
+                        // A share cannot: leave it queued until capacity
+                        // frees (FIFO — later arrivals wait behind it).
+                        Err(_) => return Ok(admitted),
+                    }
+                }
+            }
+            if progressed {
+                break;
+            }
+        }
+        if !progressed {
+            // Only unfittable preempted runs remain (and no admissible
+            // arrival); wait for the batch to drain and shares to
+            // regrow.
+            return Ok(admitted);
+        }
+    }
+}
+
+/// Verifier-device accounting of one launch's sweeps.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SweepTally {
+    pub(crate) sweeps: u64,
+    pub(crate) seqs: u64,
+    pub(crate) busy_secs: f64,
+}
+
+impl SweepTally {
+    fn record(&mut self, cost: &ftts_hw::KernelCost, members: usize) {
+        if cost.seconds <= 0.0 {
+            return;
+        }
+        self.sweeps += 1;
+        self.seqs += members as u64;
+        self.busy_secs += cost.seconds;
+    }
+}
+
+/// Price one launch's verifier prefill chunks over the shared
+/// accelerator, filling `charges` (one [`VerifyCharge`] per chunk, per
+/// request).
+///
+/// Unfused: each request's sweeps are separate kernels that serialize
+/// in admission order — a request whose turn has not come idle-waits
+/// for the device. Fused: all requests' wave-`w` chunks launch as one
+/// shared `prefill_batch` sweep; every participant waits the full
+/// kernel but is attributed only its `new_tokens`-proportional share as
+/// verifier busy time. Either way a single participant degenerates to
+/// its own solo sweep, which is what keeps batch-1 scheduling
+/// bit-identical to `ServerSim`.
+pub(crate) fn cost_verify_sweeps(
+    fused: bool,
+    members: &mut [InFlight],
+    plans: &[Vec<VerifyChunk>],
+    charges: &mut [Vec<VerifyCharge>],
+) -> SweepTally {
+    let mut tally = SweepTally::default();
+    if fused {
+        let waves = plans.iter().map(Vec::len).max().unwrap_or(0);
+        for wave in 0..waves {
+            let parties: Vec<usize> = (0..plans.len())
+                .filter(|&i| plans[i].len() > wave)
+                .collect();
+            // One shared kernel for the whole wave: every part keeps
+            // its own attention shape, the verifier weights stream
+            // once. Like co-batched decode, each participant advances
+            // the shared-kernel time from its own clock (the scheduler
+            // re-aligns launches); a single participant degenerates to
+            // its own solo sweep bit-for-bit.
+            let parts: Vec<(usize, u64, u64)> = parties
+                .iter()
+                .map(|&i| {
+                    let c = plans[i][wave];
+                    let m = c.members.max(1);
+                    (m, c.new_tokens / m as u64, c.cached_tokens / m as u64)
+                })
+                .collect();
+            let cost = members[parties[0]]
+                .run
+                .verifier_roofline()
+                .prefill_fused(&parts);
+            let total_new: u64 = parties.iter().map(|&i| plans[i][wave].new_tokens).sum();
+            // The fused kernel streams its sub-batches back to back
+            // (continuous batching inside the verifier): request `i`'s
+            // scores are ready once the prefix of the launch holding
+            // its sequences has been processed, so it is charged the
+            // prefix end — its own slice as `verifier` busy time, the
+            // wait for earlier sub-batches as idle. The last
+            // participant pays the whole kernel, so the slices sum to
+            // the kernel exactly (no double-count).
+            let mut seqs = 0usize;
+            let mut prefix = 0.0f64;
+            for &i in &parties {
+                let chunk = plans[i][wave];
+                seqs += chunk.members;
+                let slice = if total_new > 0 {
+                    cost.seconds * chunk.new_tokens as f64 / total_new as f64
+                } else {
+                    cost.seconds / parties.len() as f64
+                };
+                prefix += slice;
+                charges[i].push(VerifyCharge {
+                    seconds: prefix,
+                    compute_util: cost.compute_util,
+                    busy_seconds: slice,
+                });
+            }
+            tally.record(&cost, seqs);
+        }
+    } else {
+        let mut device_free = f64::NEG_INFINITY;
+        for (i, a) in members.iter_mut().enumerate() {
+            if plans[i].is_empty() {
+                continue;
+            }
+            pad_to(a, device_free);
+            let mut end = a.started_at + a.run.clock();
+            for chunk in &plans[i] {
+                let cost = chunk.solo_cost(a.run.verifier_roofline());
+                end += cost.seconds;
+                charges[i].push(VerifyCharge::full(&cost));
+                tally.record(&cost, chunk.members);
+            }
+            device_free = end;
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readmits_outrank_fresh_arrivals() {
+        assert!(
+            admission_rank(AdmitCandidate::Readmit(5)) < admission_rank(AdmitCandidate::Fresh(0))
+        );
+    }
+
+    #[test]
+    fn within_class_earlier_position_wins() {
+        assert!(
+            admission_rank(AdmitCandidate::Readmit(0)) < admission_rank(AdmitCandidate::Readmit(1))
+        );
+        assert!(
+            admission_rank(AdmitCandidate::Fresh(2)) < admission_rank(AdmitCandidate::Fresh(3))
+        );
+    }
+
+    #[test]
+    fn sorting_candidates_is_deterministic_for_simultaneous_arrivals() {
+        // Simultaneous arrivals (same instant, distinct stream indices)
+        // plus a couple of readmission candidates, shuffled: sorting by
+        // the rank always recovers pause order first, then arrival
+        // order — the scheduler-independent admission order.
+        let mut candidates = vec![
+            AdmitCandidate::Fresh(4),
+            AdmitCandidate::Readmit(1),
+            AdmitCandidate::Fresh(2),
+            AdmitCandidate::Readmit(0),
+            AdmitCandidate::Fresh(3),
+        ];
+        candidates.sort_by_key(|&c| admission_rank(c));
+        assert_eq!(
+            candidates,
+            vec![
+                AdmitCandidate::Readmit(0),
+                AdmitCandidate::Readmit(1),
+                AdmitCandidate::Fresh(2),
+                AdmitCandidate::Fresh(3),
+                AdmitCandidate::Fresh(4),
+            ]
+        );
+    }
+}

@@ -71,13 +71,14 @@
 
 use std::collections::VecDeque;
 
-use ftts_engine::{EngineError, RequestRun, SearchDriver, VerifyCharge, VerifyChunk};
-use ftts_kv::{PoolBudget, ShareRequest};
+use ftts_engine::{EngineError, VerifyCharge, VerifyChunk};
+use ftts_kv::PoolBudget;
 use ftts_metrics::{StreamRecord, StreamSummary};
-use ftts_search::{make_driver, SearchKind};
+use ftts_search::SearchKind;
 use ftts_workload::RequestArrival;
 use serde::{Deserialize, Serialize};
 
+use crate::admission::{self, InFlight, SchedCtx};
 use crate::server::{ServeOutcome, ServedRequest, TtsServer};
 
 /// Request-level scheduling knobs.
@@ -168,8 +169,12 @@ impl BatchConfig {
 pub struct BatchRun {
     /// Per-request records, in arrival order.
     pub served: Vec<ServedRequest>,
-    /// Lockstep rounds executed.
+    /// Scheduling rounds executed (lockstep rounds, or co-batch
+    /// launches under event-driven scheduling).
     pub rounds: u64,
+    /// Request-iterations executed across all rounds; `group_iters /
+    /// rounds` is the mean co-batch width the scheduler achieved.
+    pub group_iters: u64,
     /// Total preemption events.
     pub preemptions: u32,
     /// High-water mark of KV reservations, bytes.
@@ -228,53 +233,6 @@ impl BatchRun {
     }
 }
 
-/// Verifier-device accounting of one round's sweeps.
-#[derive(Debug, Default, Clone, Copy)]
-struct SweepTally {
-    sweeps: u64,
-    seqs: u64,
-    busy_secs: f64,
-}
-
-impl SweepTally {
-    fn record(&mut self, cost: &ftts_hw::KernelCost, members: usize) {
-        if cost.seconds <= 0.0 {
-            return;
-        }
-        self.sweeps += 1;
-        self.seqs += members as u64;
-        self.busy_secs += cost.seconds;
-    }
-}
-
-/// One in-flight (or preempted) request.
-struct InFlight {
-    /// Index into the arrival stream (doubles as the pool holder id).
-    idx: usize,
-    run: RequestRun,
-    driver: Box<dyn SearchDriver>,
-    arrived_at: f64,
-    /// Global time of first admission.
-    started_at: f64,
-    /// Admission sequence number; the largest is the youngest request
-    /// (the preemption victim, as in vLLM).
-    admit_seq: u64,
-    preemptions: u32,
-    preempted_secs: f64,
-    /// Global time this request was last preempted.
-    paused_at: f64,
-    /// Memoized readmission probe while paused: `(share, can_progress,
-    /// fits_working_set)`. The run's frontier is frozen while swapped
-    /// out, so the answer only changes when the offered share does —
-    /// re-probing (a replan + tree walk) every round would be pure
-    /// waste.
-    probe: Option<(u64, bool, bool)>,
-    /// Working-set demand declared at the last elastic rebalance (0
-    /// until the first declaration); drifting ±25% past it triggers the
-    /// next rebalance.
-    declared_demand: u64,
-}
-
 /// Replays a request arrival stream with continuous batching across
 /// requests over one shared accelerator and KV pool.
 #[derive(Debug, Clone)]
@@ -325,6 +283,7 @@ impl BatchedServerSim {
         let mut served: Vec<Option<ServedRequest>> = (0..arrivals.len()).map(|_| None).collect();
         let mut admit_seq = 0u64;
         let mut rounds = 0u64;
+        let mut group_iters = 0u64;
         let mut preemptions = 0u32;
         let mut ver_sweeps = 0u64;
         let mut ver_seqs = 0u64;
@@ -337,8 +296,16 @@ impl BatchedServerSim {
                 next_arrival += 1;
             }
 
-            let admitted = self.admit(
+            let ctx = SchedCtx {
+                server: &self.server,
+                n: self.n,
+                kind: self.kind,
+                config: &self.config,
+            };
+            let admitted = admission::admit(
+                &ctx,
                 &mut active,
+                &mut [],
                 &mut paused,
                 &mut waiting,
                 &mut pool,
@@ -348,7 +315,7 @@ impl BatchedServerSim {
             )?;
             // Admission boundary: size elastic shares by demand.
             if admitted && self.config.demand_shares {
-                Self::rebalance_demand(&mut active, &mut pool);
+                admission::rebalance_demand(&mut active, &mut [], &mut pool);
             }
 
             if active.is_empty() {
@@ -393,13 +360,14 @@ impl BatchedServerSim {
                 v.probe = None;
                 paused.push_back(v);
                 // Preemption boundary: survivors regrow or rebalance.
-                Self::reshare(&self.config, &mut active, &mut pool);
+                admission::reshare(&self.config, &mut active, &mut [], &mut pool);
             }
 
             // One lockstep round: every active request executes one TTS
             // iteration over the shared, co-batched accelerator, in four
             // explicit phases (plan → gather → cost → commit).
             rounds += 1;
+            group_iters += active.len() as u64;
             let loads: Vec<(usize, u64)> = active.iter().map(|a| a.run.decode_load()).collect();
             let total_seqs: usize = loads.iter().map(|l| l.0).sum();
             let total_ctx: u64 = loads.iter().map(|l| l.1).sum();
@@ -446,7 +414,12 @@ impl BatchedServerSim {
             // Phase 3 — cost: price all verifier sweeps over the one
             // shared accelerator (fused or serialized).
             let mut charges: Vec<Vec<VerifyCharge>> = vec![Vec::new(); active.len()];
-            let sweep = self.cost_verify_sweeps(&mut active, &plans, &mut charges);
+            let sweep = admission::cost_verify_sweeps(
+                self.config.fused_verify,
+                &mut active,
+                &plans,
+                &mut charges,
+            );
             ver_sweeps += sweep.sweeps;
             ver_seqs += sweep.seqs;
             ver_busy_secs += sweep.busy_secs;
@@ -489,29 +462,23 @@ impl BatchedServerSim {
                 });
             }
 
-            // Survivors idle-wait at the round barrier; regrow or
-            // rebalance shares if the batch shrank (completion
-            // boundary).
+            // Survivors idle-wait at the round barrier (booked as
+            // barrier idle — the attribution event-driven scheduling
+            // exists to drain); regrow or rebalance shares if the batch
+            // shrank (completion boundary).
             if !active.is_empty() {
                 for a in &mut active {
-                    Self::sync_to_barrier(a, global);
+                    admission::pad_to_barrier(a, global);
                 }
                 if !finished.is_empty() {
-                    Self::reshare(&self.config, &mut active, &mut pool);
-                } else if self.config.demand_shares {
+                    admission::reshare(&self.config, &mut active, &mut [], &mut pool);
+                } else if self.config.demand_shares && admission::demand_drifted(&active, &[]) {
                     // Demand-drift boundary: trees grow for many rounds
                     // between admissions/completions; shares frozen at
                     // an early snapshot would shrink a growing request
                     // into preemption. Re-declare and rebalance once any
                     // run's demand drifts ±25% past its declaration.
-                    let drifted = active.iter().any(|a| {
-                        let demand = a.run.demand_bytes();
-                        let declared = a.declared_demand.max(1);
-                        demand * 4 > declared * 5 || demand * 5 < declared * 4
-                    });
-                    if drifted {
-                        Self::rebalance_demand(&mut active, &mut pool);
-                    }
+                    admission::rebalance_demand(&mut active, &mut [], &mut pool);
                 }
             }
         }
@@ -522,6 +489,7 @@ impl BatchedServerSim {
                 .map(|r| r.expect("every request served"))
                 .collect(),
             rounds,
+            group_iters,
             preemptions,
             peak_reserved_bytes: pool.peak_reserved_bytes(),
             pool_bytes,
@@ -529,284 +497,6 @@ impl BatchedServerSim {
             ver_seqs,
             ver_busy_secs,
         })
-    }
-
-    /// Price this round's verifier prefill chunks over the shared
-    /// accelerator, filling `charges` (one [`VerifyCharge`] per chunk,
-    /// per request).
-    ///
-    /// Unfused: each request's sweeps are separate kernels that
-    /// serialize in admission order — a request whose turn has not come
-    /// idle-waits for the device. Fused: all requests' wave-`w` chunks
-    /// launch as one shared `prefill_batch` sweep; every participant
-    /// waits the full kernel but is attributed only its
-    /// `new_tokens`-proportional share as verifier busy time. Either
-    /// way a single participant degenerates to its own solo sweep, which
-    /// is what keeps batch-1 lockstep bit-identical to `ServerSim`.
-    fn cost_verify_sweeps(
-        &self,
-        active: &mut [InFlight],
-        plans: &[Vec<VerifyChunk>],
-        charges: &mut [Vec<VerifyCharge>],
-    ) -> SweepTally {
-        let mut tally = SweepTally::default();
-        if self.config.fused_verify {
-            let waves = plans.iter().map(Vec::len).max().unwrap_or(0);
-            for wave in 0..waves {
-                let members: Vec<usize> = (0..plans.len())
-                    .filter(|&i| plans[i].len() > wave)
-                    .collect();
-                // One shared kernel for the whole wave: every part keeps
-                // its own attention shape, the verifier weights stream
-                // once. Like co-batched decode, each participant
-                // advances the shared-kernel time from its own clock
-                // (the lockstep barrier re-aligns the round); a single
-                // participant degenerates to its own solo sweep
-                // bit-for-bit.
-                let parts: Vec<(usize, u64, u64)> = members
-                    .iter()
-                    .map(|&i| {
-                        let c = plans[i][wave];
-                        let m = c.members.max(1);
-                        (m, c.new_tokens / m as u64, c.cached_tokens / m as u64)
-                    })
-                    .collect();
-                let cost = active[members[0]]
-                    .run
-                    .verifier_roofline()
-                    .prefill_fused(&parts);
-                let total_new: u64 = members.iter().map(|&i| plans[i][wave].new_tokens).sum();
-                // The fused kernel streams its sub-batches back to back
-                // (continuous batching inside the verifier): request
-                // `i`'s scores are ready once the prefix of the launch
-                // holding its sequences has been processed, so it is
-                // charged the prefix end — its own slice as `verifier`
-                // busy time, the wait for earlier sub-batches as idle.
-                // The last participant pays the whole kernel, so the
-                // round barrier conserves device time, and the slices
-                // sum to the kernel exactly (no double-count).
-                let mut seqs = 0usize;
-                let mut prefix = 0.0f64;
-                for &i in &members {
-                    let chunk = plans[i][wave];
-                    seqs += chunk.members;
-                    let slice = if total_new > 0 {
-                        cost.seconds * chunk.new_tokens as f64 / total_new as f64
-                    } else {
-                        cost.seconds / members.len() as f64
-                    };
-                    prefix += slice;
-                    charges[i].push(VerifyCharge {
-                        seconds: prefix,
-                        compute_util: cost.compute_util,
-                        busy_seconds: slice,
-                    });
-                }
-                tally.record(&cost, seqs);
-            }
-        } else {
-            let mut device_free = f64::NEG_INFINITY;
-            for (i, a) in active.iter_mut().enumerate() {
-                if plans[i].is_empty() {
-                    continue;
-                }
-                Self::sync_to_barrier(a, device_free);
-                let mut end = a.started_at + a.run.clock();
-                for chunk in &plans[i] {
-                    let cost = chunk.solo_cost(a.run.verifier_roofline());
-                    end += cost.seconds;
-                    charges[i].push(VerifyCharge::full(&cost));
-                    tally.record(&cost, chunk.members);
-                }
-                device_free = end;
-            }
-        }
-        tally
-    }
-
-    /// Admit readmission candidates (preempted runs hold accepted work,
-    /// so they go first), then fresh arrivals, at equal KV shares (a
-    /// demand-proportional policy rebalances right after the admission
-    /// boundary). Returns whether anyone was admitted.
-    #[allow(clippy::too_many_arguments)]
-    fn admit(
-        &self,
-        active: &mut Vec<InFlight>,
-        paused: &mut VecDeque<InFlight>,
-        waiting: &mut VecDeque<usize>,
-        pool: &mut PoolBudget,
-        arrivals: &[RequestArrival],
-        global: f64,
-        admit_seq: &mut u64,
-    ) -> Result<bool, EngineError> {
-        let mut admitted = false;
-        // Without mid-flight admission the gate only opens while the
-        // device is idle — but once open, the whole gang fills (up to
-        // `max_batch`) before the batch runs to completion.
-        if !self.config.admit_mid_flight && !active.is_empty() {
-            return Ok(admitted);
-        }
-        loop {
-            if active.len() >= self.config.max_batch || (paused.is_empty() && waiting.is_empty()) {
-                return Ok(admitted);
-            }
-            let share = pool.equal_share(active.len() + 1);
-            if !active.is_empty() && share < self.config.min_share_bytes {
-                return Ok(admitted);
-            }
-            // First preempted run that can make progress at this share.
-            // Joining a multi-request batch additionally requires its
-            // working set to fit, or it would bounce straight back out;
-            // with the device to itself it may thrash, as FIFO would.
-            let joining_others = !active.is_empty();
-            let readmit = (0..paused.len()).find(|&i| {
-                let p = &mut paused[i];
-                if !matches!(p.probe, Some((s, _, _)) if s == share) {
-                    p.run.set_kv_budget(share);
-                    p.probe = Some((share, p.run.can_progress(), p.run.fits_working_set()));
-                }
-                let (_, can_progress, fits_ws) = p.probe.expect("probe just set");
-                can_progress && (!joining_others || fits_ws)
-            });
-            if let Some(pos) = readmit {
-                let mut p = paused.remove(pos).expect("index in range");
-                p.run.set_kv_budget(share);
-                Self::shrink(active, pool, share);
-                assert!(pool.reserve(p.idx as u64, share), "ledger must have room");
-                p.preempted_secs += global - p.paused_at;
-                Self::sync_to_barrier(&mut p, global);
-                p.admit_seq = *admit_seq;
-                *admit_seq += 1;
-                active.push(p);
-                admitted = true;
-                continue;
-            }
-            let Some(&idx) = waiting.front() else {
-                // Only unfittable preempted runs remain; wait for the
-                // batch to drain and shares to regrow.
-                return Ok(admitted);
-            };
-            let mut driver = make_driver(self.kind, self.n, 4);
-            match self.server.begin_request(
-                &arrivals[idx].problem,
-                self.n,
-                driver.as_mut(),
-                f64::INFINITY,
-                Some(share),
-            ) {
-                Ok(run) => {
-                    waiting.pop_front();
-                    Self::shrink(active, pool, share);
-                    assert!(pool.reserve(idx as u64, share), "ledger must have room");
-                    active.push(InFlight {
-                        idx,
-                        run,
-                        driver,
-                        arrived_at: arrivals[idx].at,
-                        started_at: global,
-                        admit_seq: *admit_seq,
-                        preemptions: 0,
-                        preempted_secs: 0.0,
-                        paused_at: 0.0,
-                        probe: None,
-                        declared_demand: 0,
-                    });
-                    *admit_seq += 1;
-                    admitted = true;
-                }
-                // The whole pool cannot host this prompt: infeasible.
-                Err(e) if active.is_empty() => return Err(e),
-                // A share cannot: leave it queued until capacity frees.
-                Err(_) => return Ok(admitted),
-            }
-        }
-    }
-
-    /// Idle-pad `a`'s internal clock up to the absolute instant
-    /// `global`. Skips members already at (or past) the barrier so the
-    /// relative→absolute round trip cannot perturb their clock by a ulp
-    /// — bit-exactness with the FIFO path depends on this.
-    fn sync_to_barrier(a: &mut InFlight, global: f64) {
-        let clock = a.run.clock();
-        let absolute = a.started_at + clock;
-        if absolute < global {
-            a.run.sync_clock_to(clock + (global - absolute));
-        }
-    }
-
-    /// Resize every active request's reservation to `share` ahead of an
-    /// admission. Shrinks apply before grows so the intermediate ledger
-    /// state never overcommits — with equal shares everyone shrinks (the
-    /// legacy path, byte-identical), but after a demand-proportional
-    /// rebalance small holders may need to grow back to the equal probe
-    /// share.
-    fn shrink(active: &mut [InFlight], pool: &mut PoolBudget, share: u64) {
-        for pass in 0..2 {
-            for a in active.iter_mut() {
-                let shrinking = pool.share_of(a.idx as u64) >= share;
-                if (pass == 0) == shrinking {
-                    assert!(pool.resize(a.idx as u64, share), "equal reshare must fit");
-                    a.run.set_kv_budget(share);
-                }
-            }
-        }
-    }
-
-    /// Regrow every active request's reservation to the equal share.
-    fn regrow(active: &mut [InFlight], pool: &mut PoolBudget) {
-        let share = pool.equal_share(active.len());
-        for a in active.iter_mut() {
-            assert!(pool.resize(a.idx as u64, share), "regrow must fit");
-            a.run.set_kv_budget(share);
-        }
-    }
-
-    /// Completion/preemption boundary: re-share the surviving batch —
-    /// equal split by default, demand-proportional when configured.
-    fn reshare(config: &BatchConfig, active: &mut [InFlight], pool: &mut PoolBudget) {
-        if active.is_empty() {
-            return;
-        }
-        if config.demand_shares {
-            Self::rebalance_demand(active, pool);
-        } else {
-            Self::regrow(active, pool);
-        }
-    }
-
-    /// Demand-proportional elastic rebalance: every active run declares
-    /// its working-set demand (live beams × mean depth × bytes/token)
-    /// and the floor that keeps its accepted tokens resident; the
-    /// ledger re-shares the whole pool proportionally (idle reservation
-    /// flows to deep searches without evicting anyone's accepted
-    /// prefixes — see [`ftts_kv::PoolBudget::rebalance`]).
-    fn rebalance_demand(active: &mut [InFlight], pool: &mut PoolBudget) {
-        if active.is_empty() {
-            return;
-        }
-        let requests: Vec<ShareRequest> = active
-            .iter_mut()
-            .map(|a| {
-                let demand = a.run.demand_bytes();
-                a.declared_demand = demand;
-                ShareRequest {
-                    holder: a.idx as u64,
-                    demand,
-                    // The floor (resident unique tree plus one step of
-                    // growth, scaled to a full gen+ver share) must hold
-                    // until the next boundary — see
-                    // `RequestRun::kv_floor_bytes`.
-                    floor: a.run.kv_floor_bytes(),
-                }
-            })
-            .collect();
-        assert!(
-            pool.rebalance(&requests),
-            "active set must cover the reservation ledger exactly"
-        );
-        for a in active.iter_mut() {
-            a.run.set_kv_budget(pool.share_of(a.idx as u64));
-        }
     }
 }
 

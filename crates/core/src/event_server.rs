@@ -1,0 +1,591 @@
+//! Event-driven (iteration-granularity) continuous batching.
+//!
+//! [`BatchedServerSim`](crate::BatchedServerSim) runs *lockstep rounds*:
+//! every in-flight request executes one TTS iteration per round, then
+//! waits at a global barrier for the round's straggler. Under
+//! heterogeneous workloads (shallow AMC requests co-scheduled with deep
+//! AIME searches) the barrier is the dominant idle source: fast
+//! requests burn `LatencyBreakdown::barrier_idle` every round instead
+//! of decoding. [`EventServerSim`] removes the barrier the way vLLM's
+//! continuous batching does — scheduling at *iteration* granularity:
+//!
+//! * **A ready queue instead of rounds.** Each in-flight request
+//!   carries its own next-event time (`started_at +
+//!   RequestRun::next_event_at()` — the instant its next iteration
+//!   could start). The scheduler always serves the earliest event: the
+//!   earliest-ready request, or a pending arrival when mid-flight
+//!   admission could open a fresh co-batch of its own.
+//! * **Opportunistic co-batching inside a window.** Waiting forever for
+//!   partners re-creates the barrier; never waiting forfeits the
+//!   co-batched decode's amortized weight sweep and the fused verifier
+//!   sweep. [`EventConfig::window_secs`] is the dial between the two: a
+//!   launch groups every request whose next iteration can start within
+//!   `window_secs` of the earliest event, launches at the latest
+//!   member's ready time (members that are ready earlier wait that gap
+//!   as plain `idle` — a *window* wait, never `barrier_idle`), and
+//!   leaves requests mid-iteration beyond the horizon alone to advance
+//!   at their own cadence.
+//! * **One iteration per launch, phases shared.** A launch runs the
+//!   split-phase protocol across its group exactly like one lockstep
+//!   round — plan (co-batched decode over the *group's* loads) → gather
+//!   → cost (fused or serialized verifier sweeps via the shared
+//!   [`admission`] plumbing) → commit — then returns the survivors to
+//!   the in-flight set with their new ready times. Groups may interleave
+//!   arbitrarily with other requests' iterations; the split-phase
+//!   protocol is re-entrant per run, so out-of-order costing across
+//!   launches is safe (`RunPhase` asserts it).
+//! * **Shared admission, shares and preemption.** Admission order,
+//!   equal/demand-proportional KV shares and youngest-first preemption
+//!   are the same code the lockstep scheduler uses
+//!   (`crate::admission`), with one generalization: shares and caps
+//!   count the *whole* in-flight set, not just the launching group.
+//!
+//! # Equivalence anchors
+//!
+//! Two degenerate modes pin the scheduler to known-good paths, enforced
+//! bit-for-bit in `crates/core/tests/event_sched.rs`:
+//!
+//! * **Batch 1** ([`BatchConfig::fifo`]): groups are always singletons,
+//!   no window wait, no barrier — the event loop reproduces
+//!   [`ServerSim::run`](crate::ServerSim::run) exactly, like the
+//!   lockstep scheduler does.
+//! * **Infinite window** ([`EventConfig::lockstep`]): every launch
+//!   waits for all in-flight requests, the launch instant is exactly
+//!   the lockstep barrier, and the device floor advances to each
+//!   launch's round end (finished members hold the barrier, as they do
+//!   in a lockstep round) — the event loop reproduces
+//!   [`BatchedServerSim::run`](crate::BatchedServerSim::run) exactly,
+//!   including `barrier_idle` attribution.
+//!
+//! # Time model
+//!
+//! Launches are processed in non-decreasing launch order (a device
+//! `floor` enforces it: preemption PCIe transfers and — in the
+//! infinite-window mode — round ends raise it). KV reservations release
+//! at the *commit* of a request's final iteration, which can precede
+//! its finish instant by at most that one iteration: the same
+//! iteration-granularity approximation the lockstep scheduler makes
+//! when it resizes shares at round boundaries while members' clocks
+//! disagree. The ledger itself is never overcommitted.
+
+use std::collections::VecDeque;
+
+use ftts_engine::{EngineError, RunPhase, StepStatus, VerifyCharge, VerifyChunk};
+use ftts_kv::PoolBudget;
+use ftts_search::SearchKind;
+use ftts_workload::RequestArrival;
+
+use crate::admission::{self, InFlight, SchedCtx};
+use crate::batch_server::{BatchConfig, BatchRun};
+use crate::server::{ServeOutcome, ServedRequest, TtsServer};
+
+/// Event-driven scheduling knobs: a request-level batching policy plus
+/// the co-batch window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// The request-level policy (admission, fusion, shares, preemption)
+    /// — the same knobs the lockstep scheduler takes.
+    pub batch: BatchConfig,
+    /// How long a launch may wait for co-batch partners beyond the
+    /// earliest ready request, in seconds. `0.0` co-batches only
+    /// simultaneously-ready requests; `f64::INFINITY` waits for
+    /// everyone — the degenerate lockstep mode.
+    pub window_secs: f64,
+}
+
+impl EventConfig {
+    /// Event-driven scheduling of `batch` with the given co-batch
+    /// window.
+    pub fn new(batch: BatchConfig, window_secs: f64) -> Self {
+        assert!(window_secs >= 0.0, "window must be non-negative");
+        Self { batch, window_secs }
+    }
+
+    /// The full PR-4 serving policy: fused verifier sweeps and
+    /// demand-proportional shares ([`BatchConfig::fused`]) scheduled at
+    /// iteration granularity with the given window.
+    pub fn windowed(max_batch: usize, window_secs: f64) -> Self {
+        Self::new(BatchConfig::fused(max_batch), window_secs)
+    }
+
+    /// The degenerate infinite-window mode: every launch waits for all
+    /// in-flight requests, reproducing [`crate::BatchedServerSim`]'s
+    /// lockstep rounds bit-for-bit — the correctness anchor.
+    pub fn lockstep(batch: BatchConfig) -> Self {
+        Self {
+            batch,
+            window_secs: f64::INFINITY,
+        }
+    }
+}
+
+/// Replays a request arrival stream with event-driven
+/// (iteration-granularity) continuous batching over one shared
+/// accelerator and KV pool. See the module docs for the execution
+/// model.
+#[derive(Debug, Clone)]
+pub struct EventServerSim {
+    server: TtsServer,
+    n: usize,
+    kind: SearchKind,
+    config: EventConfig,
+}
+
+impl EventServerSim {
+    /// Simulate `server` answering requests with `n` beams each under
+    /// the given event-driven policy.
+    pub fn new(server: TtsServer, n: usize, kind: SearchKind, config: EventConfig) -> Self {
+        assert!(config.batch.max_batch >= 1, "need at least one batch slot");
+        assert!(config.window_secs >= 0.0, "window must be non-negative");
+        Self {
+            server,
+            n,
+            kind,
+            config,
+        }
+    }
+
+    /// The event-driven policy in effect.
+    pub fn config(&self) -> &EventConfig {
+        &self.config
+    }
+
+    /// Serve the arrival stream to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit even with
+    /// the entire pool to itself.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<BatchRun, EngineError> {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival times must be non-decreasing"
+        );
+        let batch = &self.config.batch;
+        let window = self.config.window_secs;
+        let lockstep = window.is_infinite();
+        let pool_bytes = self.server.config().kv_budget_bytes();
+        let device = self.server.config().device.clone();
+        let mut pool = PoolBudget::new(pool_bytes);
+        // Earliest instant the next launch may happen: raised by
+        // preemption PCIe transfers, by completions that drain the
+        // device, and (in lockstep mode) by every launch's round end.
+        let mut floor = 0.0f64;
+        // Latest completion instant seen — the device-drained floor.
+        let mut finish_max = 0.0f64;
+        let mut next_arrival = 0usize;
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+        let mut paused: VecDeque<InFlight> = VecDeque::new();
+        let mut active: Vec<InFlight> = Vec::new();
+        let mut served: Vec<Option<ServedRequest>> = (0..arrivals.len()).map(|_| None).collect();
+        let mut admit_seq = 0u64;
+        let mut rounds = 0u64;
+        let mut group_iters = 0u64;
+        let mut preemptions = 0u32;
+        let mut ver_sweeps = 0u64;
+        let mut ver_seqs = 0u64;
+        let mut ver_busy_secs = 0.0f64;
+
+        loop {
+            // Next decision instant: the earliest ready request, or the
+            // next arrival.
+            let next_ready = active
+                .iter()
+                .map(InFlight::ready_at)
+                .fold(f64::INFINITY, f64::min);
+            let next_arr = arrivals.get(next_arrival).map_or(f64::INFINITY, |a| a.at);
+
+            if active.is_empty() {
+                // The device is drained; nothing launches before the
+                // last completion.
+                floor = floor.max(finish_max);
+                if waiting.is_empty() && paused.is_empty() {
+                    if next_arrival >= arrivals.len() {
+                        break; // everything served
+                    }
+                    // Idle until the next arrival.
+                    floor = floor.max(next_arr);
+                }
+            }
+
+            // Anchor: the earliest instant a new co-batch can launch. A
+            // pending arrival anchors its own (fresh) launch only when
+            // mid-flight admission could actually take it — otherwise
+            // it is ingested when the next ready-driven launch forms.
+            let arrival_anchor = next_arr.max(floor);
+            let consider_arrival = batch.admit_mid_flight
+                && active.len() < batch.max_batch
+                && arrival_anchor < next_ready;
+            let anchor = if active.is_empty() {
+                floor
+            } else if consider_arrival {
+                arrival_anchor
+            } else {
+                next_ready
+            };
+
+            // Group: every in-flight request whose next iteration can
+            // start inside the batching window. The partition is stable,
+            // so the group keeps admission order (the order shares
+            // resize and unfused sweeps serialize in).
+            let horizon = anchor + window;
+            let mut group: Vec<InFlight> = Vec::new();
+            let mut rest: Vec<InFlight> = Vec::new();
+            for a in active.drain(..) {
+                if a.ready_at() <= horizon {
+                    group.push(a);
+                } else {
+                    rest.push(a);
+                }
+            }
+
+            // Launch: the latest member's ready time, never before the
+            // device floor. Members ready earlier wait the gap — a
+            // window wait (plain idle), except in the degenerate
+            // infinite-window mode where the wait *is* the lockstep
+            // round barrier.
+            let mut launch = group
+                .iter()
+                .map(InFlight::ready_at)
+                .fold(anchor.max(floor), f64::max);
+            for a in &mut group {
+                if lockstep {
+                    admission::pad_to_barrier(a, launch);
+                } else {
+                    admission::pad_to(a, launch);
+                }
+            }
+
+            // Ingest arrivals due by the launch, then admit (readmits
+            // first, then fresh arrivals — the shared tiebreak) into the
+            // group at the launch instant.
+            while next_arrival < arrivals.len() && arrivals[next_arrival].at <= launch {
+                waiting.push_back(next_arrival);
+                next_arrival += 1;
+            }
+            let ctx = SchedCtx {
+                server: &self.server,
+                n: self.n,
+                kind: self.kind,
+                config: batch,
+            };
+            let admitted = admission::admit(
+                &ctx,
+                &mut group,
+                &mut rest,
+                &mut paused,
+                &mut waiting,
+                &mut pool,
+                arrivals,
+                launch,
+                &mut admit_seq,
+            )?;
+            // Admission boundary: size elastic shares by demand.
+            if admitted && batch.demand_shares {
+                admission::rebalance_demand(&mut group, &mut rest, &mut pool);
+            }
+
+            if group.is_empty() && rest.is_empty() {
+                if waiting.is_empty() && paused.is_empty() {
+                    continue; // idle to the next arrival (or done)
+                }
+                // A lone candidate that cannot fit the whole pool: fresh
+                // requests already propagated from admission, so this is
+                // a preempted run whose paths outgrew the device.
+                let p = paused.front().expect("paused candidate");
+                let (needed, capacity) = p.run.kv_demand();
+                return Err(EngineError::PathExceedsMemory { needed, capacity });
+            }
+            if group.is_empty() {
+                // The anchor produced no launch (a blocked arrival, or
+                // every in-flight request beyond the horizon): put the
+                // in-flight set back and wait for the next ready event.
+                active = rest;
+                continue;
+            }
+
+            // Memory-pressure preemption over the launching group
+            // (requests outside the group are between iterations and
+            // re-probed when they launch). Victims are swapped out
+            // youngest-first; a lone request is never preempted.
+            while group.len() + rest.len() > 1 {
+                let victim = group
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.run.can_progress() || !a.run.fits_working_set())
+                    .max_by_key(|(_, a)| a.admit_seq)
+                    .map(|(i, _)| i);
+                let Some(vi) = victim else { break };
+                let mut v = group.remove(vi);
+                let bytes = v.run.preempt();
+                launch += device.pcie_transfer_seconds(bytes);
+                pool.release(v.idx as u64);
+                v.preemptions += 1;
+                preemptions += 1;
+                v.paused_at = launch;
+                v.probe = None;
+                paused.push_back(v);
+                // Preemption boundary: survivors regrow or rebalance.
+                admission::reshare(batch, &mut group, &mut rest, &mut pool);
+            }
+            // The launch (with any preemption PCIe time) is committed
+            // device time: later launches never precede it.
+            floor = floor.max(launch);
+            if group.is_empty() {
+                active = rest;
+                continue;
+            }
+
+            // One launch: the group executes one TTS iteration over the
+            // shared, co-batched accelerator, in the four split phases
+            // (plan → gather → cost → commit). Decode contention counts
+            // the *whole* in-flight set — requests outside the launch
+            // are mid-iteration and genuinely overlap on the device, so
+            // their sequences ride the same weight sweep and memory
+            // traffic even though only group members join this launch's
+            // fused verifier sweep. (With an infinite window the rest is
+            // empty and this is exactly the lockstep round's co-batch.)
+            rounds += 1;
+            group_iters += group.len() as u64;
+            let loads: Vec<(usize, u64)> = group.iter().map(|a| a.run.decode_load()).collect();
+            let (rest_seqs, rest_ctx) = rest
+                .iter()
+                .map(|a| a.run.decode_load())
+                .fold((0usize, 0u64), |(s, c), (ls, lc)| (s + ls, c + lc));
+            let total_seqs: usize = loads.iter().map(|l| l.0).sum::<usize>() + rest_seqs;
+            let total_ctx: u64 = loads.iter().map(|l| l.1).sum::<u64>() + rest_ctx;
+            let alone =
+                group.len() == 1 && rest.is_empty() && waiting.is_empty() && paused.is_empty();
+            let next_at = arrivals.get(next_arrival).map(|a| a.at);
+            let mut round_end = launch;
+            let mut finished: Vec<usize> = Vec::new();
+
+            // Phase 1 — plan: memory replan plus the co-batched decode.
+            let mut planned: Vec<bool> = Vec::with_capacity(group.len());
+            for (i, a) in group.iter_mut().enumerate() {
+                a.run
+                    .set_co_batch(total_seqs - loads[i].0, total_ctx - loads[i].1);
+                // Two-phase rule: speculate only while alone, and only
+                // until the next (known) arrival would start waiting.
+                let spec_off = if !alone {
+                    0.0
+                } else if let Some(at) = next_at {
+                    (at - a.started_at).max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                a.run.set_spec_off_after(spec_off);
+                planned.push(!a.run.plan_iteration(a.driver.as_mut())?.is_finished());
+            }
+
+            // Phase 2 — gather: every run's verifier mirror work and the
+            // prefill chunks still owed kernel time.
+            let plans: Vec<Vec<VerifyChunk>> = group
+                .iter_mut()
+                .zip(&planned)
+                .map(|(a, &p)| {
+                    if p {
+                        a.run.take_verify_batch().to_vec()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+
+            // Phase 3 — cost: price the group's verifier sweeps over the
+            // one shared accelerator (fused or serialized).
+            let mut charges: Vec<Vec<VerifyCharge>> = vec![Vec::new(); group.len()];
+            let sweep =
+                admission::cost_verify_sweeps(batch.fused_verify, &mut group, &plans, &mut charges);
+            ver_sweeps += sweep.sweeps;
+            ver_seqs += sweep.seqs;
+            ver_busy_secs += sweep.busy_secs;
+
+            // Phase 4 — commit: charge the sweeps, reveal scores, branch
+            // survivors; apply the opt-in First Finish cut.
+            for (i, a) in group.iter_mut().enumerate() {
+                let status = if planned[i] {
+                    a.run.apply_verify_results(a.driver.as_mut(), &charges[i])?
+                } else {
+                    StepStatus::Finished
+                };
+                debug_assert!(
+                    a.run.run_phase() == RunPhase::Ready || !planned[i],
+                    "a committed run must be back between iterations"
+                );
+                let mut done = status.is_finished();
+                if !done && batch.first_finish && a.run.first_finish_cut(batch.first_finish_bar) {
+                    done = true;
+                }
+                round_end = round_end.max(a.started_at + a.run.clock());
+                if done {
+                    finished.push(i);
+                }
+            }
+            // In lockstep mode the round end *is* the barrier: nothing —
+            // including the next admission — happens before it, and
+            // finished members hold it exactly as they hold a lockstep
+            // round's. With a finite window the floor stays at the
+            // launch: survivors and bystanders advance at their own
+            // cadence.
+            if lockstep {
+                floor = floor.max(round_end);
+            }
+
+            // Completions leave the batch at their own finish instant.
+            for &i in finished.iter().rev() {
+                let a = group.remove(i);
+                pool.release(a.idx as u64);
+                let stats = a.run.finish();
+                let answer = ftts_metrics::top1_majority(&stats.answers());
+                let finished_at = a.started_at + stats.latency();
+                finish_max = finish_max.max(finished_at);
+                served[a.idx] = Some(ServedRequest {
+                    arrived_at: a.arrived_at,
+                    started_at: a.started_at,
+                    finished_at,
+                    preemptions: a.preemptions,
+                    preempted_secs: a.preempted_secs,
+                    outcome: ServeOutcome { stats, answer },
+                });
+            }
+
+            // Completion boundary: re-share the surviving in-flight set;
+            // otherwise check demand drift (trees grow many iterations
+            // between boundaries).
+            if !(group.is_empty() && rest.is_empty()) {
+                if !finished.is_empty() {
+                    admission::reshare(batch, &mut group, &mut rest, &mut pool);
+                } else if batch.demand_shares && admission::demand_drifted(&group, &rest) {
+                    admission::rebalance_demand(&mut group, &mut rest, &mut pool);
+                }
+            }
+
+            // Return survivors to the in-flight set in admission order
+            // (admit_seq is assigned monotonically, so sorting restores
+            // the same order the lockstep scheduler maintains).
+            rest.append(&mut group);
+            active = rest;
+            active.sort_by_key(|a| a.admit_seq);
+        }
+
+        Ok(BatchRun {
+            served: served
+                .into_iter()
+                .map(|r| r.expect("every request served"))
+                .collect(),
+            rounds,
+            group_iters,
+            preemptions,
+            peak_reserved_bytes: pool.peak_reserved_bytes(),
+            pool_bytes,
+            ver_sweeps,
+            ver_seqs,
+            ver_busy_secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftts_engine::ModelPairing;
+    use ftts_hw::GpuDevice;
+    use ftts_workload::{ArrivalPattern, Dataset};
+
+    fn server(seed: u64, memory_fraction: f64) -> TtsServer {
+        let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        s.config_mut().seed = seed;
+        s.config_mut().memory_fraction = memory_fraction;
+        s
+    }
+
+    fn overload_arrivals(count: usize, seed: u64) -> Vec<RequestArrival> {
+        let problems = Dataset::Amc2023.problems(count, seed);
+        ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0)
+    }
+
+    #[test]
+    fn config_presets() {
+        let cfg = EventConfig::windowed(8, 0.25);
+        assert!(cfg.batch.fused_verify && cfg.batch.demand_shares);
+        assert_eq!(cfg.window_secs, 0.25);
+        let anchor = EventConfig::lockstep(BatchConfig::continuous(4));
+        assert!(anchor.window_secs.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-negative")]
+    fn negative_window_is_rejected() {
+        let _ = EventConfig::new(BatchConfig::fifo(), -1.0);
+    }
+
+    #[test]
+    fn event_scheduling_serves_everyone_within_budget() {
+        let arrivals = overload_arrivals(6, 41);
+        let run = EventServerSim::new(
+            server(5, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            EventConfig::windowed(4, 0.2),
+        )
+        .run(&arrivals)
+        .expect("event run");
+        assert_eq!(run.served.len(), 6);
+        assert!(run.peak_reserved_bytes <= run.pool_bytes);
+        for r in &run.served {
+            assert!(r.finished_at > r.arrived_at);
+        }
+        // Launches outnumber lockstep rounds (groups are narrower), but
+        // every request still iterates to completion.
+        assert!(run.group_iters >= run.rounds);
+    }
+
+    #[test]
+    fn event_scheduling_preserves_answers() {
+        // Scheduling moves clocks, never outcomes: the event-driven
+        // replay must answer exactly like the lockstep replay.
+        let arrivals = overload_arrivals(5, 23);
+        let lockstep = crate::BatchedServerSim::new(
+            server(9, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            BatchConfig::continuous(3),
+        )
+        .run(&arrivals)
+        .expect("lockstep");
+        let event = EventServerSim::new(
+            server(9, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            EventConfig::new(BatchConfig::continuous(3), 0.1),
+        )
+        .run(&arrivals)
+        .expect("event");
+        for (l, e) in lockstep.served.iter().zip(&event.served) {
+            assert_eq!(l.outcome.answer, e.outcome.answer);
+            assert_eq!(l.accepted_tokens(), e.accepted_tokens());
+        }
+    }
+
+    #[test]
+    fn finite_window_never_books_barrier_idle() {
+        let arrivals = overload_arrivals(5, 61);
+        let run = EventServerSim::new(
+            server(3, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            EventConfig::windowed(4, 0.5),
+        )
+        .run(&arrivals)
+        .expect("event run");
+        for r in &run.served {
+            assert_eq!(
+                r.outcome.stats.breakdown().barrier_idle,
+                0.0,
+                "event-driven scheduling has no round barrier to wait at"
+            );
+        }
+    }
+}

@@ -30,7 +30,14 @@
 //! requests*: mid-flight admission, co-batched decode, equal-share KV
 //! pool reservations and vLLM-style preemption — see `batch_server`'s
 //! module docs for the execution model and its batch-1 lockstep
-//! equivalence guarantee.
+//! equivalence guarantee. [`EventServerSim`] goes one step further and
+//! drops the lockstep round barrier entirely: *event-driven scheduling
+//! at iteration granularity*, where requests advance at their own
+//! cadence and co-batch opportunistically inside a configurable window
+//! ([`EventConfig::window_secs`]) — with batch-1 and infinite-window
+//! modes that reproduce [`ServerSim`] and [`BatchedServerSim`]
+//! bit-for-bit as correctness anchors (see `event_server`'s module
+//! docs).
 //!
 //! For evaluation at scale, the `sweep` module provides a parallel
 //! harness: [`ServerSim::run_parallel`] replays independent request
@@ -58,8 +65,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod batch_server;
 mod eval;
+mod event_server;
 mod memalloc;
 mod prefix_sched;
 mod server;
@@ -67,7 +76,10 @@ mod sweep;
 
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
-pub use ftts_engine::{EngineError, RequestRun, SpecConfig, StepStatus, VerifyCharge, VerifyChunk};
+pub use event_server::{EventConfig, EventServerSim};
+pub use ftts_engine::{
+    EngineError, RequestRun, RunPhase, SpecConfig, StepStatus, VerifyCharge, VerifyChunk,
+};
 pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};

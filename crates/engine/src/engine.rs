@@ -250,8 +250,16 @@ impl StepStatus {
 /// `apply_verify_results`). [`RequestRun::step`] drives the whole cycle
 /// itself; an external scheduler advances it phase by phase so verifier
 /// prefills can be costed *across* requests.
+///
+/// The protocol is **re-entrant across requests**: each run owns its
+/// phase position, so a scheduler may interleave phases of different
+/// runs in any order — plan A, plan B, cost B, commit B, cost A, commit
+/// A — and every run still advances exactly as if it were stepped
+/// alone. This is what lets an event-driven scheduler cost iterations
+/// out of order across co-batch groups. Inspect with
+/// [`RequestRun::run_phase`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IterPhase {
+pub enum RunPhase {
     /// Between iterations: `plan_iteration` is the only legal call.
     Ready,
     /// Generation ran; `take_verify_batch` must run next.
@@ -438,7 +446,7 @@ pub struct RequestRun {
     /// Sum of those co-resident sequences' context lengths, in tokens.
     co_ctx_sum: u64,
     /// Split-phase protocol position (see [`RequestRun::plan_iteration`]).
-    phase: IterPhase,
+    phase: RunPhase,
     /// Verifier chunks produced by `take_verify_batch`, awaiting their
     /// `apply_verify_results` charges.
     pending_chunks: Vec<VerifyChunk>,
@@ -543,7 +551,7 @@ impl RequestRun {
             kv_budget: budget,
             co_seqs: 0,
             co_ctx_sum: 0,
-            phase: IterPhase::Ready,
+            phase: RunPhase::Ready,
             pending_chunks: Vec::new(),
             pending_verify_all: true,
             last_demand: 0,
@@ -667,7 +675,7 @@ impl RequestRun {
         driver: &mut dyn SearchDriver,
     ) -> Result<StepStatus, EngineError> {
         assert!(
-            self.phase == IterPhase::Ready,
+            self.phase == RunPhase::Ready,
             "plan_iteration called mid-iteration (phase {:?})",
             self.phase
         );
@@ -678,7 +686,7 @@ impl RequestRun {
         let order = self.generation_phase(driver)?;
         self.scratch.ordered = order;
         self.pending_verify_all = driver.verify_every_step();
-        self.phase = IterPhase::Generated;
+        self.phase = RunPhase::Generated;
         Ok(StepStatus::Running)
     }
 
@@ -691,11 +699,11 @@ impl RequestRun {
     /// [`RequestRun::apply_verify_results`].
     pub fn take_verify_batch(&mut self) -> &[VerifyChunk] {
         assert!(
-            self.phase == IterPhase::Generated,
+            self.phase == RunPhase::Generated,
             "take_verify_batch requires a planned iteration (phase {:?})",
             self.phase
         );
-        self.phase = IterPhase::VerifyPending;
+        self.phase = RunPhase::VerifyPending;
         self.prepare_verify();
         &self.pending_chunks
     }
@@ -722,7 +730,7 @@ impl RequestRun {
         charges: &[VerifyCharge],
     ) -> Result<StepStatus, EngineError> {
         assert!(
-            self.phase == IterPhase::VerifyPending,
+            self.phase == RunPhase::VerifyPending,
             "apply_verify_results requires a pending verify batch (phase {:?})",
             self.phase
         );
@@ -731,7 +739,7 @@ impl RequestRun {
             self.pending_chunks.len(),
             "one charge per pending verifier chunk"
         );
-        self.phase = IterPhase::Ready;
+        self.phase = RunPhase::Ready;
         for (i, charge) in charges.iter().enumerate() {
             let chunk = self.pending_chunks[i];
             self.advance(charge.seconds, charge.compute_util, Phase::Verification);
@@ -784,7 +792,7 @@ impl RequestRun {
     /// never call this, so their answers are untouched.
     pub fn first_finish_cut(&mut self, bar: f64) -> bool {
         assert!(
-            self.phase == IterPhase::Ready,
+            self.phase == RunPhase::Ready,
             "first_finish_cut is only legal between iterations"
         );
         if self.done || self.frontier.is_empty() {
@@ -825,6 +833,27 @@ impl RequestRun {
     /// the request started (idle waits included).
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// The run's *next-event time* on its own clock: the instant its
+    /// next iteration could start. Between iterations (phase
+    /// [`RunPhase::Ready`]) this is simply [`RequestRun::clock`]; an
+    /// event-driven scheduler keys its ready queue on
+    /// `started_at + next_event_at()` instead of a global round counter.
+    pub fn next_event_at(&self) -> f64 {
+        self.clock
+    }
+
+    /// Where the run stands inside the split-phase protocol. A
+    /// scheduler interleaving many runs uses this to assert every run is
+    /// back at [`RunPhase::Ready`] before re-budgeting or regrouping it.
+    pub fn run_phase(&self) -> RunPhase {
+        self.phase
+    }
+
+    /// TTS iterations completed so far.
+    pub fn iteration(&self) -> u32 {
+        self.iteration
     }
 
     /// Statistics accumulated so far (final once the run is finished).
@@ -878,13 +907,27 @@ impl RequestRun {
         (self.frontier.len(), ctx)
     }
 
-    /// Advance the internal clock to `t` as idle time (a lockstep-round
-    /// barrier or a preemption gap). No-op if `t` is in the past.
+    /// Advance the internal clock to `t` as idle time (a co-batch window
+    /// wait, a preemption gap or a shared-device wait). No-op if `t` is
+    /// in the past.
     pub fn sync_clock_to(&mut self, t: f64) {
         if t > self.clock {
             self.breakdown.idle += t - self.clock;
             self.clock = t;
         }
+    }
+
+    /// Advance the internal clock to `t` as *barrier* idle time — a
+    /// lockstep-round barrier wait, the scheduling artifact an
+    /// event-driven scheduler removes. Books the gap both to `idle` and
+    /// to its `barrier_idle` slice, so idle attribution can distinguish
+    /// barrier waits from window/device waits. No-op if `t` is in the
+    /// past.
+    pub fn sync_clock_to_barrier(&mut self, t: f64) {
+        if t > self.clock {
+            self.breakdown.barrier_idle += t - self.clock;
+        }
+        self.sync_clock_to(t);
     }
 
     /// Preempt the request: swap all unpinned KV (generator and

@@ -42,7 +42,8 @@ mod stats;
 pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
 pub use engine::{
-    Engine, EngineError, RequestRun, SearchDriver, SelectCtx, StepStatus, VerifyCharge, VerifyChunk,
+    Engine, EngineError, RequestRun, RunPhase, SearchDriver, SelectCtx, StepStatus, VerifyCharge,
+    VerifyChunk,
 };
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{working_set_demand, MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};

@@ -267,6 +267,64 @@ fn split_phases_match_step_bit_for_bit() {
 }
 
 #[test]
+fn split_phases_are_reentrant_across_out_of_order_costing() {
+    // An event-driven scheduler interleaves the split phases of
+    // different requests in launch order, not admission order: request
+    // B may plan, cost and commit a whole iteration while request A
+    // sits between its own plan and commit. Each run owns its phase
+    // position, so any interleaving must leave both runs bit-identical
+    // to stepping them alone.
+    use ftts_engine::{RunPhase, VerifyCharge, VerifyChunk};
+    let solo = |seed_problem: usize| {
+        let mut eng = engine(SpecConfig::fasttts_default(), 0.9, 11, false);
+        let mut driver = PlainBeam { n: 8, b: 4 };
+        eng.run(&problem(seed_problem), 8, &mut driver).unwrap()
+    };
+    let (solo_a, solo_b) = (solo(2), solo(5));
+
+    let mut driver_a = PlainBeam { n: 8, b: 4 };
+    let mut driver_b = PlainBeam { n: 8, b: 4 };
+    let mut run_a = engine(SpecConfig::fasttts_default(), 0.9, 11, false)
+        .begin(&problem(2), 8, &mut driver_a, f64::INFINITY, None)
+        .unwrap();
+    let mut run_b = engine(SpecConfig::fasttts_default(), 0.9, 11, false)
+        .begin(&problem(5), 8, &mut driver_b, f64::INFINITY, None)
+        .unwrap();
+    let cost_and_commit = |run: &mut ftts_engine::RequestRun, driver: &mut PlainBeam| {
+        let chunks: Vec<VerifyChunk> = run.take_verify_batch().to_vec();
+        let charges: Vec<VerifyCharge> = chunks
+            .iter()
+            .map(|c| VerifyCharge::full(&c.solo_cost(run.verifier_roofline())))
+            .collect();
+        run.apply_verify_results(driver, &charges).unwrap();
+    };
+    let mut interleaved = 0u32;
+    while !(run_a.is_finished() && run_b.is_finished()) {
+        // A plans, then B runs 1-2 complete iterations *inside* A's
+        // open iteration, then A finishes costing — out-of-order
+        // costing across requests.
+        let a_open =
+            !run_a.is_finished() && !run_a.plan_iteration(&mut driver_a).unwrap().is_finished();
+        if a_open {
+            assert_eq!(run_a.run_phase(), RunPhase::Generated);
+        }
+        for _ in 0..2 {
+            if !run_b.is_finished() && !run_b.plan_iteration(&mut driver_b).unwrap().is_finished() {
+                cost_and_commit(&mut run_b, &mut driver_b);
+                assert_eq!(run_b.run_phase(), RunPhase::Ready);
+            }
+        }
+        if a_open {
+            cost_and_commit(&mut run_a, &mut driver_a);
+            interleaved += 1;
+        }
+    }
+    assert!(interleaved > 0, "iterations actually interleaved");
+    assert_stats_identical(&solo_a, &run_a.finish());
+    assert_stats_identical(&solo_b, &run_b.finish());
+}
+
+#[test]
 fn first_finish_cut_prunes_siblings_and_finishes_early() {
     let full = {
         let mut eng = engine(SpecConfig::disabled(), 0.9, 5, false);

@@ -19,11 +19,19 @@ pub struct LatencyBreakdown {
     pub recompute: f64,
     /// Seconds spent on host<->device KV transfers (offloading).
     pub offload: f64,
-    /// Seconds spent idle: lockstep-round barriers, preemption gaps,
-    /// waits for the shared verifier device (serialized sweeps) and the
-    /// unattributed remainder of fused verifier sweeps (always zero for
-    /// isolated runs).
+    /// Seconds spent idle: round barriers, co-batch window waits,
+    /// preemption gaps, waits for the shared verifier device (serialized
+    /// sweeps) and the unattributed remainder of fused verifier sweeps
+    /// (always zero for isolated runs).
     pub idle: f64,
+    /// The slice of `idle` spent waiting at a lockstep round *barrier* —
+    /// the scheduling artifact iteration-granularity (event-driven)
+    /// scheduling exists to remove. Always `<= idle` and already counted
+    /// inside it, so it does not contribute to [`LatencyBreakdown::total`]
+    /// separately. Event-driven schedulers with a finite batching window
+    /// never book barrier idle: their waits are window waits (plain
+    /// `idle`).
+    pub barrier_idle: f64,
 }
 
 impl LatencyBreakdown {
@@ -45,6 +53,7 @@ impl LatencyBreakdown {
         self.recompute += other.recompute;
         self.offload += other.offload;
         self.idle += other.idle;
+        self.barrier_idle += other.barrier_idle;
     }
 
     /// Element-wise scaling (e.g. averaging over problems).
@@ -55,6 +64,7 @@ impl LatencyBreakdown {
             recompute: self.recompute * k,
             offload: self.offload * k,
             idle: self.idle * k,
+            barrier_idle: self.barrier_idle * k,
         }
     }
 }
@@ -80,9 +90,33 @@ mod tests {
             recompute: 0.5,
             offload: 0.25,
             idle: 0.25,
+            barrier_idle: 0.25,
         };
-        assert_eq!(b.total(), 4.0);
+        assert_eq!(
+            b.total(),
+            4.0,
+            "barrier idle is a slice of idle, not a sixth phase"
+        );
         assert_eq!(b.generator_side(), 1.5);
+    }
+
+    #[test]
+    fn barrier_idle_rides_along_in_accumulate_and_scale() {
+        let mut a = LatencyBreakdown {
+            idle: 2.0,
+            barrier_idle: 1.0,
+            ..Default::default()
+        };
+        a.accumulate(&LatencyBreakdown {
+            idle: 1.0,
+            barrier_idle: 0.5,
+            ..Default::default()
+        });
+        assert_eq!(a.idle, 3.0);
+        assert_eq!(a.barrier_idle, 1.5);
+        let half = a.scaled(0.5);
+        assert_eq!(half.barrier_idle, 0.75);
+        assert!(half.barrier_idle <= half.idle);
     }
 
     #[test]

@@ -48,5 +48,10 @@ fn main() -> Result<(), fasttts::EngineError> {
         fast_gp / base_gp
     );
     println!("paper: 1.3x-1.8x on HumanEval (Fig. 15)");
+    println!(
+        "RESULT code_generation: solved={solved}/{} speedup={:.2}x",
+        problems.len(),
+        fast_gp / base_gp
+    );
     Ok(())
 }

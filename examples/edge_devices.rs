@@ -16,6 +16,8 @@ fn main() -> Result<(), fasttts::EngineError> {
         "{:<14} {:>10} {:>10} {:>9} {:>12} {:>10}",
         "device", "base tok/s", "fast tok/s", "speedup", "offload (s)", "latency(s)"
     );
+    let mut ahead = 0usize;
+    let mut devices = 0usize;
     for device in GpuDevice::edge_presets() {
         let models = ModelPairing::pair_1_5b_1_5b();
         // On the smallest device FastTTS may offload the inactive
@@ -38,8 +40,11 @@ fn main() -> Result<(), fasttts::EngineError> {
             f.stats.breakdown().offload,
             f.latency(),
         );
+        devices += 1;
+        ahead += usize::from(f.goodput() > b.goodput());
     }
     println!("\npaper: FastTTS stays ahead on 12 GB and 8 GB parts; absolute goodput drops");
     println!("       on the 3070 Ti because offloading pays PCIe transfers (Fig. 15)");
+    println!("RESULT edge_devices: fasttts_ahead_on={ahead}/{devices} devices");
     Ok(())
 }

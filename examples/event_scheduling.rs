@@ -1,0 +1,93 @@
+//! Event-driven (iteration-granularity) scheduling: the same
+//! straggler-heavy overload stream served with lockstep rounds (every
+//! request iterates once per round, then waits at the barrier) and with
+//! `EventServerSim`, where requests advance at their own cadence and
+//! co-batch opportunistically inside a configurable window.
+//!
+//! ```sh
+//! cargo run --release --example event_scheduling
+//! ```
+
+use fasttts::{
+    ArrivalPattern, BatchConfig, BatchRun, BatchedServerSim, Dataset, EventConfig, EventServerSim,
+    GpuDevice, ModelPairing, SearchKind, TtsServer,
+};
+
+fn idle_fraction(run: &BatchRun) -> (f64, f64) {
+    let mut idle = 0.0;
+    let mut barrier = 0.0;
+    let mut total = 0.0;
+    for r in &run.served {
+        let b = r.outcome.stats.breakdown();
+        idle += b.idle;
+        barrier += b.barrier_idle;
+        total += b.total();
+    }
+    (idle / total.max(1e-12), barrier)
+}
+
+fn main() -> Result<(), fasttts::EngineError> {
+    let mut server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    server.config_mut().seed = 17;
+    // Shallow AMC requests interleaved with deep AIME stragglers: the
+    // heterogeneity that makes lockstep rounds straggler-bound.
+    let shallow = Dataset::Amc2023.problems(4, 29);
+    let deep = Dataset::Aime2024.problems(2, 43);
+    let problems = vec![
+        shallow[0], deep[0], shallow[1], shallow[2], deep[1], shallow[3],
+    ];
+    let arrivals = ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0);
+
+    println!("6 requests (AMC + AIME stragglers), one arrival per second, n=16 beam search\n");
+    println!(
+        "{:<26} {:>14} {:>11} {:>10} {:>14} {:>14}",
+        "scheduler", "goodput tok/s", "makespan s", "idle %", "barrier idle s", "launches"
+    );
+    let lockstep = BatchedServerSim::new(
+        server.clone(),
+        16,
+        SearchKind::BeamSearch,
+        BatchConfig::fused(6),
+    )
+    .run(&arrivals)?;
+    let mut rows = vec![("lockstep fused-6".to_string(), lockstep)];
+    for window in [0.0, 0.25, f64::INFINITY] {
+        let run = EventServerSim::new(
+            server.clone(),
+            16,
+            SearchKind::BeamSearch,
+            EventConfig::windowed(6, window),
+        )
+        .run(&arrivals)?;
+        rows.push((format!("event window {window:>5}s"), run));
+    }
+    for (label, run) in &rows {
+        let s = run.stream_summary();
+        let (idle, barrier) = idle_fraction(run);
+        println!(
+            "{label:<26} {:>14.1} {:>11.1} {:>9.1}% {:>14.1} {:>14}",
+            s.stream_goodput,
+            s.makespan,
+            idle * 100.0,
+            barrier,
+            run.rounds,
+        );
+    }
+    println!(
+        "\nThe infinite window reproduces the lockstep rounds exactly (the\n\
+         equivalence anchor); finite windows drain the barrier idle into\n\
+         decode time, so the same requests finish far sooner — with\n\
+         identical answers."
+    );
+    let (lock, event) = (&rows[0].1, &rows[2].1);
+    for (l, e) in lock.served.iter().zip(&event.served) {
+        assert_eq!(l.outcome.answer, e.outcome.answer, "schedule-invariant");
+    }
+    let speedup =
+        event.stream_summary().stream_goodput / lock.stream_summary().stream_goodput.max(1e-12);
+    println!(
+        "RESULT event_scheduling: event_vs_lockstep={speedup:.2}x barrier_idle_drained={:.1}s",
+        idle_fraction(lock).1
+    );
+    Ok(())
+}

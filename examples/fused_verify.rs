@@ -20,6 +20,7 @@ fn main() {
     let arrivals = ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0);
 
     println!("6 requests, one arrival per second, n=16 beam search\n");
+    let mut goodputs = Vec::new();
     for (label, config) in [
         (
             "continuous-4 (equal shares, per-request verify)",
@@ -60,5 +61,10 @@ fn main() {
             println!("  first-finish cuts fired: {cuts}");
         }
         println!();
+        goodputs.push(s.stream_goodput);
     }
+    println!(
+        "RESULT fused_verify: fused_vs_continuous={:.2}x",
+        goodputs[1] / goodputs[0]
+    );
 }

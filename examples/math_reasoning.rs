@@ -48,5 +48,10 @@ fn main() -> Result<(), fasttts::EngineError> {
         goodput / k,
         latency / k
     );
+    println!(
+        "RESULT math_reasoning: top1={top1}/{} mean_goodput={:.1}",
+        problems.len(),
+        goodput / k
+    );
     Ok(())
 }

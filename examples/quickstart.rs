@@ -59,5 +59,10 @@ fn main() -> Result<(), fasttts::EngineError> {
         fast.goodput() / slow.goodput(),
         100.0 * (1.0 - fast.latency() / slow.latency())
     );
+    println!(
+        "RESULT quickstart: speedup={:.2}x answers_match={}",
+        fast.goodput() / slow.goodput(),
+        slow.answer == fast.answer
+    );
     Ok(())
 }

@@ -42,5 +42,9 @@ fn main() -> Result<(), fasttts::EngineError> {
         specced,
         served.len()
     );
+    println!(
+        "RESULT serving_stream: served={} speculated={specced}",
+        served.len()
+    );
     Ok(())
 }

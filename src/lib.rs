@@ -45,8 +45,9 @@ pub use ftts_workload as workload;
 
 pub use ftts_core::{
     evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun, BatchedServerSim,
-    EngineError, EvalConfig, EvalSummary, PrefixAwareOrder, RooflinePlanner, ServeOutcome,
-    ServedRequest, ServerSim, SpecConfig, SweepJob, TtsServer, WorstCaseOrder,
+    EngineError, EvalConfig, EvalSummary, EventConfig, EventServerSim, PrefixAwareOrder,
+    RooflinePlanner, ServeOutcome, ServedRequest, ServerSim, SpecConfig, SweepJob, TtsServer,
+    WorstCaseOrder,
 };
 pub use ftts_engine::{
     Engine, EngineConfig, ModelPairing, RequestRun, RunStats, SearchDriver, StepStatus,
