@@ -314,6 +314,30 @@ pub fn default_specs() -> Vec<MetricSpec> {
             absolute: Some(0.05),
             direction: LowerIsBetter,
         },
+        MetricSpec {
+            file: "BENCH_PR6.json",
+            path: "degrade_deadline_hit_rate",
+            label: "PR6 degrade deadline-hit rate",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR6.json",
+            path: "policies.degrade.slo_goodput_tok_per_s",
+            label: "PR6 degrade SLO goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR6.json",
+            path: "degrade_slo_goodput_gain_vs_naive_retry",
+            label: "PR6 degrade SLO-goodput gain vs naive retry",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
     ]
 }
 
@@ -590,6 +614,7 @@ mod tests {
             "BENCH_PR2.json",
             "BENCH_PR3.json",
             "BENCH_PR4.json",
+            "BENCH_PR6.json",
         ] {
             assert!(
                 specs.iter().any(|s| s.file == file),

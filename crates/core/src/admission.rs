@@ -18,13 +18,15 @@
 
 use std::collections::VecDeque;
 
-use ftts_engine::{EngineError, RequestRun, SearchDriver, VerifyCharge, VerifyChunk};
+use ftts_engine::{EngineError, RequestRun, RunStats, SearchDriver, VerifyCharge, VerifyChunk};
 use ftts_kv::{PoolBudget, ShareRequest};
+use ftts_metrics::SloClass;
 use ftts_search::{make_driver, SearchKind};
 use ftts_workload::RequestArrival;
 
 use crate::batch_server::BatchConfig;
-use crate::server::TtsServer;
+use crate::faults::degraded_beams;
+use crate::server::{ServeOutcome, ServedRequest, TtsServer};
 
 /// One in-flight (or preempted) request.
 pub(crate) struct InFlight {
@@ -33,6 +35,13 @@ pub(crate) struct InFlight {
     pub(crate) run: RequestRun,
     pub(crate) driver: Box<dyn SearchDriver>,
     pub(crate) arrived_at: f64,
+    /// SLO class the request arrived with.
+    pub(crate) slo: SloClass,
+    /// Absolute deadline (`f64::INFINITY` = none).
+    pub(crate) deadline: f64,
+    /// Beam width actually granted at admission (equal to the
+    /// configured width unless the degradation controller shrank it).
+    pub(crate) granted_n: usize,
     /// Global time of first admission.
     pub(crate) started_at: f64,
     /// Admission sequence number; the largest is the youngest request
@@ -221,15 +230,27 @@ pub(crate) fn demand_drifted(group: &[InFlight], rest: &[InFlight]) -> bool {
     })
 }
 
+/// What an admission pass did, beyond whether anyone joined.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct AdmitReport {
+    /// Whether anyone was admitted (shares were resized).
+    pub(crate) admitted: bool,
+    /// Fresh admissions whose beam width the degradation controller
+    /// shrank below the configured width.
+    pub(crate) degradations: u32,
+}
+
 /// Admit readmission candidates and fresh arrivals into `group`, at
 /// equal KV shares (a demand-proportional policy rebalances right after
 /// the admission boundary). Candidate order is [`admission_rank`]:
 /// preempted runs hold accepted work, so they go first; fresh arrivals
-/// stay FIFO (only the queue head is ever attempted). `rest` is the
-/// portion of the in-flight set outside the launching group — its
-/// reservations resize with everyone else's and it counts against
-/// `max_batch`, but admissions never join it. Returns whether anyone
-/// was admitted.
+/// stay FIFO (only the queue head is ever attempted) — except under
+/// [`FaultPolicy::Degrade`](crate::FaultPolicy::Degrade), where both
+/// classes rank earliest-deadline-first and the degradation controller
+/// may grant fresh admissions a narrower beam width under queue
+/// pressure. `rest` is the portion of the in-flight set outside the
+/// launching group — its reservations resize with everyone else's and
+/// it counts against `max_batch`, but admissions never join it.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn admit(
     ctx: &SchedCtx<'_>,
@@ -241,31 +262,62 @@ pub(crate) fn admit(
     arrivals: &[RequestArrival],
     global: f64,
     admit_seq: &mut u64,
-) -> Result<bool, EngineError> {
-    let mut admitted = false;
+) -> Result<AdmitReport, EngineError> {
+    let mut report = AdmitReport::default();
+    let edf = ctx.config.robust.slo_enforcement();
     // Without mid-flight admission the gate only opens while the device
     // is idle — but once open, the whole gang fills (up to `max_batch`)
     // before the batch runs to completion.
     let device_idle = group.is_empty() && rest.is_empty();
     if !ctx.config.admit_mid_flight && !device_idle {
-        return Ok(admitted);
+        return Ok(report);
     }
     loop {
         let in_flight = group.len() + rest.len();
         if in_flight >= ctx.config.max_batch || (paused.is_empty() && waiting.is_empty()) {
-            return Ok(admitted);
+            return Ok(report);
         }
         let share = pool.equal_share(in_flight + 1);
         if in_flight > 0 && share < ctx.config.min_share_bytes {
-            return Ok(admitted);
+            return Ok(report);
         }
         // Candidates in tiebreak order: every readmission candidate
-        // (pause order), then the head of the arrival queue.
-        let mut candidates: Vec<AdmitCandidate> = (0..paused.len())
+        // (pause order), then the head of the arrival queue. Under SLO
+        // enforcement both classes rank earliest-deadline-first instead
+        // (readmits still outrank fresh arrivals — they hold accepted
+        // work), with position as the deterministic tiebreak.
+        let mut readmit_order: Vec<usize> = (0..paused.len()).collect();
+        let fresh_pos = if edf {
+            readmit_order.sort_by(|&x, &y| {
+                paused[x]
+                    .deadline
+                    .partial_cmp(&paused[y].deadline)
+                    .expect("finite or +inf deadlines")
+                    .then(x.cmp(&y))
+            });
+            (0..waiting.len()).min_by(|&x, &y| {
+                arrivals[waiting[x]]
+                    .deadline
+                    .partial_cmp(&arrivals[waiting[y]].deadline)
+                    .expect("finite or +inf deadlines")
+                    .then(waiting[x].cmp(&waiting[y]))
+            })
+        } else if waiting.is_empty() {
+            None
+        } else {
+            Some(0)
+        };
+        let candidates: Vec<AdmitCandidate> = readmit_order
+            .into_iter()
             .map(AdmitCandidate::Readmit)
-            .chain(waiting.front().map(|&idx| AdmitCandidate::Fresh(idx)))
+            .chain(fresh_pos.map(|p| AdmitCandidate::Fresh(waiting[p])))
             .collect();
-        candidates.sort_by_key(|&c| admission_rank(c));
+        debug_assert!(
+            edf || candidates
+                .windows(2)
+                .all(|w| admission_rank(w[0]) < admission_rank(w[1])),
+            "non-EDF candidates are already in tiebreak order"
+        );
         let joining_others = in_flight > 0;
         let mut progressed = false;
         for cand in candidates {
@@ -294,20 +346,39 @@ pub(crate) fn admit(
                     p.admit_seq = *admit_seq;
                     *admit_seq += 1;
                     group.push(p);
-                    admitted = true;
+                    report.admitted = true;
                     progressed = true;
                 }
                 AdmitCandidate::Fresh(idx) => {
-                    let mut driver = make_driver(ctx.kind, ctx.n, 4);
+                    // Graceful degradation: under SLO enforcement the
+                    // controller shrinks the TTS budget (beam width) of
+                    // fresh admissions while the backlog is deep — one
+                    // halving per `degrade_queue_per_level` queued or
+                    // preempted requests, floored per SLO class — so
+                    // the system trades answer-quality headroom for
+                    // deadline hits *before* it resorts to shedding.
+                    let n_granted = if edf {
+                        let backlog = waiting.len() + paused.len();
+                        let level =
+                            (backlog / ctx.config.robust.degrade_queue_per_level.max(1)) as u32;
+                        degraded_beams(ctx.n, arrivals[idx].slo, level)
+                    } else {
+                        ctx.n
+                    };
+                    let mut driver = make_driver(ctx.kind, n_granted, 4);
                     match ctx.server.begin_request(
                         &arrivals[idx].problem,
-                        ctx.n,
+                        n_granted,
                         driver.as_mut(),
                         f64::INFINITY,
                         Some(share),
                     ) {
                         Ok(run) => {
-                            waiting.pop_front();
+                            let pos = waiting
+                                .iter()
+                                .position(|&w| w == idx)
+                                .expect("candidate still queued");
+                            waiting.remove(pos);
                             shrink(group, rest, pool, share);
                             assert!(pool.reserve(idx as u64, share), "ledger must have room");
                             group.push(InFlight {
@@ -315,6 +386,9 @@ pub(crate) fn admit(
                                 run,
                                 driver,
                                 arrived_at: arrivals[idx].at,
+                                slo: arrivals[idx].slo,
+                                deadline: arrivals[idx].deadline,
+                                granted_n: n_granted,
                                 started_at: global,
                                 admit_seq: *admit_seq,
                                 preemptions: 0,
@@ -324,7 +398,10 @@ pub(crate) fn admit(
                                 declared_demand: 0,
                             });
                             *admit_seq += 1;
-                            admitted = true;
+                            report.admitted = true;
+                            if n_granted < ctx.n {
+                                report.degradations += 1;
+                            }
                             progressed = true;
                         }
                         // The whole pool cannot host this prompt:
@@ -332,7 +409,7 @@ pub(crate) fn admit(
                         Err(e) if in_flight == 0 => return Err(e),
                         // A share cannot: leave it queued until capacity
                         // frees (FIFO — later arrivals wait behind it).
-                        Err(_) => return Ok(admitted),
+                        Err(_) => return Ok(report),
                     }
                 }
             }
@@ -344,9 +421,142 @@ pub(crate) fn admit(
             // Only unfittable preempted runs remain (and no admissible
             // arrival); wait for the batch to drain and shares to
             // regrow.
-            return Ok(admitted);
+            return Ok(report);
         }
     }
+}
+
+/// What one SLO-enforcement sweep did.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SloSweep {
+    /// Arrivals rejected before admission (expired slack or an
+    /// infeasible working set).
+    pub(crate) shed: u32,
+    /// Admitted (in-flight or preempted) runs cancelled past their
+    /// deadline.
+    pub(crate) cancelled: u32,
+}
+
+/// Seal a cancelled run into its served record: the request is counted
+/// as shed (no answer delivered), its partial statistics are kept for
+/// attribution, and its cancellation instant never precedes the work it
+/// already did.
+fn cancel_record(a: InFlight, now: f64) -> ServedRequest {
+    let finished_at = now.max(a.started_at + a.run.clock());
+    let stats = a.run.finish();
+    ServedRequest {
+        arrived_at: a.arrived_at,
+        started_at: a.started_at,
+        finished_at,
+        preemptions: a.preemptions,
+        preempted_secs: a.preempted_secs,
+        slo: a.slo,
+        deadline: a.deadline,
+        shed: true,
+        granted_n: a.granted_n,
+        outcome: ServeOutcome {
+            stats,
+            answer: None,
+        },
+    }
+}
+
+/// Deadline/SLO enforcement sweep, shared by both schedulers and active
+/// only under [`FaultPolicy::Degrade`](crate::FaultPolicy::Degrade):
+///
+/// * **Early rejection** — waiting arrivals whose deadline slack has
+///   fallen below [`RobustConfig::min_slack_secs`](crate::RobustConfig)
+///   are shed immediately (admitting them would waste device time on a
+///   guaranteed miss), as are arrivals whose prompt working set exceeds
+///   the *entire* KV pool (they could never be admitted at any share —
+///   the graceful form of the engine's hard infeasibility error).
+/// * **Timeout cancellation** — admitted runs past their deadline are
+///   hopeless: in-flight members release their pool reservation (and
+///   survivors re-share); preempted members hold no reservation and are
+///   simply sealed. Either way the request is recorded as shed at the
+///   sweep instant.
+///
+/// Requests without deadlines (`f64::INFINITY`) are never touched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn enforce_slo(
+    ctx: &SchedCtx<'_>,
+    now: f64,
+    pool_bytes: u64,
+    arrivals: &[RequestArrival],
+    waiting: &mut VecDeque<usize>,
+    paused: &mut VecDeque<InFlight>,
+    group: &mut Vec<InFlight>,
+    rest: &mut Vec<InFlight>,
+    pool: &mut PoolBudget,
+    served: &mut [Option<ServedRequest>],
+) -> SloSweep {
+    let mut sweep = SloSweep::default();
+    if !ctx.config.robust.slo_enforcement() {
+        return sweep;
+    }
+    // Early rejection: expired slack, or a prompt no share could host.
+    let gen_bpt = ctx.server.config().models.gen_spec.kv_bytes_per_token();
+    waiting.retain(|&idx| {
+        let a = &arrivals[idx];
+        let expired = a.deadline - now < ctx.config.robust.min_slack_secs;
+        let infeasible = a.problem.prompt_tokens.saturating_mul(gen_bpt) > pool_bytes;
+        if !(expired || infeasible) {
+            return true;
+        }
+        served[idx] = Some(ServedRequest {
+            arrived_at: a.at,
+            started_at: now,
+            finished_at: now,
+            preemptions: 0,
+            preempted_secs: 0.0,
+            slo: a.slo,
+            deadline: a.deadline,
+            shed: true,
+            granted_n: 0,
+            outcome: ServeOutcome {
+                stats: RunStats::default(),
+                answer: None,
+            },
+        });
+        sweep.shed += 1;
+        false
+    });
+    // Timeout cancellation of preempted runs: they hold no reservation
+    // (released at preemption), so sealing them frees nothing but stops
+    // them from ever re-admitting and burning device time on a miss.
+    let mut pos = 0;
+    while pos < paused.len() {
+        if now > paused[pos].deadline {
+            let p = paused.remove(pos).expect("index in range");
+            let idx = p.idx;
+            served[idx] = Some(cancel_record(p, now));
+            sweep.cancelled += 1;
+        } else {
+            pos += 1;
+        }
+    }
+    // Timeout cancellation of in-flight runs: release the reservation
+    // and re-share the survivors at the completion boundary.
+    let mut dropped = false;
+    for list in [&mut *group, &mut *rest] {
+        let mut i = 0;
+        while i < list.len() {
+            if now > list[i].deadline {
+                let a = list.remove(i);
+                let idx = a.idx;
+                pool.release(idx as u64);
+                served[idx] = Some(cancel_record(a, now));
+                sweep.cancelled += 1;
+                dropped = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if dropped {
+        reshare(ctx.config, group, rest, pool);
+    }
+    sweep
 }
 
 /// Verifier-device accounting of one launch's sweeps.

@@ -79,6 +79,7 @@ use ftts_workload::RequestArrival;
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{self, InFlight, SchedCtx};
+use crate::faults::{FaultCursor, FaultPlan, LaunchFaults, RobustConfig};
 use crate::server::{ServeOutcome, ServedRequest, TtsServer};
 
 /// Request-level scheduling knobs.
@@ -109,6 +110,10 @@ pub struct BatchConfig {
     pub first_finish: bool,
     /// Acceptance bar for the First Finish cut (a verifier score).
     pub first_finish_bar: f64,
+    /// Fault-handling and SLO policy (see [`RobustConfig`]). The
+    /// default — retry with backoff, no deadline enforcement — is
+    /// bit-inert on fault-free runs.
+    pub robust: RobustConfig,
 }
 
 impl BatchConfig {
@@ -122,6 +127,7 @@ impl BatchConfig {
             demand_shares: false,
             first_finish: false,
             first_finish_bar: 0.0,
+            robust: RobustConfig::default(),
         }
     }
 
@@ -162,6 +168,12 @@ impl BatchConfig {
         self.first_finish_bar = bar;
         self
     }
+
+    /// Replace the fault-handling/SLO policy.
+    pub fn with_robust(mut self, robust: RobustConfig) -> Self {
+        self.robust = robust;
+        self
+    }
 }
 
 /// Result of replaying one arrival stream through [`BatchedServerSim`].
@@ -190,6 +202,25 @@ pub struct BatchRun {
     /// of every served request's attributed `verifier` breakdown: the
     /// no-double-count audit for fused sweeps.
     pub ver_busy_secs: f64,
+    /// Injected transient kernel failures that hit a launch.
+    pub kernel_faults: u32,
+    /// Retry attempts (blind or backed-off) those failures cost.
+    pub fault_retries: u32,
+    /// Injected device KV-loss events that hit a launch.
+    pub kv_loss_events: u32,
+    /// KV blocks dropped by those loss events across all requests.
+    pub lost_blocks: u64,
+    /// Arrivals rejected before admission (expired deadline slack or an
+    /// infeasible working set) by SLO enforcement.
+    pub shed: u32,
+    /// Admitted runs cancelled past their deadline by SLO enforcement.
+    pub cancelled: u32,
+    /// Fresh admissions the degradation controller granted a narrower
+    /// beam width than configured.
+    pub degradations: u32,
+    /// KV bytes still reserved when the stream drained — 0 unless the
+    /// ledger leaked a reservation (asserted in tests).
+    pub final_reserved_bytes: u64,
 }
 
 impl BatchRun {
@@ -222,6 +253,9 @@ impl BatchRun {
                 accepted_tokens: r.accepted_tokens(),
                 generator_secs: r.outcome.stats.breakdown().generator_side(),
                 verifier_secs: r.outcome.stats.breakdown().verifier,
+                slo: r.slo,
+                deadline: r.deadline,
+                completed: !r.shed,
             })
             .collect();
         let occupancy = if self.ver_sweeps > 0 {
@@ -261,13 +295,31 @@ impl BatchedServerSim {
         &self.config
     }
 
-    /// Serve the arrival stream to completion.
+    /// Serve the arrival stream to completion on a fault-free device.
     ///
     /// # Errors
     ///
     /// Propagates [`EngineError`] when a request cannot fit even with
     /// the entire pool to itself.
     pub fn run(&self, arrivals: &[RequestArrival]) -> Result<BatchRun, EngineError> {
+        self.run_faulted(arrivals, &FaultPlan::none())
+    }
+
+    /// Serve the arrival stream to completion while `plan` injects
+    /// faults into the simulated device. The empty plan reproduces
+    /// [`BatchedServerSim::run`] bit-for-bit; any plan is itself
+    /// deterministic (same `(stream, plan, config)` → same run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit even with
+    /// the entire pool to itself.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_faulted(
+        &self,
+        arrivals: &[RequestArrival],
+        plan: &FaultPlan,
+    ) -> Result<BatchRun, EngineError> {
         debug_assert!(
             arrivals.windows(2).all(|w| w[0].at <= w[1].at),
             "arrival times must be non-decreasing"
@@ -288,6 +340,14 @@ impl BatchedServerSim {
         let mut ver_sweeps = 0u64;
         let mut ver_seqs = 0u64;
         let mut ver_busy_secs = 0.0f64;
+        let mut cursor = FaultCursor::default();
+        let mut kernel_faults = 0u32;
+        let mut fault_retries = 0u32;
+        let mut kv_loss_events = 0u32;
+        let mut lost_blocks = 0u64;
+        let mut shed = 0u32;
+        let mut cancelled = 0u32;
+        let mut degradations = 0u32;
 
         loop {
             // Ingest arrivals due by now.
@@ -302,7 +362,26 @@ impl BatchedServerSim {
                 kind: self.kind,
                 config: &self.config,
             };
-            let admitted = admission::admit(
+            // Deadline/SLO enforcement (active only under the Degrade
+            // policy): shed stale or infeasible arrivals, cancel
+            // hopeless runs — before they are (re)admitted and burn
+            // device time on a guaranteed miss.
+            let mut no_rest: Vec<InFlight> = Vec::new();
+            let sweep = admission::enforce_slo(
+                &ctx,
+                global,
+                pool_bytes,
+                arrivals,
+                &mut waiting,
+                &mut paused,
+                &mut active,
+                &mut no_rest,
+                &mut pool,
+                &mut served,
+            );
+            shed += sweep.shed;
+            cancelled += sweep.cancelled;
+            let report = admission::admit(
                 &ctx,
                 &mut active,
                 &mut [],
@@ -313,8 +392,9 @@ impl BatchedServerSim {
                 global,
                 &mut admit_seq,
             )?;
+            degradations += report.degradations;
             // Admission boundary: size elastic shares by demand.
-            if admitted && self.config.demand_shares {
+            if report.admitted && self.config.demand_shares {
                 admission::rebalance_demand(&mut active, &mut [], &mut pool);
             }
 
@@ -366,6 +446,7 @@ impl BatchedServerSim {
             // One lockstep round: every active request executes one TTS
             // iteration over the shared, co-batched accelerator, in four
             // explicit phases (plan → gather → cost → commit).
+            let round_start = global;
             rounds += 1;
             group_iters += active.len() as u64;
             let loads: Vec<(usize, u64)> = active.iter().map(|a| a.run.decode_load()).collect();
@@ -444,6 +525,48 @@ impl BatchedServerSim {
                     finished.push(i);
                 }
             }
+
+            // Injected faults due this round (popped once, in time
+            // order, from the shared cursor — both schedulers consume
+            // the plan at the same launch boundaries). All fault time
+            // is booked to the dedicated `fault` bucket, proportional
+            // to each member's own busy seconds this round (the members
+            // share the faulty kernel), so the busy-phase attribution
+            // stays identical to the fault-free run.
+            let faults = LaunchFaults::at(&mut cursor, plan, &self.config.robust, round_start);
+            if faults.fired() {
+                kernel_faults += faults.kernel_faults;
+                fault_retries += faults.retries;
+                for a in active.iter_mut() {
+                    let dt = (a.started_at + a.run.clock() - round_start).max(0.0);
+                    a.run
+                        .stall_fault(dt * faults.busy_stretch + faults.backoff_secs);
+                    if faults.kernel_faults > 0 {
+                        a.run.note_kernel_faults(
+                            faults.kernel_faults,
+                            faults.retries,
+                            faults.backoff_secs,
+                        );
+                    }
+                    if faults.slowdown_stretch > 0.0 {
+                        a.run.note_slowdown(dt * faults.slowdown_stretch);
+                    }
+                }
+                if faults.kv_losses > 0 {
+                    // Device KV loss hits every device-resident request;
+                    // swapped-out (paused) requests survive in host RAM.
+                    // Recovery is recompute-on-pin: deterministic
+                    // replay, no accepted tokens lost.
+                    kv_loss_events += faults.kv_losses;
+                    for a in active.iter_mut() {
+                        lost_blocks += a.run.lose_device_kv();
+                    }
+                }
+                round_end = active
+                    .iter()
+                    .map(|a| a.started_at + a.run.clock())
+                    .fold(round_start, f64::max);
+            }
             global = round_end;
 
             // Completions leave the batch at their own finish instant.
@@ -458,6 +581,10 @@ impl BatchedServerSim {
                     finished_at: a.started_at + stats.latency(),
                     preemptions: a.preemptions,
                     preempted_secs: a.preempted_secs,
+                    slo: a.slo,
+                    deadline: a.deadline,
+                    shed: false,
+                    granted_n: a.granted_n,
                     outcome: ServeOutcome { stats, answer },
                 });
             }
@@ -496,6 +623,14 @@ impl BatchedServerSim {
             ver_sweeps,
             ver_seqs,
             ver_busy_secs,
+            kernel_faults,
+            fault_retries,
+            kv_loss_events,
+            lost_blocks,
+            shed,
+            cancelled,
+            degradations,
+            final_reserved_bytes: pool.reserved_bytes(),
         })
     }
 }

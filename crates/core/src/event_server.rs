@@ -77,6 +77,7 @@ use ftts_workload::RequestArrival;
 
 use crate::admission::{self, InFlight, SchedCtx};
 use crate::batch_server::{BatchConfig, BatchRun};
+use crate::faults::{FaultCursor, FaultPlan, LaunchFaults};
 use crate::server::{ServeOutcome, ServedRequest, TtsServer};
 
 /// Event-driven scheduling knobs: a request-level batching policy plus
@@ -150,14 +151,33 @@ impl EventServerSim {
         &self.config
     }
 
-    /// Serve the arrival stream to completion.
+    /// Serve the arrival stream to completion on a fault-free device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit even with
+    /// the entire pool to itself.
+    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<BatchRun, EngineError> {
+        self.run_faulted(arrivals, &FaultPlan::none())
+    }
+
+    /// Serve the arrival stream to completion while `plan` injects
+    /// faults into the simulated device. The empty plan reproduces
+    /// [`EventServerSim::run`] bit-for-bit, and the lockstep
+    /// (infinite-window) mode consumes the plan at exactly the lockstep
+    /// scheduler's round boundaries — the equivalence anchors extend to
+    /// faulty runs.
     ///
     /// # Errors
     ///
     /// Propagates [`EngineError`] when a request cannot fit even with
     /// the entire pool to itself.
     #[allow(clippy::too_many_lines)]
-    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<BatchRun, EngineError> {
+    pub fn run_faulted(
+        &self,
+        arrivals: &[RequestArrival],
+        plan: &FaultPlan,
+    ) -> Result<BatchRun, EngineError> {
         debug_assert!(
             arrivals.windows(2).all(|w| w[0].at <= w[1].at),
             "arrival times must be non-decreasing"
@@ -186,6 +206,14 @@ impl EventServerSim {
         let mut ver_sweeps = 0u64;
         let mut ver_seqs = 0u64;
         let mut ver_busy_secs = 0.0f64;
+        let mut cursor = FaultCursor::default();
+        let mut kernel_faults = 0u32;
+        let mut fault_retries = 0u32;
+        let mut kv_loss_events = 0u32;
+        let mut lost_blocks = 0u64;
+        let mut shed = 0u32;
+        let mut cancelled = 0u32;
+        let mut degradations = 0u32;
 
         loop {
             // Next decision instant: the earliest ready request, or the
@@ -270,7 +298,24 @@ impl EventServerSim {
                 kind: self.kind,
                 config: batch,
             };
-            let admitted = admission::admit(
+            // Deadline/SLO enforcement (active only under the Degrade
+            // policy), at the same pre-admission boundary the lockstep
+            // scheduler sweeps at.
+            let sweep = admission::enforce_slo(
+                &ctx,
+                launch,
+                pool_bytes,
+                arrivals,
+                &mut waiting,
+                &mut paused,
+                &mut group,
+                &mut rest,
+                &mut pool,
+                &mut served,
+            );
+            shed += sweep.shed;
+            cancelled += sweep.cancelled;
+            let report = admission::admit(
                 &ctx,
                 &mut group,
                 &mut rest,
@@ -281,8 +326,9 @@ impl EventServerSim {
                 launch,
                 &mut admit_seq,
             )?;
+            degradations += report.degradations;
             // Admission boundary: size elastic shares by demand.
-            if admitted && batch.demand_shares {
+            if report.admitted && batch.demand_shares {
                 admission::rebalance_demand(&mut group, &mut rest, &mut pool);
             }
 
@@ -423,6 +469,46 @@ impl EventServerSim {
                     finished.push(i);
                 }
             }
+
+            // Injected faults due this launch, popped from the same
+            // cursor position the lockstep scheduler would pop them at
+            // (in lockstep mode the launch instant *is* the round
+            // barrier, so faulty runs stay bit-identical across
+            // schedulers). Kernel faults and throttle windows hit the
+            // kernels launched now — the group; device KV loss is state
+            // damage and hits every device-resident request, including
+            // bystanders mid-iteration outside the window (`rest`).
+            // Swapped-out (paused) requests survive in host RAM.
+            let faults = LaunchFaults::at(&mut cursor, plan, &batch.robust, launch);
+            if faults.fired() {
+                kernel_faults += faults.kernel_faults;
+                fault_retries += faults.retries;
+                for a in group.iter_mut() {
+                    let dt = (a.started_at + a.run.clock() - launch).max(0.0);
+                    a.run
+                        .stall_fault(dt * faults.busy_stretch + faults.backoff_secs);
+                    if faults.kernel_faults > 0 {
+                        a.run.note_kernel_faults(
+                            faults.kernel_faults,
+                            faults.retries,
+                            faults.backoff_secs,
+                        );
+                    }
+                    if faults.slowdown_stretch > 0.0 {
+                        a.run.note_slowdown(dt * faults.slowdown_stretch);
+                    }
+                }
+                if faults.kv_losses > 0 {
+                    kv_loss_events += faults.kv_losses;
+                    for a in group.iter_mut().chain(rest.iter_mut()) {
+                        lost_blocks += a.run.lose_device_kv();
+                    }
+                }
+                round_end = group
+                    .iter()
+                    .map(|a| a.started_at + a.run.clock())
+                    .fold(launch, f64::max);
+            }
             // In lockstep mode the round end *is* the barrier: nothing —
             // including the next admission — happens before it, and
             // finished members hold it exactly as they hold a lockstep
@@ -447,6 +533,10 @@ impl EventServerSim {
                     finished_at,
                     preemptions: a.preemptions,
                     preempted_secs: a.preempted_secs,
+                    slo: a.slo,
+                    deadline: a.deadline,
+                    shed: false,
+                    granted_n: a.granted_n,
                     outcome: ServeOutcome { stats, answer },
                 });
             }
@@ -483,6 +573,14 @@ impl EventServerSim {
             ver_sweeps,
             ver_seqs,
             ver_busy_secs,
+            kernel_faults,
+            fault_retries,
+            kv_loss_events,
+            lost_blocks,
+            shed,
+            cancelled,
+            degradations,
+            final_reserved_bytes: pool.reserved_bytes(),
         })
     }
 }

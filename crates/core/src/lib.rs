@@ -69,6 +69,7 @@ mod admission;
 mod batch_server;
 mod eval;
 mod event_server;
+mod faults;
 mod memalloc;
 mod prefix_sched;
 mod server;
@@ -77,6 +78,9 @@ mod sweep;
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
 pub use event_server::{EventConfig, EventServerSim};
+pub use faults::{
+    degraded_beams, FaultEvent, FaultKind, FaultPlan, FaultPolicy, RobustConfig, StormConfig,
+};
 pub use ftts_engine::{
     EngineError, RequestRun, RunPhase, SpecConfig, StepStatus, VerifyCharge, VerifyChunk,
 };

@@ -293,6 +293,19 @@ pub struct ServedRequest {
     pub preemptions: u32,
     /// Seconds spent preempted (swapped out awaiting readmission).
     pub preempted_secs: f64,
+    /// SLO class the request arrived with.
+    pub slo: ftts_metrics::SloClass,
+    /// Absolute completion deadline (`f64::INFINITY` = none).
+    pub deadline: f64,
+    /// Whether the request was shed instead of completed: rejected at
+    /// admission or cancelled by deadline enforcement. A shed request
+    /// delivered no answer; `finished_at` is its rejection/cancellation
+    /// instant.
+    pub shed: bool,
+    /// Beam width actually granted (0 for a request shed before
+    /// admission; below the configured width when the degradation
+    /// controller shrank the TTS budget).
+    pub granted_n: usize,
     /// The serve outcome.
     pub outcome: ServeOutcome,
 }
@@ -311,6 +324,12 @@ impl ServedRequest {
     /// Accepted (generated, completed-beam) tokens of the request.
     pub fn accepted_tokens(&self) -> u64 {
         self.outcome.stats.beams.iter().map(|b| b.tokens).sum()
+    }
+
+    /// Whether the request missed its SLO: shed, or finished past its
+    /// deadline. Always `false` without a deadline.
+    pub fn deadline_missed(&self) -> bool {
+        self.shed || self.finished_at > self.deadline
     }
 }
 
@@ -357,6 +376,10 @@ impl ServerSim {
                 finished_at: finish,
                 preemptions: 0,
                 preempted_secs: 0.0,
+                slo: req.slo,
+                deadline: req.deadline,
+                shed: false,
+                granted_n: self.n,
                 outcome: ServeOutcome { stats, answer },
             });
             clock = finish;

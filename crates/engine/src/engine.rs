@@ -939,6 +939,54 @@ impl RequestRun {
         self.gen_kv.swap_out_unpinned() + self.ver_kv.swap_out_unpinned()
     }
 
+    /// Advance the internal clock by `secs` of injected-fault time:
+    /// device work wasted by a transient kernel failure, a retry
+    /// backoff wait, or thermal-throttle stretch. Booked to the
+    /// dedicated `fault` breakdown bucket — never to the busy phases —
+    /// so attributed generator/verifier seconds stay identical to the
+    /// fault-free run (retries can't double-bill device time).
+    pub fn stall_fault(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0, "fault stalls only move time forward");
+        if secs > 0.0 {
+            self.breakdown.fault += secs;
+            self.clock += secs;
+        }
+    }
+
+    /// Record `faults` transient kernel failures on this request's
+    /// iteration: `retries` re-dispatch attempts were needed and
+    /// `backoff_secs` of the recovery was exponential-backoff waiting
+    /// (already included in the accompanying
+    /// [`RequestRun::stall_fault`] charge).
+    pub fn note_kernel_faults(&mut self, faults: u32, retries: u32, backoff_secs: f64) {
+        self.stats.faults.kernel_faults += faults;
+        self.stats.faults.retries += retries;
+        self.stats.faults.backoff_secs += backoff_secs;
+    }
+
+    /// Record `secs` of thermal-throttle stretch (already booked via
+    /// [`RequestRun::stall_fault`]).
+    pub fn note_slowdown(&mut self, secs: f64) {
+        self.stats.faults.slowdown_secs += secs;
+    }
+
+    /// Injected device KV loss: drop every unpinned device-resident KV
+    /// block of both caches *without* host copies. The committed state
+    /// (latents, scores, accepted tokens) lives in the beam tree, so
+    /// recovery is a deterministic replay: the next iteration's pins
+    /// recompute exactly the lost prefixes through the normal recompute
+    /// path. Host-resident (swapped-out) blocks of preempted requests
+    /// are untouched — host RAM is not on the faulting device. Returns
+    /// the blocks lost.
+    pub fn lose_device_kv(&mut self) -> u64 {
+        let lost = self.gen_kv.lose_unpinned() + self.ver_kv.lose_unpinned();
+        if lost > 0 {
+            self.stats.faults.kv_loss_events += 1;
+            self.stats.faults.lost_blocks += lost;
+        }
+        lost
+    }
+
     /// Worst single-path KV demand vs the generator's capacity, in
     /// blocks. A request whose demand exceeds capacity cannot make
     /// progress under its current pool share and should be preempted

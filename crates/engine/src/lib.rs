@@ -47,4 +47,4 @@ pub use engine::{
 };
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{working_set_demand, MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};
-pub use stats::{RunStats, SpecStats};
+pub use stats::{FaultRunStats, RunStats, SpecStats};

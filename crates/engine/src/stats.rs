@@ -31,6 +31,25 @@ impl SpecStats {
     }
 }
 
+/// Counters for injected faults and the recovery work they caused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultRunStats {
+    /// Transient kernel failures that hit this request's iterations.
+    pub kernel_faults: u32,
+    /// Retry attempts performed after kernel faults.
+    pub retries: u32,
+    /// Seconds spent waiting out exponential backoff between retries
+    /// (a slice of `LatencyBreakdown::fault`).
+    pub backoff_secs: f64,
+    /// Extra seconds of kernel time under thermal-throttle slowdown
+    /// windows (a slice of `LatencyBreakdown::fault`).
+    pub slowdown_secs: f64,
+    /// Device KV-loss events that hit this request while resident.
+    pub kv_loss_events: u32,
+    /// KV blocks dropped by those loss events (recovered by recompute).
+    pub lost_blocks: u64,
+}
+
 /// Everything measured over one request.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunStats {
@@ -58,6 +77,8 @@ pub struct RunStats {
     pub ver_cache: CacheStats,
     /// Speculation counters.
     pub spec: SpecStats,
+    /// Injected-fault counters.
+    pub faults: FaultRunStats,
     /// Utilization trace (present when tracing was enabled).
     pub trace: Option<UtilizationTrace>,
     /// Ground-truth answer for accuracy computation.

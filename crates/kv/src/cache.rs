@@ -738,6 +738,52 @@ impl KvCache {
         blocks * self.config.block_bytes()
     }
 
+    /// Drop every unpinned GPU-resident node *without* a host copy —
+    /// the device-side KV blocks are lost (injected fault), so the
+    /// affected paths become [`Residency::Absent`] and must be
+    /// recomputed through the normal [`KvCache::pin`] path when next
+    /// scheduled. Pinned nodes (mid-iteration) and host-resident nodes
+    /// (swapped-out, i.e. preempted requests) survive: host RAM is not
+    /// on the faulting device. Returns the number of blocks lost.
+    ///
+    /// Recovery is deterministic replay: the prefix tree keeps every
+    /// node's logical token count, so the next pin recomputes exactly
+    /// the lost tokens and no accepted work disappears.
+    pub fn lose_unpinned(&mut self) -> u64 {
+        let ids: Vec<NodeId> = self
+            .tree
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.residency == Residency::Gpu && n.pin_count == 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let mut blocks = 0;
+        for id in ids {
+            let (owned, tokens, parent) = {
+                let node = self.tree.node_mut(id);
+                node.residency = Residency::Absent;
+                let owned = node.owned_blocks;
+                node.owned_blocks = 0;
+                (owned, node.n_tokens, node.parent)
+            };
+            self.pool.free(owned);
+            blocks += owned;
+            self.stats.evicted_tokens += tokens;
+            if self.config.prefix_sharing {
+                if let Some(p) = parent {
+                    self.tree.node_mut(p).gpu_children -= 1;
+                }
+            }
+        }
+        // Same reasoning as `swap_out_unpinned`: every candidate was
+        // GPU-resident and unpinned, so the index empties wholesale.
+        self.evictable.clear();
+        self.unpinned_gpu_blocks = 0;
+        self.stats.lost_blocks += blocks;
+        blocks
+    }
+
     /// GPU-resident tokens (physical, including copy-on-write pads).
     pub fn resident_tokens(&self) -> u64 {
         self.tree
@@ -966,6 +1012,41 @@ mod tests {
         let cost = kv.pin(r).unwrap();
         assert_eq!(cost.recompute_tokens, 0, "swap-in needs no recompute");
         assert_eq!(cost.transfer_in_bytes, bytes);
+    }
+
+    #[test]
+    fn lose_unpinned_drops_data_and_pin_recomputes() {
+        let mut kv = cache(100);
+        let r = kv.root(64).unwrap();
+        kv.pin(r).unwrap();
+        kv.unpin(r);
+        let lost = kv.lose_unpinned();
+        assert_eq!(lost, 4);
+        assert_eq!(kv.stats().lost_blocks, 4);
+        assert_eq!(kv.residency(r), Residency::Absent, "no host copy");
+        assert_eq!(kv.gpu_blocks_used(), 0);
+        // Unlike swap-out, recovery is recompute, not PCIe transfer.
+        let cost = kv.pin(r).unwrap();
+        assert_eq!(cost.recompute_tokens, 64);
+        assert_eq!(cost.transfer_in_bytes, 0);
+        kv.audit_eviction_index();
+    }
+
+    #[test]
+    fn lose_unpinned_spares_pinned_and_host_nodes() {
+        let mut kv = cache(100);
+        let pinned = kv.root(32).unwrap();
+        kv.pin(pinned).unwrap();
+        let swapped = kv.root(32).unwrap();
+        kv.pin(swapped).unwrap();
+        kv.unpin(swapped);
+        kv.swap_out_unpinned();
+        assert_eq!(kv.residency(swapped), Residency::Host);
+        let lost = kv.lose_unpinned();
+        assert_eq!(lost, 0, "pinned and host-resident nodes survive");
+        assert_eq!(kv.residency(pinned), Residency::Gpu);
+        assert_eq!(kv.residency(swapped), Residency::Host);
+        kv.audit_eviction_index();
     }
 
     #[test]

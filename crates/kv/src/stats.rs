@@ -28,6 +28,10 @@ pub struct CacheStats {
     /// Blocks voluntarily discarded (dead speculative work) — unlike
     /// `evicted_blocks`, these do not indicate memory pressure.
     pub discarded_blocks: u64,
+    /// Blocks dropped by injected device KV loss: unlike swapped-out
+    /// blocks there is no host copy, so the affected paths must be
+    /// recomputed when next pinned.
+    pub lost_blocks: u64,
 }
 
 impl CacheStats {
@@ -48,6 +52,7 @@ impl CacheStats {
             swapped_in_blocks: self.swapped_in_blocks - earlier.swapped_in_blocks,
             allocated_blocks: self.allocated_blocks - earlier.allocated_blocks,
             discarded_blocks: self.discarded_blocks - earlier.discarded_blocks,
+            lost_blocks: self.lost_blocks - earlier.lost_blocks,
         }
     }
 }

@@ -32,12 +32,20 @@ pub struct LatencyBreakdown {
     /// never book barrier idle: their waits are window waits (plain
     /// `idle`).
     pub barrier_idle: f64,
+    /// Seconds lost to injected faults: device work wasted by transient
+    /// kernel failures (including repeated immediate retries), retry
+    /// backoff waits, and thermal-throttle stretch. A sixth phase that
+    /// counts toward [`LatencyBreakdown::total`] — and crucially *not*
+    /// booked into `generator`/`verifier`, so retried iterations never
+    /// double-bill attributed device-busy time (the conservation tests
+    /// rely on busy buckets matching the fault-free run exactly).
+    pub fault: f64,
 }
 
 impl LatencyBreakdown {
     /// Total accounted seconds.
     pub fn total(&self) -> f64 {
-        self.generator + self.verifier + self.recompute + self.offload + self.idle
+        self.generator + self.verifier + self.recompute + self.offload + self.idle + self.fault
     }
 
     /// Generator-side seconds (decode plus recompute — both run on the
@@ -54,6 +62,7 @@ impl LatencyBreakdown {
         self.offload += other.offload;
         self.idle += other.idle;
         self.barrier_idle += other.barrier_idle;
+        self.fault += other.fault;
     }
 
     /// Element-wise scaling (e.g. averaging over problems).
@@ -65,6 +74,7 @@ impl LatencyBreakdown {
             offload: self.offload * k,
             idle: self.idle * k,
             barrier_idle: self.barrier_idle * k,
+            fault: self.fault * k,
         }
     }
 }
@@ -91,11 +101,12 @@ mod tests {
             offload: 0.25,
             idle: 0.25,
             barrier_idle: 0.25,
+            fault: 0.5,
         };
         assert_eq!(
             b.total(),
-            4.0,
-            "barrier idle is a slice of idle, not a sixth phase"
+            4.5,
+            "barrier idle is a slice of idle, fault is its own phase"
         );
         assert_eq!(b.generator_side(), 1.5);
     }

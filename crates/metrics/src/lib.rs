@@ -28,5 +28,5 @@ pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
 pub use goodput::{precise_goodput, BeamOutcome};
 pub use latency::{CompletionRecord, LatencyBreakdown};
 pub use report::{fmt, Table};
-pub use stream::{StreamRecord, StreamSummary};
+pub use stream::{ClassSummary, SloClass, StreamRecord, StreamSummary};
 pub use summary::Summary;

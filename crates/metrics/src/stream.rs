@@ -10,12 +10,53 @@ use serde::{Deserialize, Serialize};
 
 use crate::summary::Summary;
 
+/// Service-level-objective class of a request. Classes differ in how
+/// tight their deadlines are and in how aggressively a serving layer may
+/// shrink their test-time-scaling budget (sample width) under pressure
+/// before resorting to shedding load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// User-facing requests with tight deadlines; degraded early so they
+    /// still finish in time.
+    Interactive,
+    /// The default class: moderate deadlines, moderate degradation.
+    #[default]
+    Standard,
+    /// Throughput-oriented background work with loose (or no) deadlines;
+    /// last to degrade, first to wait.
+    Batch,
+}
+
+impl SloClass {
+    /// Every class, in fixed reporting order.
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+
+    /// Stable index into per-class arrays (reporting order).
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+}
+
 /// The slice of one served request a stream summary needs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamRecord {
     /// Arrival time, seconds since stream start.
     pub arrived_at: f64,
-    /// Completion time, seconds since stream start.
+    /// Completion time, seconds since stream start. For a shed request
+    /// this is the cancellation instant.
     pub finished_at: f64,
     /// Seconds queued before first admission.
     pub queue_delay: f64,
@@ -28,12 +69,59 @@ pub struct StreamRecord {
     /// its share of the shared kernel, so summing this across records
     /// equals the device's verifier busy time — never a multiple of it.
     pub verifier_secs: f64,
+    /// SLO class the request arrived with.
+    pub slo: SloClass,
+    /// Absolute deadline, seconds since stream start
+    /// (`f64::INFINITY` when the request has none).
+    pub deadline: f64,
+    /// Whether the request ran to completion. `false` means it was shed:
+    /// rejected at admission or cancelled by deadline enforcement.
+    pub completed: bool,
 }
 
 impl StreamRecord {
     /// Arrival-to-completion latency.
     pub fn total_latency(&self) -> f64 {
         self.finished_at - self.arrived_at
+    }
+
+    /// Whether the request missed its SLO: shed, or finished past its
+    /// deadline.
+    pub fn deadline_missed(&self) -> bool {
+        !self.completed || self.finished_at > self.deadline
+    }
+}
+
+/// Per-SLO-class slice of a [`StreamSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class this row describes.
+    pub class: SloClass,
+    /// Requests that arrived with this class.
+    pub requests: usize,
+    /// Requests that ran to completion (not shed).
+    pub completed: usize,
+    /// Requests that missed their deadline (shed ones included).
+    pub deadline_misses: usize,
+    /// Requests shed (rejected or cancelled) before completion.
+    pub shed: usize,
+    /// Median arrival-to-completion latency over completed requests.
+    pub latency_p50: f64,
+    /// 99th-percentile latency over completed requests.
+    pub latency_p99: f64,
+}
+
+impl ClassSummary {
+    fn empty(class: SloClass) -> Self {
+        Self {
+            class,
+            requests: 0,
+            completed: 0,
+            deadline_misses: 0,
+            shed: 0,
+            latency_p50: 0.0,
+            latency_p99: 0.0,
+        }
     }
 }
 
@@ -64,6 +152,20 @@ pub struct StreamSummary {
     /// [`StreamSummary::with_verifier_occupancy`]). Cross-request
     /// fusion pushes this above one request's batch size.
     pub verifier_occupancy: f64,
+    /// Requests that missed their deadline (shed ones included).
+    pub deadline_misses: usize,
+    /// Requests shed: rejected at admission or cancelled by deadline
+    /// enforcement, i.e. never completed.
+    pub shed: usize,
+    /// Fraction of requests that completed within their deadline.
+    /// 1.0 for a stream with no deadlines.
+    pub deadline_hit_rate: f64,
+    /// SLO goodput: accepted tokens of deadline-hitting requests per
+    /// second of makespan — work delivered late (or never) does not
+    /// count. Equals `stream_goodput` when nothing misses.
+    pub slo_goodput: f64,
+    /// Per-SLO-class breakdown, indexed by [`SloClass::index`].
+    pub per_class: [ClassSummary; 3],
 }
 
 impl StreamSummary {
@@ -80,6 +182,11 @@ impl StreamSummary {
                 generator_goodput: 0.0,
                 verifier_goodput: 0.0,
                 verifier_occupancy: 0.0,
+                deadline_misses: 0,
+                shed: 0,
+                deadline_hit_rate: 1.0,
+                slo_goodput: 0.0,
+                per_class: SloClass::ALL.map(ClassSummary::empty),
             };
         }
         let first = records
@@ -100,6 +207,33 @@ impl StreamSummary {
                 0.0
             }
         };
+        let misses = records.iter().filter(|r| r.deadline_missed()).count();
+        let shed = records.iter().filter(|r| !r.completed).count();
+        let slo_tokens: u64 = records
+            .iter()
+            .filter(|r| !r.deadline_missed())
+            .map(|r| r.accepted_tokens)
+            .sum();
+        let per_class = SloClass::ALL.map(|class| {
+            let mut row = ClassSummary::empty(class);
+            let mut done: Vec<f64> = Vec::new();
+            for r in records.iter().filter(|r| r.slo == class) {
+                row.requests += 1;
+                if r.completed {
+                    row.completed += 1;
+                    done.push(r.total_latency());
+                } else {
+                    row.shed += 1;
+                }
+                if r.deadline_missed() {
+                    row.deadline_misses += 1;
+                }
+            }
+            let lat = Summary::of(&done);
+            row.latency_p50 = lat.p50;
+            row.latency_p99 = lat.p99;
+            row
+        });
         Self {
             requests: records.len(),
             makespan,
@@ -114,6 +248,15 @@ impl StreamSummary {
             generator_goodput: per_phase(gen_secs),
             verifier_goodput: per_phase(ver_secs),
             verifier_occupancy: 0.0,
+            deadline_misses: misses,
+            shed,
+            deadline_hit_rate: (records.len() - misses) as f64 / records.len() as f64,
+            slo_goodput: if makespan > 0.0 {
+                slo_tokens as f64 / makespan
+            } else {
+                0.0
+            },
+            per_class,
         }
     }
 
@@ -137,6 +280,9 @@ mod tests {
             accepted_tokens: tokens,
             generator_secs: (finished - arrived) * 0.5,
             verifier_secs: (finished - arrived) * 0.25,
+            slo: SloClass::Standard,
+            deadline: f64::INFINITY,
+            completed: true,
         }
     }
 
@@ -177,5 +323,57 @@ mod tests {
         assert_eq!(s.verifier_occupancy, 0.0, "unset without a serving layer");
         let s = s.with_verifier_occupancy(24.5);
         assert_eq!(s.verifier_occupancy, 24.5);
+    }
+
+    #[test]
+    fn no_deadlines_means_perfect_hit_rate() {
+        let s = StreamSummary::of(&[rec(0.0, 4.0, 0.0, 100), rec(1.0, 6.0, 0.0, 100)]);
+        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.deadline_hit_rate, 1.0);
+        assert_eq!(s.slo_goodput, s.stream_goodput);
+    }
+
+    #[test]
+    fn misses_and_shed_are_attributed_per_class() {
+        let mut hit = rec(0.0, 4.0, 0.0, 300);
+        hit.slo = SloClass::Interactive;
+        hit.deadline = 5.0;
+        let mut late = rec(0.0, 8.0, 0.0, 300);
+        late.slo = SloClass::Interactive;
+        late.deadline = 5.0;
+        let mut dropped = rec(1.0, 2.0, 1.0, 0);
+        dropped.slo = SloClass::Batch;
+        dropped.deadline = 10.0;
+        dropped.completed = false;
+        let s = StreamSummary::of(&[hit, late, dropped]);
+        assert_eq!(s.deadline_misses, 2, "late + shed both miss");
+        assert_eq!(s.shed, 1);
+        assert!((s.deadline_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        // Only the on-time request's tokens count toward SLO goodput.
+        assert!((s.slo_goodput - 300.0 / s.makespan).abs() < 1e-9);
+        assert!(s.slo_goodput < s.stream_goodput);
+        let inter = s.per_class[SloClass::Interactive.index()];
+        assert_eq!(inter.requests, 2);
+        assert_eq!(inter.completed, 2);
+        assert_eq!(inter.deadline_misses, 1);
+        assert_eq!(inter.latency_p50, 4.0);
+        assert_eq!(inter.latency_p99, 8.0);
+        let batch = s.per_class[SloClass::Batch.index()];
+        assert_eq!(batch.requests, 1);
+        assert_eq!(batch.shed, 1);
+        assert_eq!(batch.deadline_misses, 1);
+        assert_eq!(batch.completed, 0);
+        assert_eq!(batch.latency_p50, 0.0, "no completions, no percentile");
+        assert_eq!(s.per_class[SloClass::Standard.index()].requests, 0);
+    }
+
+    #[test]
+    fn slo_class_reporting_order_is_stable() {
+        for (i, c) in SloClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(SloClass::default(), SloClass::Standard);
+        assert_eq!(SloClass::Interactive.name(), "interactive");
     }
 }

@@ -17,6 +17,8 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile (nearest-rank).
     pub p95: f64,
+    /// 99th percentile (nearest-rank) — the SLO tail.
+    pub p99: f64,
 }
 
 impl Summary {
@@ -30,6 +32,7 @@ impl Summary {
                 max: 0.0,
                 p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
             };
         }
         let mut sorted: Vec<f64> = values.to_vec();
@@ -46,6 +49,7 @@ impl Summary {
             max: sorted[n - 1],
             p50: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
         }
     }
 
@@ -86,6 +90,7 @@ mod tests {
         let values: Vec<f64> = (1..=100).map(|x| x as f64).collect();
         let s = Summary::of(&values);
         assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
     }
 
     #[test]

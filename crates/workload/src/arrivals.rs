@@ -6,6 +6,7 @@
 //! mid-speculation*. These generators produce arrival timelines to
 //! exercise that path.
 
+use ftts_metrics::SloClass;
 use ftts_model::{stream, ProblemSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,23 @@ pub struct RequestArrival {
     pub at: f64,
     /// The problem the request asks to solve.
     pub problem: ProblemSpec,
+    /// Service-level-objective class ([`SloClass::Standard`] unless
+    /// assigned via [`RequestArrival::with_slo`]).
+    pub slo: SloClass,
+    /// Absolute completion deadline in seconds since experiment start
+    /// (`f64::INFINITY` when the request has none).
+    pub deadline: f64,
+}
+
+impl RequestArrival {
+    /// Assign an SLO class and a deadline `slack` seconds after arrival.
+    /// Pass `f64::INFINITY` for a class with no deadline.
+    pub fn with_slo(mut self, slo: SloClass, slack: f64) -> Self {
+        assert!(slack >= 0.0, "deadline slack must be non-negative");
+        self.slo = slo;
+        self.deadline = self.at + slack;
+        self
+    }
 }
 
 /// How requests arrive at the serving system.
@@ -44,18 +62,27 @@ pub enum ArrivalPattern {
     },
 }
 
+/// A deadline-free arrival in the default SLO class.
+fn arrival(at: f64, problem: ProblemSpec) -> RequestArrival {
+    RequestArrival {
+        at,
+        problem,
+        slo: SloClass::default(),
+        deadline: f64::INFINITY,
+    }
+}
+
 impl ArrivalPattern {
     /// Produce an arrival timeline for `problems`, deterministically from
-    /// `seed`. Arrival times are non-decreasing.
+    /// `seed`. Arrival times are non-decreasing. Every arrival is in the
+    /// default SLO class with no deadline; use
+    /// [`RequestArrival::with_slo`] to assign classes afterwards.
     pub fn schedule(self, problems: &[ProblemSpec], seed: u64) -> Vec<RequestArrival> {
         match self {
             ArrivalPattern::Interactive => problems
                 .iter()
                 .enumerate()
-                .map(|(i, p)| RequestArrival {
-                    at: i as f64 * 1e9,
-                    problem: *p,
-                })
+                .map(|(i, p)| arrival(i as f64 * 1e9, *p))
                 .collect(),
             ArrivalPattern::Poisson { rate } => {
                 assert!(rate > 0.0, "poisson rate must be positive");
@@ -66,23 +93,17 @@ impl ArrivalPattern {
                     .map(|p| {
                         let u: f64 = rng.gen::<f64>().max(1e-12);
                         t += -u.ln() / rate;
-                        RequestArrival { at: t, problem: *p }
+                        arrival(t, *p)
                     })
                     .collect()
             }
-            ArrivalPattern::Burst { at } => problems
-                .iter()
-                .map(|p| RequestArrival { at, problem: *p })
-                .collect(),
+            ArrivalPattern::Burst { at } => problems.iter().map(|p| arrival(at, *p)).collect(),
             ArrivalPattern::Uniform { interval } => {
                 assert!(interval >= 0.0, "uniform interval must be non-negative");
                 problems
                     .iter()
                     .enumerate()
-                    .map(|(i, p)| RequestArrival {
-                        at: i as f64 * interval,
-                        problem: *p,
-                    })
+                    .map(|(i, p)| arrival(i as f64 * interval, *p))
                     .collect()
             }
         }
@@ -153,5 +174,34 @@ mod tests {
     fn negative_interval_panics() {
         let ps = Dataset::Math500.problems(1, 2);
         ArrivalPattern::Uniform { interval: -1.0 }.schedule(&ps, 0);
+    }
+
+    #[test]
+    fn arrivals_default_to_no_deadline() {
+        let ps = Dataset::Math500.problems(2, 2);
+        let arrivals = ArrivalPattern::Burst { at: 1.0 }.schedule(&ps, 0);
+        assert!(arrivals.iter().all(|a| a.deadline == f64::INFINITY));
+        assert!(arrivals.iter().all(|a| a.slo == SloClass::Standard));
+    }
+
+    #[test]
+    fn with_slo_sets_absolute_deadline() {
+        let ps = Dataset::Math500.problems(1, 2);
+        let a = ArrivalPattern::Burst { at: 3.0 }.schedule(&ps, 0)[0]
+            .clone()
+            .with_slo(SloClass::Interactive, 10.0);
+        assert_eq!(a.slo, SloClass::Interactive);
+        assert_eq!(a.deadline, 13.0);
+        let b = a.with_slo(SloClass::Batch, f64::INFINITY);
+        assert_eq!(b.deadline, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn negative_slack_panics() {
+        let ps = Dataset::Math500.problems(1, 2);
+        let _ = ArrivalPattern::Burst { at: 3.0 }.schedule(&ps, 0)[0]
+            .clone()
+            .with_slo(SloClass::Interactive, -1.0);
     }
 }

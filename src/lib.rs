@@ -44,9 +44,10 @@ pub use ftts_search as search;
 pub use ftts_workload as workload;
 
 pub use ftts_core::{
-    evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun, BatchedServerSim,
-    EngineError, EvalConfig, EvalSummary, EventConfig, EventServerSim, PrefixAwareOrder,
-    RooflinePlanner, ServeOutcome, ServedRequest, ServerSim, SpecConfig, SweepJob, TtsServer,
+    degraded_beams, evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun,
+    BatchedServerSim, EngineError, EvalConfig, EvalSummary, EventConfig, EventServerSim,
+    FaultEvent, FaultKind, FaultPlan, FaultPolicy, PrefixAwareOrder, RobustConfig, RooflinePlanner,
+    ServeOutcome, ServedRequest, ServerSim, SpecConfig, StormConfig, SweepJob, TtsServer,
     WorstCaseOrder,
 };
 pub use ftts_engine::{
