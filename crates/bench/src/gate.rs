@@ -338,6 +338,30 @@ pub fn default_specs() -> Vec<MetricSpec> {
             absolute: None,
             direction: HigherIsBetter,
         },
+        MetricSpec {
+            file: "BENCH_PR7.json",
+            path: "swap_goodput_gain_vs_drop",
+            label: "PR7 swap-tier goodput gain vs drop-and-recompute",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR7.json",
+            path: "policies.swap_tier.stream_goodput_tok_per_s",
+            label: "PR7 swap-tier stream goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR7.json",
+            path: "drop_to_swap_recompute_ratio",
+            label: "PR7 recompute-token ratio (drop vs swap)",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
     ]
 }
 
@@ -615,6 +639,7 @@ mod tests {
             "BENCH_PR3.json",
             "BENCH_PR4.json",
             "BENCH_PR6.json",
+            "BENCH_PR7.json",
         ] {
             assert!(
                 specs.iter().any(|s| s.file == file),

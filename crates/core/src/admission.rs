@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use ftts_engine::{EngineError, RequestRun, RunStats, SearchDriver, VerifyCharge, VerifyChunk};
-use ftts_kv::{PoolBudget, ShareRequest};
+use ftts_kv::{HostTier, PoolBudget, ShareRequest};
 use ftts_metrics::SloClass;
 use ftts_search::{make_driver, SearchKind};
 use ftts_workload::RequestArrival;
@@ -150,13 +150,44 @@ pub(crate) fn shrink(
     }
 }
 
-/// Regrow every in-flight request's reservation to the equal share.
+/// Regrow every in-flight request's reservation to the equal share,
+/// handing the integer-division remainder to the first holder so the
+/// ledger stays fully subscribed (the bytes `equal_share` truncates
+/// used to strand — up to k−1 every rebalance).
 pub(crate) fn regrow(group: &mut [InFlight], rest: &mut [InFlight], pool: &mut PoolBudget) {
-    let share = pool.equal_share(group.len() + rest.len());
+    let k = group.len() + rest.len();
+    let share = pool.equal_share(k);
     for a in group.iter_mut().chain(rest.iter_mut()) {
         assert!(pool.resize(a.idx as u64, share), "regrow must fit");
         a.run.set_kv_budget(share);
     }
+    top_up_first_holder(group, rest, pool, share);
+}
+
+/// Hand the equal-share truncation remainder to the first holder in
+/// group-then-rest order — the same deterministic "one designated
+/// holder absorbs the leftover" rule `proportional_shares` applies —
+/// then assert the ledger covers the whole budget. No-op with no
+/// holders; with one holder the remainder is zero by construction, so
+/// single-request (batch-1 anchor) runs are untouched.
+pub(crate) fn top_up_first_holder(
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+    share: u64,
+) {
+    let k = group.len() + rest.len();
+    let Some(first) = group.iter_mut().chain(rest.iter_mut()).next() else {
+        return;
+    };
+    let topped = share + pool.equal_share_remainder(k);
+    assert!(pool.resize(first.idx as u64, topped), "remainder must fit");
+    first.run.set_kv_budget(topped);
+    assert_eq!(
+        pool.reserved_bytes(),
+        pool.total_bytes(),
+        "equal reshare must cover the whole budget"
+    );
 }
 
 /// Completion/preemption boundary: re-share the surviving in-flight set
@@ -259,6 +290,7 @@ pub(crate) fn admit(
     paused: &mut VecDeque<InFlight>,
     waiting: &mut VecDeque<usize>,
     pool: &mut PoolBudget,
+    tier: &mut HostTier,
     arrivals: &[RequestArrival],
     global: f64,
     admit_seq: &mut u64,
@@ -341,11 +373,17 @@ pub(crate) fn admit(
                     p.run.set_kv_budget(share);
                     shrink(group, rest, pool, share);
                     assert!(pool.reserve(p.idx as u64, share), "ledger must have room");
+                    // The parked host bytes are coming back on-device:
+                    // free the tier's ledger now; the actual swap-in is
+                    // charged lazily as host-resident nodes pin
+                    // (restore path), same as the legacy implicit host.
+                    tier.unpark(p.idx as u64);
                     p.preempted_secs += global - p.paused_at;
                     pad_to(&mut p, global);
                     p.admit_seq = *admit_seq;
                     *admit_seq += 1;
                     group.push(p);
+                    top_up_first_holder(group, rest, pool, share);
                     report.admitted = true;
                     progressed = true;
                 }
@@ -366,14 +404,31 @@ pub(crate) fn admit(
                         ctx.n
                     };
                     let mut driver = make_driver(ctx.kind, n_granted, 4);
-                    match ctx.server.begin_request(
+                    // Warm start from the host tier: a published prefix
+                    // for this problem replaces that many prompt tokens'
+                    // prefill with a costed host→device swap-in. Peek
+                    // (not lookup) so a failed admission attempt does
+                    // not perturb hotness; the hit/miss is registered
+                    // once on success.
+                    let warm_tokens = tier
+                        .peek_prefix_tokens(arrivals[idx].problem.seed)
+                        .min(arrivals[idx].problem.prompt_tokens);
+                    let warm = (warm_tokens > 0).then_some(ftts_engine::WarmStart {
+                        tokens: warm_tokens,
+                    });
+                    match ctx.server.begin_request_warm(
                         &arrivals[idx].problem,
                         n_granted,
                         driver.as_mut(),
                         f64::INFINITY,
                         Some(share),
+                        warm,
                     ) {
-                        Ok(run) => {
+                        Ok(mut run) => {
+                            if tier.enabled() {
+                                tier.lookup_prefix(arrivals[idx].problem.seed);
+                                run.set_swap_accounting(true);
+                            }
                             let pos = waiting
                                 .iter()
                                 .position(|&w| w == idx)
@@ -397,6 +452,7 @@ pub(crate) fn admit(
                                 probe: None,
                                 declared_demand: 0,
                             });
+                            top_up_first_holder(group, rest, pool, share);
                             *admit_seq += 1;
                             report.admitted = true;
                             if n_granted < ctx.n {
@@ -488,6 +544,7 @@ pub(crate) fn enforce_slo(
     group: &mut Vec<InFlight>,
     rest: &mut Vec<InFlight>,
     pool: &mut PoolBudget,
+    tier: &mut HostTier,
     served: &mut [Option<ServedRequest>],
 ) -> SloSweep {
     let mut sweep = SloSweep::default();
@@ -495,11 +552,20 @@ pub(crate) fn enforce_slo(
         return sweep;
     }
     // Early rejection: expired slack, or a prompt no share could host.
+    // Prompt tokens already host-resident in the tier (a published warm
+    // prefix) swap in instead of occupying fresh device KV at prefill,
+    // so only the *cold* tail counts against the device working set —
+    // counting warm bytes too would double-book memory that is no
+    // longer on-device and shed requests the tier can actually serve.
     let gen_bpt = ctx.server.config().models.gen_spec.kv_bytes_per_token();
     waiting.retain(|&idx| {
         let a = &arrivals[idx];
         let expired = a.deadline - now < ctx.config.robust.min_slack_secs;
-        let infeasible = a.problem.prompt_tokens.saturating_mul(gen_bpt) > pool_bytes;
+        let cold_tokens = a
+            .problem
+            .prompt_tokens
+            .saturating_sub(tier.peek_prefix_tokens(a.problem.seed));
+        let infeasible = cold_tokens.saturating_mul(gen_bpt) > pool_bytes;
         if !(expired || infeasible) {
             return true;
         }
@@ -522,13 +588,24 @@ pub(crate) fn enforce_slo(
         false
     });
     // Timeout cancellation of preempted runs: they hold no reservation
-    // (released at preemption), so sealing them frees nothing but stops
-    // them from ever re-admitting and burning device time on a miss.
+    // (released at preemption), so sealing them frees nothing on-device
+    // but stops them from ever re-admitting and burning device time on
+    // a miss. Their parked host bytes ARE freed — and the prompt prefix
+    // they already paid to prefill is offered to the tier's shared
+    // store, so a retry of the same problem warm-starts instead of
+    // recomputing from scratch.
     let mut pos = 0;
     while pos < paused.len() {
         if now > paused[pos].deadline {
             let p = paused.remove(pos).expect("index in range");
             let idx = p.idx;
+            tier.unpark(idx as u64);
+            let prompt_tokens = arrivals[idx].problem.prompt_tokens;
+            tier.publish_prefix(
+                arrivals[idx].problem.seed,
+                prompt_tokens,
+                prompt_tokens.saturating_mul(gen_bpt),
+            );
             served[idx] = Some(cancel_record(p, now));
             sweep.cancelled += 1;
         } else {
@@ -536,7 +613,10 @@ pub(crate) fn enforce_slo(
         }
     }
     // Timeout cancellation of in-flight runs: release the reservation
-    // and re-share the survivors at the completion boundary.
+    // and re-share the survivors at the completion boundary. The prompt
+    // prefix is published to the tier on the way out (the copy-out
+    // overlaps the release and is not charged to the cancelled run — it
+    // is already past its deadline and off the critical path).
     let mut dropped = false;
     for list in [&mut *group, &mut *rest] {
         let mut i = 0;
@@ -545,6 +625,12 @@ pub(crate) fn enforce_slo(
                 let a = list.remove(i);
                 let idx = a.idx;
                 pool.release(idx as u64);
+                let prompt_tokens = arrivals[idx].problem.prompt_tokens;
+                tier.publish_prefix(
+                    arrivals[idx].problem.seed,
+                    prompt_tokens,
+                    prompt_tokens.saturating_mul(gen_bpt),
+                );
                 served[idx] = Some(cancel_record(a, now));
                 sweep.cancelled += 1;
                 dropped = true;
@@ -672,6 +758,77 @@ pub(crate) fn cost_verify_sweeps(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPolicy;
+    use crate::faults::RobustConfig;
+    use ftts_engine::ModelPairing;
+    use ftts_hw::GpuDevice;
+    use ftts_kv::KvTierConfig;
+    use ftts_workload::{ArrivalPattern, Dataset};
+
+    #[test]
+    fn early_rejection_ignores_host_resident_prompt_bytes() {
+        // Satellite regression: `enforce_slo`'s infeasibility check must
+        // count only the *cold* prompt tail against the device pool — a
+        // published warm prefix swaps in from host RAM instead of
+        // claiming fresh device KV at prefill. A pool sized under the
+        // full prompt but over the cold tail sheds the arrival without
+        // the tier and retains it with the tier.
+        let server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        let config = crate::BatchConfig::continuous(2)
+            .with_robust(RobustConfig::with_policy(FaultPolicy::Degrade));
+        let ctx = SchedCtx {
+            server: &server,
+            n: 4,
+            kind: SearchKind::BeamSearch,
+            config: &config,
+        };
+        let problems = Dataset::Aime2024.problems(1, 7);
+        let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+        let gen_bpt = server.config().models.gen_spec.kv_bytes_per_token();
+        let prompt = arrivals[0].problem.prompt_tokens;
+        assert!(prompt > 8, "fixture prompt long enough to split");
+        let warm = prompt - 8;
+        // Full prompt misses the pool by one token; the cold tail fits.
+        let pool_bytes = (prompt - 1) * gen_bpt;
+
+        let run = |tier: &mut HostTier| {
+            let mut waiting: VecDeque<usize> = VecDeque::from([0]);
+            let mut paused: VecDeque<InFlight> = VecDeque::new();
+            let mut group: Vec<InFlight> = Vec::new();
+            let mut rest: Vec<InFlight> = Vec::new();
+            let mut pool = PoolBudget::new(pool_bytes);
+            let mut served = vec![None];
+            let sweep = enforce_slo(
+                &ctx,
+                0.0,
+                pool_bytes,
+                &arrivals,
+                &mut waiting,
+                &mut paused,
+                &mut group,
+                &mut rest,
+                &mut pool,
+                tier,
+                &mut served,
+            );
+            (sweep.shed, waiting.len())
+        };
+
+        let mut disabled = HostTier::new(KvTierConfig::default());
+        assert_eq!(
+            run(&mut disabled),
+            (1, 0),
+            "without the tier the full prompt is infeasible and sheds"
+        );
+
+        let mut tier = HostTier::new(KvTierConfig::with_capacity(warm * gen_bpt));
+        tier.publish_prefix(arrivals[0].problem.seed, warm, warm * gen_bpt);
+        assert_eq!(
+            run(&mut tier),
+            (0, 1),
+            "host-resident prefix bytes must not count against the device pool"
+        );
+    }
 
     #[test]
     fn readmits_outrank_fresh_arrivals() {

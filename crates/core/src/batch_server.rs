@@ -72,7 +72,7 @@
 use std::collections::VecDeque;
 
 use ftts_engine::{EngineError, VerifyCharge, VerifyChunk};
-use ftts_kv::PoolBudget;
+use ftts_kv::{HostTier, KvTierConfig, PoolBudget};
 use ftts_metrics::{StreamRecord, StreamSummary};
 use ftts_search::SearchKind;
 use ftts_workload::RequestArrival;
@@ -114,6 +114,12 @@ pub struct BatchConfig {
     /// default — retry with backoff, no deadline enforcement — is
     /// bit-inert on fault-free runs.
     pub robust: RobustConfig,
+    /// Host-RAM KV tier behind the device pool (see
+    /// [`ftts_kv::HostTier`]). The default — capacity 0 — disables the
+    /// tier and is bit-inert: preemption swaps to the implicit
+    /// unbounded host and completed requests' KV vanishes, exactly the
+    /// pre-tier behaviour.
+    pub tier: KvTierConfig,
 }
 
 impl BatchConfig {
@@ -128,6 +134,7 @@ impl BatchConfig {
             first_finish: false,
             first_finish_bar: 0.0,
             robust: RobustConfig::default(),
+            tier: KvTierConfig::default(),
         }
     }
 
@@ -172,6 +179,12 @@ impl BatchConfig {
     /// Replace the fault-handling/SLO policy.
     pub fn with_robust(mut self, robust: RobustConfig) -> Self {
         self.robust = robust;
+        self
+    }
+
+    /// Put a host-RAM KV tier behind the device pool.
+    pub fn with_tier(mut self, tier: KvTierConfig) -> Self {
+        self.tier = tier;
         self
     }
 }
@@ -221,6 +234,17 @@ pub struct BatchRun {
     /// KV bytes still reserved when the stream drained — 0 unless the
     /// ledger leaked a reservation (asserted in tests).
     pub final_reserved_bytes: u64,
+    /// Warm admissions served from the host tier's prefix store
+    /// (0 when the tier is disabled).
+    pub kv_tier_hits: u64,
+    /// Prefixes the host tier demoted under capacity pressure.
+    pub kv_tier_demotions: u64,
+    /// Preempted KV bytes the host tier accepted (swap-down instead of
+    /// drop).
+    pub kv_tier_parked_bytes: u64,
+    /// Preempted KV bytes that did not fit the host tier and were
+    /// dropped (recomputed on readmission).
+    pub kv_tier_dropped_bytes: u64,
 }
 
 impl BatchRun {
@@ -263,7 +287,9 @@ impl BatchRun {
         } else {
             0.0
         };
-        StreamSummary::of(&records).with_verifier_occupancy(occupancy)
+        StreamSummary::of(&records)
+            .with_verifier_occupancy(occupancy)
+            .with_kv_tier(self.kv_tier_hits, self.kv_tier_demotions)
     }
 }
 
@@ -326,7 +352,9 @@ impl BatchedServerSim {
         );
         let pool_bytes = self.server.config().kv_budget_bytes();
         let device = self.server.config().device.clone();
+        let gen_bpt = self.server.config().models.gen_spec.kv_bytes_per_token();
         let mut pool = PoolBudget::new(pool_bytes);
+        let mut tier = HostTier::new(self.config.tier);
         let mut global = 0.0f64;
         let mut next_arrival = 0usize;
         let mut waiting: VecDeque<usize> = VecDeque::new();
@@ -348,6 +376,7 @@ impl BatchedServerSim {
         let mut shed = 0u32;
         let mut cancelled = 0u32;
         let mut degradations = 0u32;
+        let mut tier_dropped = 0u64;
 
         loop {
             // Ingest arrivals due by now.
@@ -377,6 +406,7 @@ impl BatchedServerSim {
                 &mut active,
                 &mut no_rest,
                 &mut pool,
+                &mut tier,
                 &mut served,
             );
             shed += sweep.shed;
@@ -388,6 +418,7 @@ impl BatchedServerSim {
                 &mut paused,
                 &mut waiting,
                 &mut pool,
+                &mut tier,
                 arrivals,
                 global,
                 &mut admit_seq,
@@ -431,7 +462,19 @@ impl BatchedServerSim {
                     .map(|(i, _)| i);
                 let Some(vi) = victim else { break };
                 let mut v = active.remove(vi);
-                let bytes = v.run.preempt();
+                // With a host tier, swap-down is capped at the tier's
+                // free capacity: what fits parks (and is PCIe-costed),
+                // the overflow is genuinely dropped — no transfer, but
+                // recomputed on readmission. Disabled tier: the legacy
+                // unbounded swap, bit-for-bit.
+                let bytes = if tier.enabled() {
+                    let (swapped, dropped) = v.run.preempt_capped(tier.available_bytes());
+                    tier.park(v.idx as u64, swapped);
+                    tier_dropped += dropped;
+                    swapped
+                } else {
+                    v.run.preempt()
+                };
                 global += device.pcie_transfer_seconds(bytes);
                 pool.release(v.idx as u64);
                 v.preemptions += 1;
@@ -570,9 +613,18 @@ impl BatchedServerSim {
             global = round_end;
 
             // Completions leave the batch at their own finish instant.
+            // The prompt prefix is offered to the host tier's shared
+            // store on the way out (a no-op when the tier is disabled):
+            // a later request for the same problem admits warm.
             for &i in finished.iter().rev() {
                 let a = active.remove(i);
                 pool.release(a.idx as u64);
+                let prompt_tokens = arrivals[a.idx].problem.prompt_tokens;
+                tier.publish_prefix(
+                    arrivals[a.idx].problem.seed,
+                    prompt_tokens,
+                    prompt_tokens.saturating_mul(gen_bpt),
+                );
                 let stats = a.run.finish();
                 let answer = ftts_metrics::top1_majority(&stats.answers());
                 served[a.idx] = Some(ServedRequest {
@@ -631,6 +683,10 @@ impl BatchedServerSim {
             cancelled,
             degradations,
             final_reserved_bytes: pool.reserved_bytes(),
+            kv_tier_hits: tier.stats().prefix_hits,
+            kv_tier_demotions: tier.stats().demotions,
+            kv_tier_parked_bytes: tier.stats().parked_bytes,
+            kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
         })
     }
 }

@@ -71,7 +71,7 @@
 use std::collections::VecDeque;
 
 use ftts_engine::{EngineError, RunPhase, StepStatus, VerifyCharge, VerifyChunk};
-use ftts_kv::PoolBudget;
+use ftts_kv::{HostTier, PoolBudget};
 use ftts_search::SearchKind;
 use ftts_workload::RequestArrival;
 
@@ -187,7 +187,9 @@ impl EventServerSim {
         let lockstep = window.is_infinite();
         let pool_bytes = self.server.config().kv_budget_bytes();
         let device = self.server.config().device.clone();
+        let gen_bpt = self.server.config().models.gen_spec.kv_bytes_per_token();
         let mut pool = PoolBudget::new(pool_bytes);
+        let mut tier = HostTier::new(batch.tier);
         // Earliest instant the next launch may happen: raised by
         // preemption PCIe transfers, by completions that drain the
         // device, and (in lockstep mode) by every launch's round end.
@@ -214,6 +216,7 @@ impl EventServerSim {
         let mut shed = 0u32;
         let mut cancelled = 0u32;
         let mut degradations = 0u32;
+        let mut tier_dropped = 0u64;
 
         loop {
             // Next decision instant: the earliest ready request, or the
@@ -311,6 +314,7 @@ impl EventServerSim {
                 &mut group,
                 &mut rest,
                 &mut pool,
+                &mut tier,
                 &mut served,
             );
             shed += sweep.shed;
@@ -322,6 +326,7 @@ impl EventServerSim {
                 &mut paused,
                 &mut waiting,
                 &mut pool,
+                &mut tier,
                 arrivals,
                 launch,
                 &mut admit_seq,
@@ -364,7 +369,19 @@ impl EventServerSim {
                     .map(|(i, _)| i);
                 let Some(vi) = victim else { break };
                 let mut v = group.remove(vi);
-                let bytes = v.run.preempt();
+                // With a host tier, swap-down is capped at the tier's
+                // free capacity: what fits parks (and is PCIe-costed),
+                // the overflow is genuinely dropped — no transfer, but
+                // recomputed on readmission. Disabled tier: the legacy
+                // unbounded swap, bit-for-bit.
+                let bytes = if tier.enabled() {
+                    let (swapped, dropped) = v.run.preempt_capped(tier.available_bytes());
+                    tier.park(v.idx as u64, swapped);
+                    tier_dropped += dropped;
+                    swapped
+                } else {
+                    v.run.preempt()
+                };
                 launch += device.pcie_transfer_seconds(bytes);
                 pool.release(v.idx as u64);
                 v.preemptions += 1;
@@ -520,9 +537,18 @@ impl EventServerSim {
             }
 
             // Completions leave the batch at their own finish instant.
+            // The prompt prefix is offered to the host tier's shared
+            // store on the way out (a no-op when the tier is disabled):
+            // a later request for the same problem admits warm.
             for &i in finished.iter().rev() {
                 let a = group.remove(i);
                 pool.release(a.idx as u64);
+                let prompt_tokens = arrivals[a.idx].problem.prompt_tokens;
+                tier.publish_prefix(
+                    arrivals[a.idx].problem.seed,
+                    prompt_tokens,
+                    prompt_tokens.saturating_mul(gen_bpt),
+                );
                 let stats = a.run.finish();
                 let answer = ftts_metrics::top1_majority(&stats.answers());
                 let finished_at = a.started_at + stats.latency();
@@ -581,6 +607,10 @@ impl EventServerSim {
             cancelled,
             degradations,
             final_reserved_bytes: pool.reserved_bytes(),
+            kv_tier_hits: tier.stats().prefix_hits,
+            kv_tier_demotions: tier.stats().demotions,
+            kv_tier_parked_bytes: tier.stats().parked_bytes,
+            kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
         })
     }
 }

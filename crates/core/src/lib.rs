@@ -84,6 +84,7 @@ pub use faults::{
 pub use ftts_engine::{
     EngineError, RequestRun, RunPhase, SpecConfig, StepStatus, VerifyCharge, VerifyChunk,
 };
+pub use ftts_kv::{HostTier, HotnessPolicy, KvTierConfig, LruAccessHotness, TierStats};
 pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};

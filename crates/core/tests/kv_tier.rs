@@ -1,0 +1,242 @@
+//! Correctness anchors for the host-RAM KV tier (PR 7).
+//!
+//! * **Capacity-0 inertness**: a disabled tier (`host_capacity_bytes ==
+//!   0`, any other knob values) reproduces the tier-free run
+//!   bit-for-bit under both schedulers, fault-free and faulted — the
+//!   schedulers' legacy code paths are gated on `HostTier::enabled`
+//!   alone, and every tier counter stays zero.
+//! * **Swap-down conserves tokens**: with an ample tier, preempted KV
+//!   parks in host RAM and restores on readmission; answers and
+//!   accepted-token counts match the preemption-free FIFO replay
+//!   exactly, and no bytes are dropped.
+//! * **Tiny tier degrades to drop-and-recompute**: a starved tier
+//!   forces preemption overflow to drop; the run still serves everyone
+//!   with the same answers (recompute is deterministic replay), it just
+//!   pays recompute instead of swap traffic.
+//! * **Lockstep equivalence extends to the tier**: both schedulers
+//!   consume the tier at the same boundaries (admission, preemption,
+//!   cancellation, completion), so the infinite-window event scheduler
+//!   stays bit-identical to the lockstep scheduler with the tier
+//!   enabled — including under an injected fault storm.
+
+use ftts_core::{
+    BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, FaultPlan, KvTierConfig,
+    ServerSim, StormConfig, TtsServer,
+};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_search::SearchKind;
+use ftts_workload::{ArrivalPattern, Dataset, RequestArrival};
+
+fn server(seed: u64, memory_fraction: f64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s.config_mut().memory_fraction = memory_fraction;
+    s
+}
+
+/// The PR-2 preemption fixture: four deep AIME searches bursting into a
+/// tight pool, so equal shares shrink until someone swaps out.
+fn pressured_arrivals() -> Vec<RequestArrival> {
+    let problems = Dataset::Aime2024.problems(4, 51);
+    ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0)
+}
+
+fn assert_runs_identical(label: &str, a: &BatchRun, b: &BatchRun) {
+    assert_eq!(a.served.len(), b.served.len(), "{label}: request counts");
+    for (x, y) in a.served.iter().zip(&b.served) {
+        assert_eq!(x.started_at, y.started_at, "{label}: admission instants");
+        assert_eq!(x.finished_at, y.finished_at, "{label}: completion instants");
+        assert_eq!(x.preemptions, y.preemptions, "{label}: preemption counts");
+        assert_eq!(x.preempted_secs, y.preempted_secs, "{label}: pause time");
+        assert_eq!(x.shed, y.shed, "{label}: shed flags");
+        assert_eq!(x.outcome.answer, y.outcome.answer, "{label}: answers");
+        let (xs, ys) = (&x.outcome.stats, &y.outcome.stats);
+        assert_eq!(
+            xs.completion.latency, ys.completion.latency,
+            "{label}: latency"
+        );
+        assert_eq!(
+            xs.completion.breakdown, ys.completion.breakdown,
+            "{label}: breakdown (incl. swap bucket)"
+        );
+        assert_eq!(xs.decoded_tokens, ys.decoded_tokens, "{label}: decoded");
+        assert_eq!(xs.verified_tokens, ys.verified_tokens, "{label}: verified");
+    }
+    assert_eq!(a.rounds, b.rounds, "{label}: round counts");
+    assert_eq!(a.group_iters, b.group_iters, "{label}: group iterations");
+    assert_eq!(a.preemptions, b.preemptions, "{label}: preemptions");
+    assert_eq!(
+        a.peak_reserved_bytes, b.peak_reserved_bytes,
+        "{label}: peak reservations"
+    );
+    assert_eq!(a.kernel_faults, b.kernel_faults, "{label}: kernel faults");
+    assert_eq!(a.lost_blocks, b.lost_blocks, "{label}: lost blocks");
+    assert_eq!(a.shed, b.shed, "{label}: shed counts");
+    assert_eq!(a.cancelled, b.cancelled, "{label}: cancellations");
+    assert_eq!(a.kv_tier_hits, b.kv_tier_hits, "{label}: tier hits");
+    assert_eq!(
+        a.kv_tier_demotions, b.kv_tier_demotions,
+        "{label}: tier demotions"
+    );
+    assert_eq!(
+        a.kv_tier_parked_bytes, b.kv_tier_parked_bytes,
+        "{label}: tier parked bytes"
+    );
+    assert_eq!(
+        a.kv_tier_dropped_bytes, b.kv_tier_dropped_bytes,
+        "{label}: tier dropped bytes"
+    );
+    assert_eq!(
+        a.final_reserved_bytes, b.final_reserved_bytes,
+        "{label}: residual reservations"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Anchor 1: a zero-capacity tier is bit-inert under both schedulers,
+// fault-free and faulted.
+// ---------------------------------------------------------------------
+
+#[test]
+fn capacity_zero_tier_is_bit_inert() {
+    let arrivals = pressured_arrivals();
+    // Disabled tier with non-default secondary knobs: still capacity 0,
+    // so every scheduler must take its legacy path unchanged.
+    let disabled = KvTierConfig {
+        host_capacity_bytes: 0,
+        pin_hot_after: 7,
+    };
+    let base = BatchConfig::continuous(4);
+    let tiered = base.with_tier(disabled);
+    let plan = FaultPlan::storm(7, 60.0, &StormConfig::default());
+
+    for (label, plan) in [("fault-free", FaultPlan::none()), ("faulted", plan)] {
+        let plain = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, base)
+            .run_faulted(&arrivals, &plan)
+            .expect("plain run");
+        let gated = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, tiered)
+            .run_faulted(&arrivals, &plan)
+            .expect("tiered run");
+        assert_runs_identical(&format!("lockstep {label}"), &plain, &gated);
+        assert_eq!(gated.kv_tier_hits, 0, "{label}: no hits on a disabled tier");
+        assert_eq!(gated.kv_tier_parked_bytes, 0, "{label}: nothing parks");
+        assert_eq!(gated.kv_tier_dropped_bytes, 0, "{label}: nothing drops");
+
+        let plain_ev = EventServerSim::new(
+            server(13, 0.30),
+            24,
+            SearchKind::BeamSearch,
+            EventConfig::new(base, 0.2),
+        )
+        .run_faulted(&arrivals, &plan)
+        .expect("plain event run");
+        let gated_ev = EventServerSim::new(
+            server(13, 0.30),
+            24,
+            SearchKind::BeamSearch,
+            EventConfig::new(tiered, 0.2),
+        )
+        .run_faulted(&arrivals, &plan)
+        .expect("tiered event run");
+        assert_runs_identical(&format!("event {label}"), &plain_ev, &gated_ev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anchor 2: ample-tier swap-down conserves every accepted token.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ample_tier_parks_preempted_kv_and_conserves_tokens() {
+    let arrivals = pressured_arrivals();
+    let cfg = BatchConfig::continuous(4).with_tier(KvTierConfig::with_capacity(1 << 30));
+    let run = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, cfg)
+        .run(&arrivals)
+        .expect("pressured run completes");
+    assert!(run.preemptions > 0, "pressure must trigger preemption");
+    assert!(
+        run.kv_tier_parked_bytes > 0,
+        "preempted KV must park in the host tier"
+    );
+    assert_eq!(
+        run.kv_tier_dropped_bytes, 0,
+        "an ample tier never drops preempted KV"
+    );
+    // Every byte offered to the tier was accepted or returned: the run
+    // drained, so nothing stays parked.
+    let fifo = ServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch)
+        .run(&arrivals)
+        .expect("fifo replay");
+    for (r, f) in run.served.iter().zip(&fifo) {
+        assert_eq!(
+            r.accepted_tokens(),
+            f.accepted_tokens(),
+            "swap-down/restore must not lose generated tokens"
+        );
+        assert_eq!(r.outcome.answer, f.outcome.answer, "answers");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anchor 3: a starved tier degrades to drop-and-recompute, correctly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn starved_tier_drops_overflow_but_still_serves_everyone() {
+    let arrivals = pressured_arrivals();
+    // One KV block of host capacity: parks are all but rejected, so
+    // preemption overflow genuinely drops and readmission recomputes.
+    let cfg = BatchConfig::continuous(4).with_tier(KvTierConfig::with_capacity(4096));
+    let run = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, cfg)
+        .run(&arrivals)
+        .expect("starved run completes");
+    assert!(run.preemptions > 0, "pressure must trigger preemption");
+    assert!(
+        run.kv_tier_dropped_bytes > 0,
+        "a starved tier must drop preemption overflow"
+    );
+    let fifo = ServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch)
+        .run(&arrivals)
+        .expect("fifo replay");
+    for (r, f) in run.served.iter().zip(&fifo) {
+        assert_eq!(
+            r.accepted_tokens(),
+            f.accepted_tokens(),
+            "recompute is deterministic replay — tokens survive the drop"
+        );
+        assert_eq!(r.outcome.answer, f.outcome.answer, "answers");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anchor 4: lockstep equivalence extends to tier-enabled (and faulted)
+// runs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tiered_runs_keep_lockstep_equivalence() {
+    let arrivals = pressured_arrivals();
+    let cfg = BatchConfig::continuous(4).with_tier(KvTierConfig::with_capacity(1 << 28));
+    for (label, plan) in [
+        ("fault-free", FaultPlan::none()),
+        (
+            "faulted",
+            FaultPlan::storm(7, 60.0, &StormConfig::default()),
+        ),
+    ] {
+        let batch = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, cfg)
+            .run_faulted(&arrivals, &plan)
+            .expect("batch run");
+        let event = EventServerSim::new(
+            server(13, 0.30),
+            24,
+            SearchKind::BeamSearch,
+            EventConfig::lockstep(cfg),
+        )
+        .run_faulted(&arrivals, &plan)
+        .expect("event run");
+        assert!(batch.preemptions > 0, "{label}: fixture must preempt");
+        assert_runs_identical(&format!("tiered {label}"), &batch, &event);
+    }
+}

@@ -167,6 +167,7 @@ impl Engine {
             n,
             spec_off_after,
             None,
+            None,
         );
         let mut result = run.init(driver);
         if result.is_ok() {
@@ -209,6 +210,28 @@ impl Engine {
         spec_off_after: f64,
         kv_budget: Option<u64>,
     ) -> Result<RequestRun, EngineError> {
+        self.begin_warm(problem, n, driver, spec_off_after, kv_budget, None)
+    }
+
+    /// [`Engine::begin`] with an optional warm start from a host KV
+    /// tier: `warm.tokens` prompt-prefix tokens are host-resident, so
+    /// the run swaps them in (booked to the `swap` latency bucket) and
+    /// prefills only the cold tail. `None` is bit-identical to
+    /// [`Engine::begin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when the prompt alone
+    /// cannot fit in the generator's KV allocation.
+    pub fn begin_warm(
+        self,
+        problem: &ProblemSpec,
+        n: usize,
+        driver: &mut dyn SearchDriver,
+        spec_off_after: f64,
+        kv_budget: Option<u64>,
+        warm: Option<WarmStart>,
+    ) -> Result<RequestRun, EngineError> {
         assert!(n > 0, "need at least one beam");
         let Engine {
             config,
@@ -223,10 +246,21 @@ impl Engine {
             n,
             spec_off_after,
             kv_budget,
+            warm,
         );
         run.init(driver)?;
         Ok(run)
     }
+}
+
+/// A warm-start grant from a host KV tier: the first `tokens` of the
+/// request's prompt are already host-resident (published by an earlier
+/// request for the same problem), so admission swaps them in over the
+/// host link instead of prefilling them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Host-resident prompt-prefix tokens (clamped to the prompt length).
+    pub tokens: u64,
 }
 
 /// Progress of a [`RequestRun`] after one [`RequestRun::step`].
@@ -458,6 +492,10 @@ pub struct RequestRun {
     /// Memoized accepted-token share floor (see
     /// [`RequestRun::kv_floor_bytes`]); refreshed on every replan.
     last_floor: u64,
+    /// Whether restore transfers book into the `swap` breakdown bucket
+    /// (host-tier accounting) instead of `offload` (legacy). See
+    /// [`RequestRun::set_swap_accounting`].
+    swap_accounting: bool,
 }
 
 impl std::fmt::Debug for RequestRun {
@@ -472,6 +510,7 @@ impl std::fmt::Debug for RequestRun {
 }
 
 impl RequestRun {
+    #[allow(clippy::too_many_arguments)]
     fn start(
         cfg: std::sync::Arc<EngineConfig>,
         order: Box<dyn OrderPolicy>,
@@ -480,6 +519,7 @@ impl RequestRun {
         n: usize,
         spec_off_after: f64,
         kv_budget: Option<u64>,
+        warm: Option<WarmStart>,
     ) -> Self {
         let gen_roof = Roofline::new(cfg.device.clone(), cfg.models.gen_spec.clone());
         let ver_roof = Roofline::new(cfg.device.clone(), cfg.models.ver_spec.clone());
@@ -556,12 +596,32 @@ impl RequestRun {
             pending_verify_all: true,
             last_demand: 0,
             last_floor: 0,
+            swap_accounting: false,
         };
         // The prompt must be prefilled once by the generator before any
-        // decoding; charged to the generator bucket.
-        let cost = run.gen_roof.prefill(run.problem.prompt_tokens, 0);
-        run.advance(cost.seconds, cost.compute_util, Phase::Generation);
-        run.breakdown.generator += cost.seconds;
+        // decoding; charged to the generator bucket. A warm start (host
+        // KV tier holds the prompt's prefix) replaces the warm tokens'
+        // prefill with a costed host→device swap-in: only the cold tail
+        // is computed, attending over the swapped-in prefix as cached
+        // context. With `warm` absent the charge is bit-identical to
+        // the legacy full prefill.
+        let warm_tokens = warm.map_or(0, |w| w.tokens).min(run.problem.prompt_tokens);
+        if warm_tokens > 0 {
+            let cold = run.problem.prompt_tokens - warm_tokens;
+            if cold > 0 {
+                let cost = run.gen_roof.prefill(cold, warm_tokens);
+                run.advance(cost.seconds, cost.compute_util, Phase::Generation);
+                run.breakdown.generator += cost.seconds;
+            }
+            let bytes = warm_tokens * run.cfg.models.gen_spec.kv_bytes_per_token();
+            let t = run.gen_roof.swap_transfer(bytes);
+            run.advance(t.seconds, 0.0, Phase::Generation);
+            run.breakdown.swap += t.seconds;
+        } else {
+            let cost = run.gen_roof.prefill(run.problem.prompt_tokens, 0);
+            run.advance(cost.seconds, cost.compute_util, Phase::Generation);
+            run.breakdown.generator += cost.seconds;
+        }
         run.frontier.clear();
         run.root_beam(gen_root);
         run
@@ -937,6 +997,30 @@ impl RequestRun {
     /// recomputes prefixes through the normal pin path.
     pub fn preempt(&mut self) -> u64 {
         self.gen_kv.swap_out_unpinned() + self.ver_kv.swap_out_unpinned()
+    }
+
+    /// Preempt against a *bounded* host tier: swap unpinned KV down
+    /// until at most `cap_bytes` have moved, then drop the rest without
+    /// a host copy (recomputed through the normal pin path on
+    /// readmission). Generator KV — the shared prompt/accepted prefixes
+    /// — claims the capacity before verifier KV. Returns
+    /// `(swapped_bytes, dropped_bytes)`; `cap_bytes == u64::MAX` is
+    /// exactly [`RequestRun::preempt`].
+    pub fn preempt_capped(&mut self, cap_bytes: u64) -> (u64, u64) {
+        let (gen_swapped, gen_dropped) = self.gen_kv.swap_out_unpinned_capped(cap_bytes);
+        let (ver_swapped, ver_dropped) = self
+            .ver_kv
+            .swap_out_unpinned_capped(cap_bytes - gen_swapped);
+        (gen_swapped + ver_swapped, gen_dropped + ver_dropped)
+    }
+
+    /// Route restore transfer charges into the `swap` breakdown bucket
+    /// (host-tier accounting) instead of the legacy `offload` bucket.
+    /// The seconds are identical either way — this only changes
+    /// attribution, so schedulers enable it exactly when the tier is
+    /// enabled and the disabled-tier anchor stays bit-identical.
+    pub fn set_swap_accounting(&mut self, enabled: bool) {
+        self.swap_accounting = enabled;
     }
 
     /// Advance the internal clock by `secs` of injected-fault time:
@@ -1417,7 +1501,11 @@ impl RequestRun {
                 .device
                 .pcie_transfer_seconds(cost.transfer_in_bytes);
             self.advance(t, 0.0, Phase::Generation);
-            self.breakdown.offload += t;
+            if self.swap_accounting {
+                self.breakdown.swap += t;
+            } else {
+                self.breakdown.offload += t;
+            }
         }
     }
 

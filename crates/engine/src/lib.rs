@@ -43,7 +43,7 @@ pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
 pub use engine::{
     Engine, EngineError, RequestRun, RunPhase, SearchDriver, SelectCtx, StepStatus, VerifyCharge,
-    VerifyChunk,
+    VerifyChunk, WarmStart,
 };
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{working_set_demand, MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};

@@ -101,9 +101,23 @@ impl PoolBudget {
         self.reserved.get(&holder).copied().unwrap_or(0)
     }
 
-    /// The equal share `k` concurrent holders would each get.
+    /// The equal share `k` concurrent holders would each get. Integer
+    /// division truncates: up to `k - 1` bytes are *not* covered by
+    /// `k` such shares — callers resizing every holder to this value
+    /// must hand [`PoolBudget::equal_share_remainder`] to one of them
+    /// (mirroring the `proportional_shares` leftover rule) or they
+    /// strand those bytes on every rebalance.
     pub fn equal_share(&self, k: usize) -> u64 {
         self.total_bytes / k.max(1) as u64
+    }
+
+    /// The bytes `k` equal shares leave uncovered
+    /// (`total - k * equal_share(k)`, always `< k`). Deterministically
+    /// assigning this remainder to one holder makes an equal-share
+    /// rebalance conserve the full budget, exactly as
+    /// [`PoolBudget::proportional_shares`] does with its leftover.
+    pub fn equal_share_remainder(&self, k: usize) -> u64 {
+        self.total_bytes - self.equal_share(k) * k.max(1) as u64
     }
 
     /// Reserve `bytes` for a new holder. Fails (changing nothing) if the
@@ -272,6 +286,19 @@ mod tests {
         assert_eq!(p.equal_share(1), 99);
         assert_eq!(p.equal_share(3), 33);
         assert_eq!(p.equal_share(0), 99, "zero holders degrades to full");
+    }
+
+    #[test]
+    fn equal_share_remainder_covers_the_truncation() {
+        for total in [0u64, 1, 99, 100, 1 << 30] {
+            let p = PoolBudget::new(total);
+            for k in 0usize..=7 {
+                let share = p.equal_share(k);
+                let rem = p.equal_share_remainder(k);
+                assert_eq!(share * k.max(1) as u64 + rem, total);
+                assert!(rem < k.max(1) as u64);
+            }
+        }
     }
 
     fn req(holder: u64, demand: u64, floor: u64) -> ShareRequest {

@@ -738,6 +738,65 @@ impl KvCache {
         blocks * self.config.block_bytes()
     }
 
+    /// Swap unpinned GPU-resident nodes to host memory until at most
+    /// `cap_bytes` have moved, then *drop* the rest (no host copy —
+    /// those paths become [`Residency::Absent`] and recompute when
+    /// next pinned). This models a bounded host tier: parked KV beyond
+    /// the tier's free capacity does not survive preemption.
+    ///
+    /// Nodes are visited in ascending [`NodeId`] order — parents are
+    /// created before children, so shared prefixes (the most valuable
+    /// KV to keep) claim the capped host space first. Returns
+    /// `(swapped_bytes, dropped_bytes)`; with `cap_bytes == u64::MAX`
+    /// this is exactly [`KvCache::swap_out_unpinned`].
+    pub fn swap_out_unpinned_capped(&mut self, cap_bytes: u64) -> (u64, u64) {
+        let block_bytes = self.config.block_bytes();
+        let ids: Vec<NodeId> = self
+            .tree
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.residency == Residency::Gpu && n.pin_count == 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let mut swapped = 0;
+        let mut dropped = 0;
+        for id in ids {
+            let owned = self.tree.node(id).owned_blocks;
+            let fits = (swapped + owned) * block_bytes <= cap_bytes;
+            let (owned, tokens, parent) = {
+                let node = self.tree.node_mut(id);
+                node.residency = if fits {
+                    Residency::Host
+                } else {
+                    Residency::Absent
+                };
+                let owned = node.owned_blocks;
+                node.owned_blocks = 0;
+                (owned, node.n_tokens, node.parent)
+            };
+            self.pool.free(owned);
+            if fits {
+                swapped += owned;
+            } else {
+                dropped += owned;
+                self.stats.evicted_tokens += tokens;
+            }
+            if self.config.prefix_sharing {
+                if let Some(p) = parent {
+                    self.tree.node_mut(p).gpu_children -= 1;
+                }
+            }
+        }
+        // Same reasoning as `swap_out_unpinned`: every candidate was
+        // GPU-resident and unpinned, so the index empties wholesale.
+        self.evictable.clear();
+        self.unpinned_gpu_blocks = 0;
+        self.stats.swapped_out_blocks += swapped;
+        self.stats.overflow_dropped_blocks += dropped;
+        (swapped * block_bytes, dropped * block_bytes)
+    }
+
     /// Drop every unpinned GPU-resident node *without* a host copy —
     /// the device-side KV blocks are lost (injected fault), so the
     /// affected paths become [`Residency::Absent`] and must be
@@ -1012,6 +1071,48 @@ mod tests {
         let cost = kv.pin(r).unwrap();
         assert_eq!(cost.recompute_tokens, 0, "swap-in needs no recompute");
         assert_eq!(cost.transfer_in_bytes, bytes);
+    }
+
+    #[test]
+    fn capped_swap_out_keeps_prefixes_and_drops_overflow() {
+        let mut kv = cache(100);
+        let r = kv.root(32).unwrap(); // 2 blocks — the shared prefix
+        kv.pin(r).unwrap();
+        let a = kv.fork(r).unwrap();
+        kv.pin(a).unwrap();
+        kv.extend(a, 32).unwrap(); // 2 more blocks
+        kv.unpin(a);
+        kv.unpin(r);
+        // Cap covers exactly the prefix (2 blocks = 128 bytes): the
+        // prefix swaps to host, the leaf drops without a host copy.
+        let (swapped, dropped) = kv.swap_out_unpinned_capped(2 * 16 * 4);
+        assert_eq!(swapped, 2 * 16 * 4);
+        assert_eq!(dropped, 2 * 16 * 4);
+        assert_eq!(kv.residency(r), Residency::Host, "prefix kept");
+        assert_eq!(kv.residency(a), Residency::Absent, "overflow dropped");
+        assert_eq!(kv.gpu_blocks_used(), 0);
+        assert_eq!(kv.stats().overflow_dropped_blocks, 2);
+        // Restoring the prefix transfers; the leaf recomputes.
+        let cost = kv.pin(a).unwrap();
+        assert_eq!(cost.transfer_in_bytes, 2 * 16 * 4);
+        assert_eq!(cost.recompute_tokens, 32);
+        kv.audit_eviction_index();
+    }
+
+    #[test]
+    fn uncapped_swap_out_matches_legacy() {
+        let mut a = cache(100);
+        let mut b = cache(100);
+        for kv in [&mut a, &mut b] {
+            let r = kv.root(48).unwrap();
+            kv.pin(r).unwrap();
+            kv.unpin(r);
+        }
+        let legacy = a.swap_out_unpinned();
+        let (swapped, dropped) = b.swap_out_unpinned_capped(u64::MAX);
+        assert_eq!(swapped, legacy);
+        assert_eq!(dropped, 0);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -51,10 +51,12 @@ mod budget;
 mod cache;
 mod pool;
 mod stats;
+mod tier;
 mod tree;
 
 pub use budget::{PoolBudget, ShareRequest};
 pub use cache::{KvCache, KvCacheConfig, KvError, PinCost};
 pub use pool::BlockPool;
 pub use stats::CacheStats;
+pub use tier::{HostTier, HotnessPolicy, KvTierConfig, LruAccessHotness, PrefixEntry, TierStats};
 pub use tree::{NodeId, Residency};

@@ -32,6 +32,10 @@ pub struct CacheStats {
     /// blocks there is no host copy, so the affected paths must be
     /// recomputed when next pinned.
     pub lost_blocks: u64,
+    /// Blocks dropped at preemption because they exceeded the host
+    /// tier's free capacity (capped swap-out overflow): no host copy,
+    /// recompute on readmission.
+    pub overflow_dropped_blocks: u64,
 }
 
 impl CacheStats {
@@ -53,6 +57,7 @@ impl CacheStats {
             allocated_blocks: self.allocated_blocks - earlier.allocated_blocks,
             discarded_blocks: self.discarded_blocks - earlier.discarded_blocks,
             lost_blocks: self.lost_blocks - earlier.lost_blocks,
+            overflow_dropped_blocks: self.overflow_dropped_blocks - earlier.overflow_dropped_blocks,
         }
     }
 }

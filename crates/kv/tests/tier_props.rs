@@ -1,0 +1,105 @@
+//! Property-based tests for the host-RAM KV tier ([`HostTier`]).
+//!
+//! The tier is a byte ledger shared by parked (preempted) KV and
+//! published shared prefixes, so the invariants are checked under
+//! randomized mixes of park / unpark / publish / lookup:
+//!
+//! 1. **Byte conservation at every park** — `accepted + dropped ==
+//!    requested`: a byte offered to the tier either parks or is counted
+//!    as overflow, never silently lost or minted.
+//! 2. **Never overcommitted** — `used == Σ parked + Σ prefix bytes <=
+//!    capacity` after every operation, no matter the op sequence.
+//! 3. **Unpark returns exactly what was parked** — per-owner parking is
+//!    exact: the bytes reclaimed equal the accepted parks since the
+//!    last unpark.
+//! 4. **Disabled tier is silent** — a zero-capacity tier accepts
+//!    nothing, hits nothing, and keeps every counter at zero (the
+//!    legacy-equivalence anchor the schedulers rely on).
+
+use std::collections::BTreeMap;
+
+use ftts_kv::{HostTier, KvTierConfig, TierStats};
+use proptest::prelude::*;
+
+/// One scripted tier operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Park(u64, u64),
+    Unpark(u64),
+    Publish(u64, u64, u64),
+    Lookup(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u64..6), (0u64..2000)).prop_map(|(o, b)| Op::Park(o, b)),
+        (0u64..6).prop_map(Op::Unpark),
+        ((0u64..8), (1u64..100), (0u64..2000)).prop_map(|(k, t, b)| Op::Publish(k, t, b)),
+        (0u64..8).prop_map(Op::Lookup),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tier_conserves_bytes_and_never_overcommits(
+        capacity in 0u64..4000,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut tier = HostTier::new(KvTierConfig::with_capacity(capacity));
+        // Shadow ledger of accepted parks per owner.
+        let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Park(owner, bytes) => {
+                    let before = tier.stats().overflow_dropped_bytes;
+                    let accepted = tier.park(owner, bytes);
+                    let dropped = tier.stats().overflow_dropped_bytes - before;
+                    if tier.enabled() {
+                        prop_assert_eq!(
+                            accepted + dropped, bytes,
+                            "every offered byte parks or drops"
+                        );
+                    } else {
+                        prop_assert_eq!(accepted, 0, "disabled tier accepts nothing");
+                    }
+                    *shadow.entry(owner).or_insert(0) += accepted;
+                }
+                Op::Unpark(owner) => {
+                    let expected = shadow.remove(&owner).unwrap_or(0);
+                    prop_assert_eq!(
+                        tier.unpark(owner), expected,
+                        "unpark returns exactly the accepted parks"
+                    );
+                }
+                Op::Publish(key, tokens, bytes) => tier.publish_prefix(key, tokens, bytes),
+                Op::Lookup(key) => { tier.lookup_prefix(key); }
+            }
+            prop_assert!(tier.used_bytes() <= tier.capacity_bytes(), "overcommitted");
+            prop_assert_eq!(
+                tier.used_bytes() + tier.available_bytes(),
+                tier.capacity_bytes(),
+                "used and free partition the capacity"
+            );
+        }
+        let total_parked: u64 = shadow.values().sum();
+        prop_assert!(total_parked <= tier.used_bytes(), "shadow ledger within used");
+    }
+
+    #[test]
+    fn disabled_tier_stays_silent_under_any_script(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut tier = HostTier::new(KvTierConfig::default());
+        for op in ops {
+            match op {
+                Op::Park(owner, bytes) => { prop_assert_eq!(tier.park(owner, bytes), 0); }
+                Op::Unpark(owner) => { prop_assert_eq!(tier.unpark(owner), 0); }
+                Op::Publish(key, tokens, bytes) => tier.publish_prefix(key, tokens, bytes),
+                Op::Lookup(key) => { prop_assert!(tier.lookup_prefix(key).is_none()); }
+            }
+            prop_assert_eq!(tier.used_bytes(), 0);
+            prop_assert_eq!(tier.resident_prefixes(), 0);
+        }
+        prop_assert_eq!(tier.stats(), TierStats::default(), "legacy runs stay silent");
+    }
+}

@@ -19,6 +19,13 @@ pub struct LatencyBreakdown {
     pub recompute: f64,
     /// Seconds spent on host<->device KV transfers (offloading).
     pub offload: f64,
+    /// Seconds spent on host-*tier* KV swaps: warm-prefix swap-in at
+    /// admission and parked-KV restore when the tiered store is
+    /// enabled. Same physical link as `offload` but attributed
+    /// separately so tiered runs expose how much wall-clock the tier's
+    /// transfers cost versus the recompute they avoid. Always zero
+    /// when the tier is disabled.
+    pub swap: f64,
     /// Seconds spent idle: round barriers, co-batch window waits,
     /// preemption gaps, waits for the shared verifier device (serialized
     /// sweeps) and the unattributed remainder of fused verifier sweeps
@@ -45,7 +52,13 @@ pub struct LatencyBreakdown {
 impl LatencyBreakdown {
     /// Total accounted seconds.
     pub fn total(&self) -> f64 {
-        self.generator + self.verifier + self.recompute + self.offload + self.idle + self.fault
+        self.generator
+            + self.verifier
+            + self.recompute
+            + self.offload
+            + self.swap
+            + self.idle
+            + self.fault
     }
 
     /// Generator-side seconds (decode plus recompute — both run on the
@@ -60,6 +73,7 @@ impl LatencyBreakdown {
         self.verifier += other.verifier;
         self.recompute += other.recompute;
         self.offload += other.offload;
+        self.swap += other.swap;
         self.idle += other.idle;
         self.barrier_idle += other.barrier_idle;
         self.fault += other.fault;
@@ -72,6 +86,7 @@ impl LatencyBreakdown {
             verifier: self.verifier * k,
             recompute: self.recompute * k,
             offload: self.offload * k,
+            swap: self.swap * k,
             idle: self.idle * k,
             barrier_idle: self.barrier_idle * k,
             fault: self.fault * k,
@@ -99,14 +114,15 @@ mod tests {
             verifier: 2.0,
             recompute: 0.5,
             offload: 0.25,
+            swap: 0.5,
             idle: 0.25,
             barrier_idle: 0.25,
             fault: 0.5,
         };
         assert_eq!(
             b.total(),
-            4.5,
-            "barrier idle is a slice of idle, fault is its own phase"
+            5.0,
+            "barrier idle is a slice of idle, fault and swap are their own phases"
         );
         assert_eq!(b.generator_side(), 1.5);
     }

@@ -164,6 +164,13 @@ pub struct StreamSummary {
     /// second of makespan — work delivered late (or never) does not
     /// count. Equals `stream_goodput` when nothing misses.
     pub slo_goodput: f64,
+    /// Warm admissions served from the host KV tier's prefix store
+    /// (0 when the serving layer runs without a tier — set via
+    /// [`StreamSummary::with_kv_tier`]).
+    pub kv_tier_hits: u64,
+    /// Shared prefixes demoted (dropped from host RAM) by the tier's
+    /// hotness policy under capacity pressure.
+    pub kv_tier_demotions: u64,
     /// Per-SLO-class breakdown, indexed by [`SloClass::index`].
     pub per_class: [ClassSummary; 3],
 }
@@ -186,6 +193,8 @@ impl StreamSummary {
                 shed: 0,
                 deadline_hit_rate: 1.0,
                 slo_goodput: 0.0,
+                kv_tier_hits: 0,
+                kv_tier_demotions: 0,
                 per_class: SloClass::ALL.map(ClassSummary::empty),
             };
         }
@@ -256,6 +265,8 @@ impl StreamSummary {
             } else {
                 0.0
             },
+            kv_tier_hits: 0,
+            kv_tier_demotions: 0,
             per_class,
         }
     }
@@ -264,6 +275,14 @@ impl StreamSummary {
     /// measured by the serving layer.
     pub fn with_verifier_occupancy(mut self, occupancy: f64) -> Self {
         self.verifier_occupancy = occupancy;
+        self
+    }
+
+    /// Attach host-KV-tier counters (warm prefix hits and hotness
+    /// demotions) measured by the serving layer.
+    pub fn with_kv_tier(mut self, hits: u64, demotions: u64) -> Self {
+        self.kv_tier_hits = hits;
+        self.kv_tier_demotions = demotions;
         self
     }
 }
@@ -366,6 +385,35 @@ mod tests {
         assert_eq!(batch.completed, 0);
         assert_eq!(batch.latency_p50, 0.0, "no completions, no percentile");
         assert_eq!(s.per_class[SloClass::Standard.index()].requests, 0);
+    }
+
+    #[test]
+    fn per_class_percentiles_pin_degenerate_sample_sizes() {
+        // Classes with 0/1/2 completions must follow the same
+        // nearest-rank rule as `Summary` and the bench shim's
+        // `SampleStats`: no completions → 0.0, one completion → both
+        // percentiles equal it, two completions → p50 is the lower and
+        // p99 the upper.
+        let mut one = rec(0.0, 5.0, 0.0, 10);
+        one.slo = SloClass::Interactive;
+        let two_a = rec(0.0, 3.0, 0.0, 10); // Standard
+        let two_b = rec(0.0, 9.0, 0.0, 10); // Standard
+        let s = StreamSummary::of(&[one, two_a, two_b]);
+        let inter = s.per_class[SloClass::Interactive.index()];
+        assert_eq!((inter.latency_p50, inter.latency_p99), (5.0, 5.0));
+        let std = s.per_class[SloClass::Standard.index()];
+        assert_eq!(std.latency_p50, 3.0, "p50 of two samples is the lower");
+        assert_eq!(std.latency_p99, 9.0, "p99 of two samples is the upper");
+        let batch = s.per_class[SloClass::Batch.index()];
+        assert_eq!((batch.latency_p50, batch.latency_p99), (0.0, 0.0));
+    }
+
+    #[test]
+    fn with_kv_tier_attaches_counters() {
+        let s = StreamSummary::of(&[rec(0.0, 4.0, 0.0, 100)]);
+        assert_eq!((s.kv_tier_hits, s.kv_tier_demotions), (0, 0));
+        let s = s.with_kv_tier(5, 2);
+        assert_eq!((s.kv_tier_hits, s.kv_tier_demotions), (5, 2));
     }
 
     #[test]

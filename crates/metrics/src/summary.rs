@@ -94,6 +94,23 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_pins_degenerate_sample_sizes() {
+        // Must agree with the bench shim's `SampleStats` (same
+        // `ceil(q·n).clamp(1, n) - 1` nearest-rank index): n = 0 is all
+        // zero, n = 1 makes every percentile the sample, n = 2 puts p50
+        // on the lower sample (ceil(0.5·2) = 1) and p95/p99 on the
+        // upper.
+        let none = Summary::of(&[]);
+        assert_eq!((none.p50, none.p95, none.p99), (0.0, 0.0, 0.0));
+        let one = Summary::of(&[7.0]);
+        assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
+        let two = Summary::of(&[9.0, 3.0]);
+        assert_eq!(two.p50, 3.0, "p50 of two samples is the lower");
+        assert_eq!(two.p95, 9.0);
+        assert_eq!(two.p99, 9.0, "p99 of two samples is the upper");
+    }
+
+    #[test]
     fn geomean_of_speedups() {
         let g = Summary::geomean(&[2.0, 8.0]);
         assert!((g - 4.0).abs() < 1e-12);

@@ -295,6 +295,24 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_pins_degenerate_sample_sizes() {
+        // The nearest-rank rule here must agree with
+        // `ftts_metrics::Summary` (same `ceil(q·n).clamp(1, n) - 1`
+        // index) so bench reports and serving metrics never disagree on
+        // what a percentile of a tiny sample means. Pinned on the
+        // degenerate sizes where off-by-ones would hide: n = 0 is all
+        // zero, n = 1 makes every percentile the sample, n = 2 puts p50
+        // on the lower sample (ceil(0.5·2) = 1) and p99 on the upper.
+        let none = SampleStats::from_samples(&[]);
+        assert_eq!((none.p50_seconds, none.p99_seconds), (0.0, 0.0));
+        let one = SampleStats::from_samples(&[7.0]);
+        assert_eq!((one.p50_seconds, one.p99_seconds), (7.0, 7.0));
+        let two = SampleStats::from_samples(&[9.0, 3.0]);
+        assert_eq!(two.p50_seconds, 3.0, "p50 of two samples is the lower");
+        assert_eq!(two.p99_seconds, 9.0, "p99 of two samples is the upper");
+    }
+
+    #[test]
     fn iqr_fences_reject_outliers() {
         // Ten well-behaved ~1 ms samples plus one 1 s hiccup: the
         // fences drop the hiccup, so mean/variance/p99 describe the

@@ -110,10 +110,69 @@ impl ArrivalPattern {
     }
 }
 
+/// Sample `count` problems from `ranked` with Zipf popularity: rank `r`
+/// (1-based, in slice order) is drawn with weight `1 / r^skew`,
+/// deterministically from `seed`. This is the request-stream shape
+/// prompt caches live on — a small hot head re-requested over and over
+/// and a long cold tail — so it is the workload for KV-tier benchmarks.
+/// `skew = 0` degenerates to uniform sampling; higher skews concentrate
+/// the stream on the first few problems.
+pub fn zipf_problems(
+    ranked: &[ProblemSpec],
+    count: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<ProblemSpec> {
+    assert!(!ranked.is_empty(), "need at least one problem to sample");
+    assert!(skew >= 0.0, "zipf skew must be non-negative");
+    let weights: Vec<f64> = (1..=ranked.len()).map(|r| (r as f64).powf(-skew)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = stream(&[seed, 0x21BF_5EED]);
+    (0..count)
+        .map(|_| {
+            let mut u: f64 = rng.gen::<f64>() * total;
+            let mut pick = ranked.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    pick = i;
+                    break;
+                }
+                u -= w;
+            }
+            ranked[pick]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Dataset;
+
+    #[test]
+    fn zipf_sampling_is_deterministic_and_skews_to_the_head() {
+        let ps = Dataset::Aime2024.problems(8, 3);
+        let a = zipf_problems(&ps, 200, 1.2, 9);
+        let b = zipf_problems(&ps, 200, 1.2, 9);
+        assert_eq!(a, b, "same seed, same stream");
+        let head = a.iter().filter(|p| p.seed == ps[0].seed).count();
+        let tail = a.iter().filter(|p| p.seed == ps[7].seed).count();
+        assert!(
+            head > tail,
+            "rank 1 ({head}) must outdraw rank 8 ({tail}) under skew"
+        );
+        assert!(head > 50, "the Zipf head dominates the stream");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let ps = Dataset::Amc2023.problems(4, 3);
+        let draws = zipf_problems(&ps, 400, 0.0, 11);
+        for p in &ps {
+            let n = draws.iter().filter(|d| d.seed == p.seed).count();
+            assert!((50..=150).contains(&n), "uniform draw count {n} off");
+        }
+    }
 
     #[test]
     fn interactive_spaces_requests_effectively_infinitely() {

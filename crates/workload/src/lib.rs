@@ -31,5 +31,5 @@
 mod arrivals;
 mod dataset;
 
-pub use arrivals::{ArrivalPattern, RequestArrival};
+pub use arrivals::{zipf_problems, ArrivalPattern, RequestArrival};
 pub use dataset::Dataset;

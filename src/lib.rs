@@ -46,13 +46,13 @@ pub use ftts_workload as workload;
 pub use ftts_core::{
     degraded_beams, evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun,
     BatchedServerSim, EngineError, EvalConfig, EvalSummary, EventConfig, EventServerSim,
-    FaultEvent, FaultKind, FaultPlan, FaultPolicy, PrefixAwareOrder, RobustConfig, RooflinePlanner,
-    ServeOutcome, ServedRequest, ServerSim, SpecConfig, StormConfig, SweepJob, TtsServer,
-    WorstCaseOrder,
+    FaultEvent, FaultKind, FaultPlan, FaultPolicy, HostTier, HotnessPolicy, KvTierConfig,
+    LruAccessHotness, PrefixAwareOrder, RobustConfig, RooflinePlanner, ServeOutcome, ServedRequest,
+    ServerSim, SpecConfig, StormConfig, SweepJob, TierStats, TtsServer, WorstCaseOrder,
 };
 pub use ftts_engine::{
     Engine, EngineConfig, ModelPairing, RequestRun, RunStats, SearchDriver, StepStatus,
 };
 pub use ftts_hw::{GpuDevice, ModelSpec, Roofline};
 pub use ftts_search::SearchKind;
-pub use ftts_workload::{ArrivalPattern, Dataset};
+pub use ftts_workload::{zipf_problems, ArrivalPattern, Dataset};
