@@ -1,0 +1,342 @@
+//! PR-8 benchmark: N-device fleet serving with crash failover, routing
+//! policies and hedged stragglers — `BENCH_PR8.json` report.
+//!
+//! **Fixture: a skewed Zipf trace with one seeded mid-run crash.**
+//! Twelve requests Zipf-drawn (skew 1.2) from four distinct AMC-2023
+//! problems at a four-second cadence, n = 16 beam search, round-robin
+//! SLO deadlines, served by a four-device fleet in which device 1
+//! crashes at t = 25 s and stays down for 300 s. Replayed under:
+//!
+//! * `no_failover` — the naive baseline: the crash stays an on-device
+//!   outage (stall + KV loss + replay), the router keeps sending work
+//!   into the hole;
+//! * `failover_hedge` — crash handled at the routing layer: interrupted
+//!   legs migrate to survivors (warm-starting from the host tier when
+//!   they had prefilled) and stragglers are hedged on a second replica;
+//! * `jsq` vs `prefix_affinity` — crash-free routing comparison on the
+//!   same Zipf trace: prefix-affinity follows published prompt prefixes
+//!   into the host tier, join-shortest-queue spreads blindly;
+//! * `single_device` vs `fleet4` — crash-free capacity scaling on a
+//!   deadline-free copy of the trace.
+//!
+//! Asserted gates (the PR's acceptance criteria):
+//!
+//! * failover + hedging beats no-failover on deadline-hit rate **and**
+//!   SLO goodput under the identical crash;
+//! * prefix-affinity beats join-shortest-queue on warm prefix hits;
+//! * the crash-free 4-device fleet delivers ≥ 3x the single device's
+//!   stream goodput;
+//! * a 1-device fleet reproduces the bare event simulator bit-for-bit
+//!   (completion instants and answers) — the PR's equivalence anchor.
+//!
+//! Run with `cargo bench --bench pr8_fleet` (release profile).
+
+use criterion::{Criterion, SampleStats};
+use ftts_core::{
+    BatchConfig, EventConfig, EventServerSim, FaultEvent, FaultKind, FaultPlan, FleetConfig,
+    FleetRun, FleetSim, HedgeConfig, KvTierConfig, RoutePolicy, TtsServer,
+};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_metrics::SloClass;
+use ftts_search::SearchKind;
+use ftts_workload::{zipf_problems, ArrivalPattern, Dataset, RequestArrival};
+
+const N_BEAMS: usize = 16;
+const MAX_BATCH: usize = 4;
+const DEVICES: usize = 4;
+const REQUESTS: usize = 12;
+const SCALE_REQUESTS: usize = 16;
+const DISTINCT_PROBLEMS: usize = 4;
+const ZIPF_SKEW: f64 = 1.2;
+const ARRIVAL_INTERVAL_S: f64 = 4.0;
+const TIER_CAPACITY: u64 = 1 << 33;
+const CRASH_DEVICE: usize = 1;
+const CRASH_AT_S: f64 = 25.0;
+const CRASH_DOWN_S: f64 = 300.0;
+
+fn server(seed: u64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s.config_mut().memory_fraction = 0.55;
+    s
+}
+
+fn event_config() -> EventConfig {
+    EventConfig::new(
+        BatchConfig::continuous(MAX_BATCH).with_tier(KvTierConfig::with_capacity(TIER_CAPACITY)),
+        0.25,
+    )
+}
+
+/// Twelve Zipf draws over four distinct problems with round-robin SLO
+/// deadlines — the head problem repeats enough that prefix routing has
+/// something to follow, and the deadlines make failover measurable.
+fn zipf_slo_arrivals() -> Vec<RequestArrival> {
+    let slos = [
+        (SloClass::Interactive, 90.0),
+        (SloClass::Standard, 120.0),
+        (SloClass::Batch, 180.0),
+    ];
+    zipf_arrivals()
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let (class, slack) = slos[i % slos.len()];
+            a.with_slo(class, slack)
+        })
+        .collect()
+}
+
+/// The same trace with no deadlines: the routing fixture.
+fn zipf_arrivals() -> Vec<RequestArrival> {
+    let ranked = Dataset::Amc2023.problems(DISTINCT_PROBLEMS, 47);
+    let drawn = zipf_problems(&ranked, REQUESTS, ZIPF_SKEW, 29);
+    ArrivalPattern::Uniform {
+        interval: ARRIVAL_INTERVAL_S,
+    }
+    .schedule(&drawn, 0)
+}
+
+/// The capacity-scaling fixture: a deadline-free sixteen-request burst
+/// at t = 0 — four full batches of work, so a single device must run
+/// four sequential waves while the 4-device fleet runs one.
+fn burst_arrivals() -> Vec<RequestArrival> {
+    let ranked = Dataset::Amc2023.problems(DISTINCT_PROBLEMS, 47);
+    let drawn = zipf_problems(&ranked, SCALE_REQUESTS, ZIPF_SKEW, 29);
+    ArrivalPattern::Burst { at: 0.0 }.schedule(&drawn, 0)
+}
+
+fn fleet_with(devices: usize, config: FleetConfig) -> FleetSim {
+    let servers: Vec<TtsServer> = (0..devices).map(|_| server(17)).collect();
+    FleetSim::new(servers, N_BEAMS, SearchKind::BeamSearch, config)
+}
+
+fn fleet(devices: usize, route: RoutePolicy, hedge: Option<HedgeConfig>) -> FleetSim {
+    let mut config = FleetConfig::new(event_config(), route);
+    config.hedge = hedge;
+    fleet_with(devices, config)
+}
+
+/// One crash on device 1, everything else clean.
+fn crashy_plans() -> Vec<FaultPlan> {
+    let mut plans = vec![FaultPlan::none(); DEVICES];
+    plans[CRASH_DEVICE] = FaultPlan::new(vec![FaultEvent {
+        at: CRASH_AT_S,
+        kind: FaultKind::DeviceCrash {
+            down_for: CRASH_DOWN_S,
+        },
+    }]);
+    plans
+}
+
+fn policy_json(label: &str, run: &FleetRun) -> String {
+    let s = run.fleet_summary();
+    format!(
+        r#"    "{label}": {{
+      "deadline_hit_rate": {hit:.4},
+      "slo_goodput_tok_per_s": {slo_gp:.2},
+      "stream_goodput_tok_per_s": {gp:.2},
+      "makespan_s": {makespan:.3},
+      "migrations": {mig},
+      "hedges_launched": {hl},
+      "hedges_won": {hw},
+      "hedges_wasted": {hx},
+      "warm_hits": {warm},
+      "crash_downtime_s": {down:.1}
+    }}"#,
+        hit = s.deadline_hit_rate,
+        slo_gp = s.slo_goodput,
+        gp = s.stream_goodput,
+        makespan = s.makespan,
+        mig = run.migrations,
+        hl = run.hedges_launched,
+        hw = run.hedges_won,
+        hx = run.hedges_wasted,
+        warm = run.warm_hits(),
+        down = run.crash_downtime_secs,
+    )
+}
+
+fn wall_json(stats: &SampleStats) -> String {
+    format!(
+        r#"  "failover_wall_clock": {{
+    "samples": {n},
+    "outliers_rejected": {outliers},
+    "mean_s": {mean:.6},
+    "min_s": {min:.6},
+    "variance_s2": {var:.9},
+    "p50_s": {p50:.6},
+    "p99_s": {p99:.6}
+  }}"#,
+        n = stats.n,
+        outliers = stats.outliers_rejected,
+        mean = stats.mean_seconds,
+        min = stats.min_seconds,
+        var = stats.variance_seconds2,
+        p50 = stats.p50_seconds,
+        p99 = stats.p99_seconds,
+    )
+}
+
+/// The PR's equivalence anchor: a 1-device fleet with the pass-through
+/// router reproduces the bare event simulator bit-for-bit.
+fn assert_one_device_anchor(arrivals: &[RequestArrival]) {
+    let bare = EventServerSim::new(server(17), N_BEAMS, SearchKind::BeamSearch, event_config())
+        .run_faulted(arrivals, &FaultPlan::none())
+        .expect("bare run");
+    let one = fleet(1, RoutePolicy::RoundRobin, None)
+        .run(arrivals)
+        .expect("1-device fleet");
+    assert_eq!(one.served.len(), bare.served.len());
+    for (f, b) in one.served.iter().zip(&bare.served) {
+        assert_eq!(f.started_at, b.started_at, "anchor: admission instants");
+        assert_eq!(f.finished_at, b.finished_at, "anchor: completion instants");
+        assert_eq!(f.outcome.answer, b.outcome.answer, "anchor: answers");
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let slo_trace = zipf_slo_arrivals();
+    let free_trace = zipf_arrivals();
+    let scale_trace = burst_arrivals();
+    let plans = crashy_plans();
+
+    let hedge = HedgeConfig {
+        delay_factor: 1.5,
+        min_samples: 3,
+        min_delay_secs: 5.0,
+    };
+    let no_failover = fleet_with(
+        DEVICES,
+        FleetConfig::new(event_config(), RoutePolicy::Jsq).without_failover(),
+    )
+    .run_faulted(&slo_trace, &plans)
+    .expect("no-failover run");
+    let failover_hedge = fleet(DEVICES, RoutePolicy::Jsq, Some(hedge))
+        .run_faulted(&slo_trace, &plans)
+        .expect("failover run");
+    let jsq = fleet(DEVICES, RoutePolicy::Jsq, None)
+        .run(&slo_trace)
+        .expect("jsq run");
+    let affinity = fleet(DEVICES, RoutePolicy::PrefixAffinity, None)
+        .run(&slo_trace)
+        .expect("affinity run");
+    let single = fleet(1, RoutePolicy::RoundRobin, None)
+        .run(&scale_trace)
+        .expect("single-device run");
+    let fleet4 = fleet(DEVICES, RoutePolicy::Jsq, None)
+        .run(&scale_trace)
+        .expect("fleet4 run");
+
+    println!("== pr8: fleet serving under the seeded crash ==");
+    println!(
+        "{REQUESTS} requests over {DISTINCT_PROBLEMS} AMC problems (zipf skew {ZIPF_SKEW}), \
+         n={N_BEAMS} beam search, {DEVICES} devices, device {CRASH_DEVICE} down \
+         [{CRASH_AT_S:.0}, {end:.0}] s",
+        end = CRASH_AT_S + CRASH_DOWN_S
+    );
+    for (label, run) in [
+        ("no_failover", &no_failover),
+        ("failover_hedge", &failover_hedge),
+        ("jsq", &jsq),
+        ("prefix_affinity", &affinity),
+        ("single_device", &single),
+        ("fleet4", &fleet4),
+    ] {
+        let s = run.fleet_summary();
+        println!(
+            "  {label:<16} hit {hit:>5.2} | slo_goodput {sg:>7.1} tok/s | goodput {gp:>7.1} tok/s | makespan {mk:>6.1} s | migrations {m} | hedges {hl}/{hw} | warm {w}",
+            hit = s.deadline_hit_rate,
+            sg = s.slo_goodput,
+            gp = s.stream_goodput,
+            mk = s.makespan,
+            m = run.migrations,
+            hl = run.hedges_launched,
+            hw = run.hedges_won,
+            w = run.warm_hits(),
+        );
+    }
+
+    // The fixture must exercise the contested paths.
+    assert!(
+        failover_hedge.migrations > 0,
+        "the crash must interrupt live requests"
+    );
+    assert!(
+        failover_hedge.served.iter().all(|r| !r.shed),
+        "failover must complete every request"
+    );
+
+    // Gate (a): failover + hedging beats the naive outage on
+    // deadline-hit rate AND SLO goodput under the identical crash.
+    let (nf, fh) = (no_failover.fleet_summary(), failover_hedge.fleet_summary());
+    assert!(
+        fh.deadline_hit_rate > nf.deadline_hit_rate,
+        "failover must beat no-failover on deadline-hit rate ({:.3} vs {:.3})",
+        fh.deadline_hit_rate,
+        nf.deadline_hit_rate
+    );
+    assert!(
+        fh.slo_goodput > nf.slo_goodput,
+        "failover must beat no-failover on SLO goodput ({:.1} vs {:.1} tok/s)",
+        fh.slo_goodput,
+        nf.slo_goodput
+    );
+
+    // Gate (b): prefix-affinity routing beats join-shortest-queue on
+    // warm prefix hits over the same Zipf trace.
+    assert!(
+        affinity.warm_hits() > jsq.warm_hits(),
+        "prefix affinity must out-warm JSQ ({} vs {} hits)",
+        affinity.warm_hits(),
+        jsq.warm_hits()
+    );
+
+    // Gate (c): crash-free capacity scaling.
+    let (s1, s4) = (single.fleet_summary(), fleet4.fleet_summary());
+    let scaling = s4.stream_goodput / s1.stream_goodput.max(1e-12);
+    assert!(
+        scaling >= 3.0,
+        "4-device crash-free goodput must be >= 3x single device (got {scaling:.2}x)"
+    );
+
+    // Answers are placement-invariant: routing moves time, not tokens.
+    for (a, b) in jsq.served.iter().zip(&affinity.served) {
+        assert_eq!(
+            a.outcome.answer, b.outcome.answer,
+            "routing-invariant answers"
+        );
+    }
+
+    // The PR's 1-device bit-equivalence anchor.
+    assert_one_device_anchor(&free_trace);
+
+    println!("\n== pr8: scheduler wall-clock (failover + hedge replay) ==");
+    let mut criterion = Criterion::default().sample_size(15);
+    let wall = criterion.bench_stats("failover_hedge_replay", |b| {
+        b.iter(|| {
+            fleet(DEVICES, RoutePolicy::Jsq, Some(hedge))
+                .run_faulted(&slo_trace, &plans)
+                .expect("failover run")
+        })
+    });
+
+    let hit_gain = fh.deadline_hit_rate / nf.deadline_hit_rate.max(1e-12);
+    let slo_gain = fh.slo_goodput / nf.slo_goodput.max(1e-12);
+    let warm_gain = affinity.warm_hits() as f64 / (jsq.warm_hits().max(1)) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"pr8_fleet\",\n  \"workload\": {{\n    \"requests\": {REQUESTS},\n    \"distinct_problems\": {DISTINCT_PROBLEMS},\n    \"zipf_skew\": {ZIPF_SKEW},\n    \"n_beams\": {N_BEAMS},\n    \"devices\": {DEVICES},\n    \"arrival_interval_s\": {ARRIVAL_INTERVAL_S},\n    \"crash_device\": {CRASH_DEVICE},\n    \"crash_at_s\": {CRASH_AT_S},\n    \"crash_down_s\": {CRASH_DOWN_S},\n    \"search\": \"beam\"\n  }},\n  \"policies\": {{\n{nf_json},\n{fh_json},\n{jsq_json},\n{aff_json},\n{single_json},\n{fleet4_json}\n  }},\n  \"failover_deadline_hit_gain\": {hit_gain:.3},\n  \"failover_slo_goodput_gain\": {slo_gain:.3},\n  \"affinity_warm_hit_gain\": {warm_gain:.3},\n  \"fleet4_goodput_scaling_x\": {scaling:.3},\n{wall}\n}}\n",
+        nf_json = policy_json("no_failover", &no_failover),
+        fh_json = policy_json("failover_hedge", &failover_hedge),
+        jsq_json = policy_json("jsq", &jsq),
+        aff_json = policy_json("prefix_affinity", &affinity),
+        single_json = policy_json("single_device", &single),
+        fleet4_json = policy_json("fleet4", &fleet4),
+        wall = wall_json(&wall),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    std::fs::write(out_path, &json).expect("write BENCH_PR8.json");
+    println!("\nwrote {out_path}");
+}

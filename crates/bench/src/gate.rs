@@ -362,6 +362,40 @@ pub fn default_specs() -> Vec<MetricSpec> {
             absolute: None,
             direction: HigherIsBetter,
         },
+        MetricSpec {
+            file: "BENCH_PR8.json",
+            path: "failover_deadline_hit_gain",
+            label: "PR8 failover deadline-hit gain vs no-failover",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR8.json",
+            path: "failover_slo_goodput_gain",
+            label: "PR8 failover SLO-goodput gain vs no-failover",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR8.json",
+            path: "affinity_warm_hit_gain",
+            label: "PR8 prefix-affinity warm-hit gain vs JSQ",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR8.json",
+            path: "fleet4_goodput_scaling_x",
+            label: "PR8 4-device crash-free goodput scaling",
+            min_ratio: 0.0,
+            // The ISSUE's absolute bar: near-linear capacity scaling,
+            // never below 3x on four devices.
+            absolute: Some(3.0),
+            direction: HigherIsBetter,
+        },
     ]
 }
 
@@ -640,6 +674,7 @@ mod tests {
             "BENCH_PR4.json",
             "BENCH_PR6.json",
             "BENCH_PR7.json",
+            "BENCH_PR8.json",
         ] {
             assert!(
                 specs.iter().any(|s| s.file == file),

@@ -625,6 +625,10 @@ pub(crate) fn enforce_slo(
                 let a = list.remove(i);
                 let idx = a.idx;
                 pool.release(idx as u64);
+                // In-flight members normally hold no parked host bytes
+                // (readmission unparks), but reclaim defensively so a
+                // cancellation can never strand tier capacity.
+                tier.unpark(idx as u64);
                 let prompt_tokens = arrivals[idx].problem.prompt_tokens;
                 tier.publish_prefix(
                     arrivals[idx].problem.seed,
@@ -641,6 +645,95 @@ pub(crate) fn enforce_slo(
     }
     if dropped {
         reshare(ctx.config, group, rest, pool);
+    }
+    sweep
+}
+
+/// Externally directed cancellation sweep, driven by
+/// [`RunDirectives`](crate::event_server::RunDirectives): request `idx`
+/// is cancelled at the first launch boundary at or after
+/// `cancel_at[idx]`, regardless of the fault policy. This is how a
+/// fleet expresses crash failover ("this replica lost you at `t`") and
+/// hedge resolution ("your duplicate already won at `t`") to a device
+/// timeline.
+///
+/// Unlike deadline cancellation, a directed cancel does **not** publish
+/// the request's prompt prefix to the host tier: a crashed device's
+/// host path is down, and a hedge loser's winner publishes on its own
+/// replica. Reclaim is total — waiting entries are shed, paused entries
+/// unpark-and-drop their parked bytes, in-flight entries release their
+/// pool reservation (and defensively unpark) — so tier usage returns to
+/// its pre-request level.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_cancels(
+    config: &BatchConfig,
+    cancel_at: &[f64],
+    now: f64,
+    arrivals: &[RequestArrival],
+    waiting: &mut VecDeque<usize>,
+    paused: &mut VecDeque<InFlight>,
+    group: &mut Vec<InFlight>,
+    rest: &mut Vec<InFlight>,
+    pool: &mut PoolBudget,
+    tier: &mut HostTier,
+    served: &mut [Option<ServedRequest>],
+) -> SloSweep {
+    let mut sweep = SloSweep::default();
+    let due = |idx: usize| cancel_at.get(idx).is_some_and(|&t| t <= now);
+    waiting.retain(|&idx| {
+        if !due(idx) {
+            return true;
+        }
+        let a = &arrivals[idx];
+        served[idx] = Some(ServedRequest {
+            arrived_at: a.at,
+            started_at: now,
+            finished_at: now,
+            preemptions: 0,
+            preempted_secs: 0.0,
+            slo: a.slo,
+            deadline: a.deadline,
+            shed: true,
+            granted_n: 0,
+            outcome: ServeOutcome {
+                stats: RunStats::default(),
+                answer: None,
+            },
+        });
+        sweep.shed += 1;
+        false
+    });
+    let mut pos = 0;
+    while pos < paused.len() {
+        if due(paused[pos].idx) {
+            let p = paused.remove(pos).expect("index in range");
+            tier.unpark(p.idx as u64);
+            let idx = p.idx;
+            served[idx] = Some(cancel_record(p, now));
+            sweep.cancelled += 1;
+        } else {
+            pos += 1;
+        }
+    }
+    let mut dropped = false;
+    for list in [&mut *group, &mut *rest] {
+        let mut i = 0;
+        while i < list.len() {
+            if due(list[i].idx) {
+                let a = list.remove(i);
+                let idx = a.idx;
+                pool.release(idx as u64);
+                tier.unpark(idx as u64);
+                served[idx] = Some(cancel_record(a, now));
+                sweep.cancelled += 1;
+                dropped = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if dropped {
+        reshare(config, group, rest, pool);
     }
     sweep
 }

@@ -245,6 +245,12 @@ pub struct BatchRun {
     /// Preempted KV bytes that did not fit the host tier and were
     /// dropped (recomputed on readmission).
     pub kv_tier_dropped_bytes: u64,
+    /// Parked KV bytes reclaimed from the host tier — readmission
+    /// swap-ins plus cancellation unparks. Equal to
+    /// [`BatchRun::kv_tier_parked_bytes`] once a run drains: every
+    /// parked byte is eventually swapped back in or dropped on
+    /// cancellation, never stranded.
+    pub kv_tier_unparked_bytes: u64,
 }
 
 impl BatchRun {
@@ -687,6 +693,7 @@ impl BatchedServerSim {
             kv_tier_demotions: tier.stats().demotions,
             kv_tier_parked_bytes: tier.stats().parked_bytes,
             kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
+            kv_tier_unparked_bytes: tier.stats().unparked_bytes,
         })
     }
 }

@@ -120,6 +120,48 @@ impl EventConfig {
     }
 }
 
+/// A prefix published into the host tier mid-run by an external
+/// director (see [`RunDirectives`]): at the first launch boundary at or
+/// after `at`, `bytes` of prompt KV for problem `key` appear in the
+/// tier's shared store. A fleet uses this to hand a crashed replica's
+/// host-resident prompt prefix to the failover target, so the migrated
+/// request warm-starts there instead of re-prefilling from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrewarmPrefix {
+    /// Absolute simulated time the prefix becomes available, seconds.
+    pub at: f64,
+    /// The problem seed the prefix belongs to.
+    pub key: u64,
+    /// Prompt tokens covered by the prefix.
+    pub tokens: u64,
+    /// Host bytes the prefix occupies.
+    pub bytes: u64,
+}
+
+/// External directives applied to one [`EventServerSim`] run — the
+/// interface a fleet router uses to steer a device timeline it does not
+/// otherwise control. Empty directives leave the run bit-identical to
+/// [`EventServerSim::run_faulted`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDirectives {
+    /// `(arrival index, instant)`: cancel the request at the first
+    /// launch boundary at or after the instant (crash failover, hedge
+    /// losers). Cancelled requests reclaim everything — pool
+    /// reservation, parked tier bytes — but publish no prefix; a
+    /// request already finished by its instant is untouched.
+    pub cancels: Vec<(usize, f64)>,
+    /// Prefixes to publish into the host tier mid-run (failover
+    /// warm-start handoff).
+    pub prewarms: Vec<PrewarmPrefix>,
+}
+
+impl RunDirectives {
+    /// Whether the directives change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cancels.is_empty() && self.prewarms.is_empty()
+    }
+}
+
 /// Replays a request arrival stream with event-driven
 /// (iteration-granularity) continuous batching over one shared
 /// accelerator and KV pool. See the module docs for the execution
@@ -172,11 +214,30 @@ impl EventServerSim {
     ///
     /// Propagates [`EngineError`] when a request cannot fit even with
     /// the entire pool to itself.
-    #[allow(clippy::too_many_lines)]
     pub fn run_faulted(
         &self,
         arrivals: &[RequestArrival],
         plan: &FaultPlan,
+    ) -> Result<BatchRun, EngineError> {
+        self.run_directed(arrivals, plan, &RunDirectives::default())
+    }
+
+    /// Serve the arrival stream under `plan` while `directives` steer
+    /// the timeline from outside: directed cancellations (crash
+    /// failover, hedge losers) and mid-run host-tier prefix handoffs.
+    /// Empty directives reproduce [`EventServerSim::run_faulted`]
+    /// bit-for-bit — the fleet's 1-device pass-through anchor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit even with
+    /// the entire pool to itself.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_directed(
+        &self,
+        arrivals: &[RequestArrival],
+        plan: &FaultPlan,
+        directives: &RunDirectives,
     ) -> Result<BatchRun, EngineError> {
         debug_assert!(
             arrivals.windows(2).all(|w| w[0].at <= w[1].at),
@@ -217,6 +278,17 @@ impl EventServerSim {
         let mut cancelled = 0u32;
         let mut degradations = 0u32;
         let mut tier_dropped = 0u64;
+        // Directed cancels: earliest instant per arrival index (∞ =
+        // never), applied at launch boundaries like deadline sweeps.
+        let has_cancels = !directives.cancels.is_empty();
+        let mut cancel_at = vec![f64::INFINITY; arrivals.len()];
+        for &(idx, t) in &directives.cancels {
+            assert!(idx < arrivals.len(), "cancel index out of range");
+            cancel_at[idx] = cancel_at[idx].min(t);
+        }
+        let mut prewarms = directives.prewarms.clone();
+        prewarms.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite prewarm times"));
+        let mut prewarm_next = 0usize;
 
         loop {
             // Next decision instant: the earliest ready request, or the
@@ -301,6 +373,32 @@ impl EventServerSim {
                 kind: self.kind,
                 config: batch,
             };
+            // Directed prefix handoffs due by this launch land in the
+            // tier before admission, so a migrated request admits warm.
+            while prewarm_next < prewarms.len() && prewarms[prewarm_next].at <= launch {
+                let p = prewarms[prewarm_next];
+                tier.publish_prefix(p.key, p.tokens, p.bytes);
+                prewarm_next += 1;
+            }
+            // Directed cancellations sweep at the same pre-admission
+            // boundary as deadline enforcement, under any fault policy.
+            if has_cancels {
+                let sweep = admission::apply_cancels(
+                    batch,
+                    &cancel_at,
+                    launch,
+                    arrivals,
+                    &mut waiting,
+                    &mut paused,
+                    &mut group,
+                    &mut rest,
+                    &mut pool,
+                    &mut tier,
+                    &mut served,
+                );
+                shed += sweep.shed;
+                cancelled += sweep.cancelled;
+            }
             // Deadline/SLO enforcement (active only under the Degrade
             // policy), at the same pre-admission boundary the lockstep
             // scheduler sweeps at.
@@ -611,6 +709,7 @@ impl EventServerSim {
             kv_tier_demotions: tier.stats().demotions,
             kv_tier_parked_bytes: tier.stats().parked_bytes,
             kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
+            kv_tier_unparked_bytes: tier.stats().unparked_bytes,
         })
     }
 }

@@ -68,6 +68,30 @@ pub enum FaultKind {
     /// recompute-on-pin path: deterministic replay, no accepted tokens
     /// lost.
     KvLoss,
+    /// A whole-device crash with recovery after `down_for` seconds.
+    /// In a single-device run this is an outage: device KV is lost
+    /// (the KV-loss replay path) and the affected launch stalls
+    /// off-device for the outage, booked to the fault bucket. A fleet
+    /// ([`FleetSim`](crate::FleetSim)) instead handles the event at the
+    /// routing layer: in-flight and queued requests on the crashed
+    /// replica fail over to survivors while the device is down.
+    DeviceCrash {
+        /// Outage length in seconds, `> 0`; the device recovers
+        /// (cold, empty KV) at `at + down_for`.
+        down_for: f64,
+    },
+    /// A device-health degradation window: like
+    /// [`FaultKind::Slowdown`] but modelling a sick replica (ECC
+    /// scrubbing, a flaky PCIe link) rather than thermals. Every launch
+    /// starting within `[at, at + duration)` runs `factor`× slower;
+    /// health-aware fleet routing observes the inflated completion
+    /// latencies and steers new work away.
+    DeviceDegrade {
+        /// Kernel-time multiplier, `>= 1`.
+        factor: f64,
+        /// Window length in seconds, `> 0`.
+        duration: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -103,6 +127,17 @@ pub struct StormConfig {
     pub slowdown_secs: f64,
     /// Device KV-loss events to scatter.
     pub kv_losses: usize,
+    /// Whole-device crash/recovery events to scatter (device-scoped;
+    /// defaults to 0 so pre-existing storms are bit-identical).
+    pub device_crashes: usize,
+    /// Outage length of each crash, seconds.
+    pub crash_down_secs: f64,
+    /// Device-health degradation windows to scatter (defaults to 0).
+    pub device_degrades: usize,
+    /// Kernel-time multiplier inside each degradation window (`>= 1`).
+    pub degrade_factor: f64,
+    /// Length of each degradation window, seconds.
+    pub degrade_secs: f64,
 }
 
 impl Default for StormConfig {
@@ -113,6 +148,11 @@ impl Default for StormConfig {
             slowdown_factor: 1.5,
             slowdown_secs: 10.0,
             kv_losses: 2,
+            device_crashes: 0,
+            crash_down_secs: 60.0,
+            device_degrades: 0,
+            degrade_factor: 2.0,
+            degrade_secs: 30.0,
         }
     }
 }
@@ -134,9 +174,16 @@ impl FaultPlan {
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
         for e in &events {
             assert!(e.at >= 0.0 && e.at.is_finite(), "fault time must be finite");
-            if let FaultKind::Slowdown { factor, duration } = e.kind {
-                assert!(factor >= 1.0, "slowdown factor must be >= 1");
-                assert!(duration > 0.0, "slowdown window must be positive");
+            match e.kind {
+                FaultKind::Slowdown { factor, duration }
+                | FaultKind::DeviceDegrade { factor, duration } => {
+                    assert!(factor >= 1.0, "slowdown factor must be >= 1");
+                    assert!(duration > 0.0, "slowdown window must be positive");
+                }
+                FaultKind::DeviceCrash { down_for } => {
+                    assert!(down_for > 0.0, "crash outage must be positive");
+                }
+                FaultKind::KernelFault | FaultKind::KvLoss => {}
             }
         }
         events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
@@ -173,6 +220,26 @@ impl FaultPlan {
                 kind: FaultKind::KvLoss,
             });
         }
+        // Device-scoped events draw *after* the legacy kinds so a
+        // config with the new knobs at zero replays the exact RNG
+        // sequence of older storms — existing plans stay bit-identical.
+        for _ in 0..cfg.device_crashes {
+            events.push(FaultEvent {
+                at: rng.gen::<f64>() * horizon,
+                kind: FaultKind::DeviceCrash {
+                    down_for: cfg.crash_down_secs,
+                },
+            });
+        }
+        for _ in 0..cfg.device_degrades {
+            events.push(FaultEvent {
+                at: rng.gen::<f64>() * horizon,
+                kind: FaultKind::DeviceDegrade {
+                    factor: cfg.degrade_factor,
+                    duration: cfg.degrade_secs,
+                },
+            });
+        }
         Self::new(events)
     }
 
@@ -198,6 +265,10 @@ impl FaultPlan {
             if let FaultKind::Slowdown {
                 factor: f,
                 duration,
+            }
+            | FaultKind::DeviceDegrade {
+                factor: f,
+                duration,
             } = e.kind
             {
                 if t < e.at + duration {
@@ -206,6 +277,33 @@ impl FaultPlan {
             }
         }
         factor
+    }
+
+    /// Crash outage windows `(at, down_for)` in the plan, in time
+    /// order. [`FleetSim`](crate::FleetSim) consumes these at the
+    /// routing layer (failover) after stripping them from the
+    /// per-device plan via [`FaultPlan::without_crashes`].
+    pub fn crash_windows(&self) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DeviceCrash { down_for } => Some((e.at, down_for)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The plan with every [`FaultKind::DeviceCrash`] event removed
+    /// (all other events, and their order, preserved).
+    pub fn without_crashes(&self) -> Self {
+        Self {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| !matches!(e.kind, FaultKind::DeviceCrash { .. }))
+                .collect(),
+        }
     }
 }
 
@@ -360,7 +458,17 @@ impl LaunchFaults {
             match e.kind {
                 FaultKind::KernelFault => out.kernel_faults += 1,
                 FaultKind::KvLoss => out.kv_losses += 1,
-                FaultKind::Slowdown { .. } => {}
+                // With no fleet to fail over to, a crash is an outage:
+                // device KV is gone (the KV-loss replay path recovers
+                // it deterministically) and the launch waits out the
+                // whole downtime off-device, booked to the fault
+                // bucket like backoff. Fleet runs never see this arm —
+                // FleetSim strips crash events and reroutes instead.
+                FaultKind::DeviceCrash { down_for } => {
+                    out.kv_losses += 1;
+                    out.backoff_secs += down_for;
+                }
+                FaultKind::Slowdown { .. } | FaultKind::DeviceDegrade { .. } => {}
             }
         }
         let slow = plan.slowdown_factor(t) - 1.0;
@@ -519,6 +627,83 @@ mod tests {
         assert_eq!(degraded_beams(16, Standard, 4), 8, "floor n/2");
         assert_eq!(degraded_beams(16, Batch, 4), 16, "batch never degrades");
         assert_eq!(degraded_beams(1, Interactive, 7), 1, "never below 1");
+    }
+
+    #[test]
+    fn device_scoped_storms_are_deterministic_and_opt_in() {
+        // Default knobs draw zero device-scoped events: pre-existing
+        // (seed, horizon, cfg) storms replay bit-identically.
+        let legacy = FaultPlan::storm(7, 100.0, &StormConfig::default());
+        assert!(legacy.crash_windows().is_empty());
+        assert_eq!(legacy.without_crashes(), legacy);
+
+        let cfg = StormConfig {
+            device_crashes: 2,
+            crash_down_secs: 25.0,
+            device_degrades: 1,
+            degrade_factor: 3.0,
+            degrade_secs: 40.0,
+            ..StormConfig::default()
+        };
+        let a = FaultPlan::storm(7, 100.0, &cfg);
+        let b = FaultPlan::storm(7, 100.0, &cfg);
+        assert_eq!(a, b, "same (seed, horizon, config), same plan");
+        assert_ne!(a, FaultPlan::storm(8, 100.0, &cfg));
+        assert_eq!(
+            a.events().len(),
+            cfg.kernel_faults + cfg.slowdowns + cfg.kv_losses + 3
+        );
+        for w in a.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "plans stay sorted");
+        }
+        // The legacy kinds draw before the device-scoped ones, so the
+        // non-crash, non-degrade slice matches the legacy storm.
+        let crashes = a.crash_windows();
+        assert_eq!(crashes.len(), 2);
+        assert!(crashes.iter().all(|&(at, d)| at < 100.0 && d == 25.0));
+        let stripped = a.without_crashes();
+        assert_eq!(stripped.events().len(), a.events().len() - 2);
+        assert!(stripped.crash_windows().is_empty());
+    }
+
+    #[test]
+    fn crash_is_an_outage_for_a_single_device() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 4.0,
+            kind: FaultKind::DeviceCrash { down_for: 30.0 },
+        }]);
+        let mut cursor = FaultCursor::default();
+        let f = LaunchFaults::at(&mut cursor, &plan, &RobustConfig::default(), 5.0);
+        assert!(f.fired());
+        assert_eq!(f.kv_losses, 1, "device KV lost on crash");
+        assert_eq!(f.kernel_faults, 0);
+        assert!(
+            (f.backoff_secs - 30.0).abs() < 1e-12,
+            "waits out the outage"
+        );
+    }
+
+    #[test]
+    fn degrade_windows_throttle_like_slowdowns() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 10.0,
+            kind: FaultKind::DeviceDegrade {
+                factor: 2.5,
+                duration: 5.0,
+            },
+        }]);
+        assert_eq!(plan.slowdown_factor(9.0), 1.0);
+        assert_eq!(plan.slowdown_factor(12.0), 2.5);
+        assert_eq!(plan.slowdown_factor(15.5), 1.0, "window expired");
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must be positive")]
+    fn zero_length_crashes_are_rejected() {
+        let _ = FaultPlan::new(vec![FaultEvent {
+            at: 0.0,
+            kind: FaultKind::DeviceCrash { down_for: 0.0 },
+        }]);
     }
 
     #[test]

@@ -1,0 +1,1093 @@
+//! N-device fleet serving: routing, crash failover, hedged stragglers.
+//!
+//! A [`FleetSim`] runs one [`EventServerSim`] timeline per device behind
+//! a router. The edge "fleet" the paper targets is a handful of flaky
+//! accelerators, so robustness is built into the routing layer rather
+//! than bolted on:
+//!
+//! * **Pluggable routing** ([`RoutePolicy`]): round-robin, join-shortest
+//!   -queue, prefix-affinity (follow the replica whose
+//!   [`HostTier`](crate::HostTier) holds the warm prompt prefix), and
+//!   health-aware EWMA-latency routing (sick replicas — degrade windows,
+//!   crash recoveries — report inflated completion latencies and shed
+//!   new load).
+//! * **Crash failover.** Device-scoped crash events
+//!   ([`FaultKind::DeviceCrash`](crate::FaultKind)) are stripped from
+//!   the per-device fault plan and handled here: every leg in flight or
+//!   queued on the crashed replica is cancelled there (device KV lost —
+//!   the PR 6 replay path; parked tier bytes unparked — nothing
+//!   strands), and, with [`FleetConfig::failover`] on, re-routed to a
+//!   surviving replica after [`FleetConfig::migration_delay_secs`]. A
+//!   leg that had already prefilled hands its prompt prefix to the
+//!   target's host tier ([`PrewarmPrefix`]) so the migrated attempt
+//!   warm-starts (PR 7 `WarmStart`) instead of re-prefilling. The
+//!   migration budget is booked into the winning record's
+//!   `LatencyBreakdown::fault` (hand-off) and `swap` (warm swap-in,
+//!   booked by the engine) buckets, so busy buckets stay comparable to
+//!   a crash-free run. Without failover the crash events stay in the
+//!   device plan: the naive baseline stalls out the outage and replays
+//!   lost KV on the same replica.
+//! * **Hedged stragglers.** Past a p99-based hedge delay
+//!   ([`HedgeConfig`]), the router duplicates a still-running request on
+//!   a second replica. First finisher wins; the loser is cancelled with
+//!   full pool/tier reclaim ([`RunDirectives`]). Scheduling moves
+//!   clocks, never outcomes — both replicas of a request compute the
+//!   same answer from the same `(engine seed, problem seed)` — so a
+//!   hedge can only move a completion earlier, never change it.
+//!
+//! # Determinism
+//!
+//! The routing decision loop is sequential over a merged, totally
+//! ordered event timeline (arrivals, crashes, hedge checks, hedge
+//! resolutions), and every router observable (queue depths, completed
+//! latencies, EWMA health) is derived from per-device simulations that
+//! are themselves deterministic. The final authoritative device runs
+//! execute in parallel on the [`sweep`](crate::sweep) work-stealing
+//! harness and are `debug_assert`-checked bit-identical to the
+//! sequential caches — fleet results are invariant to worker-thread
+//! count. A 1-device fleet with the pass-through router is bit-identical
+//! to bare [`EventServerSim`], faulted and fault-free (enforced in
+//! `crates/core/tests/fleet.rs`).
+
+use ftts_engine::EngineError;
+use ftts_metrics::{FleetSummary, StreamRecord, StreamSummary};
+use ftts_search::SearchKind;
+use ftts_workload::RequestArrival;
+
+use crate::batch_server::BatchRun;
+use crate::event_server::{EventConfig, EventServerSim, PrewarmPrefix, RunDirectives};
+use crate::faults::FaultPlan;
+use crate::server::{ServedRequest, TtsServer};
+use crate::sweep::parallel_map;
+
+/// How the fleet router picks a replica for a fresh (or migrated, or
+/// hedged) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rotate over the alive replicas in device order. On a 1-device
+    /// fleet this is the pass-through policy of the bit-equivalence
+    /// anchor.
+    RoundRobin,
+    /// Join-shortest-queue: the alive replica with the fewest
+    /// outstanding legs (assigned, not yet finished), ties to the
+    /// lowest device id.
+    Jsq,
+    /// Prefix affinity: route to the replica that most recently
+    /// completed the same problem — its [`HostTier`](crate::HostTier)
+    /// holds the published warm prefix, so the request admits warm.
+    /// Falls back to a replica already working the problem, then to
+    /// join-shortest-queue.
+    PrefixAffinity,
+    /// Health-aware routing: score each alive replica by its EWMA of
+    /// observed completion latencies times (outstanding + 1), and pick
+    /// the minimum. Degraded or recovering replicas report long
+    /// latencies and organically shed new load.
+    HealthEwma,
+}
+
+/// Hedged-execution knobs: when a request has been in flight longer
+/// than `delay_factor` × the router-observed p99 latency, duplicate it
+/// on a second replica; first finisher wins and the loser is cancelled
+/// with full reclaim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Multiple of the observed p99 completion latency to wait before
+    /// hedging.
+    pub delay_factor: f64,
+    /// Completions the router must have observed before it trusts its
+    /// p99 estimate enough to hedge.
+    pub min_samples: usize,
+    /// Hedge delay floor, seconds.
+    pub min_delay_secs: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            delay_factor: 1.0,
+            min_samples: 3,
+            min_delay_secs: 1.0,
+        }
+    }
+}
+
+/// Fleet-level serving knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// The per-device event-driven scheduling policy (every replica
+    /// runs the same scheduler; the servers themselves may differ).
+    pub event: EventConfig,
+    /// The routing policy.
+    pub route: RoutePolicy,
+    /// Crash failover: when on, device-crash events are handled at the
+    /// routing layer — interrupted legs migrate to surviving replicas
+    /// and the router steers around downtime windows. When off (the
+    /// naive baseline) crashes stay in the device plan as outages.
+    pub failover: bool,
+    /// Seconds a migrated leg spends in hand-off (re-route, host-path
+    /// transfer) before it re-arrives at the failover target. Booked to
+    /// the winning record's fault bucket.
+    pub migration_delay_secs: f64,
+    /// Hedged execution for stragglers; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl FleetConfig {
+    /// The given event policy with routing `route`, failover on, a
+    /// 2-second migration hand-off and no hedging.
+    pub fn new(event: EventConfig, route: RoutePolicy) -> Self {
+        Self {
+            event,
+            route,
+            failover: true,
+            migration_delay_secs: 2.0,
+            hedge: None,
+        }
+    }
+
+    /// Enable hedged execution.
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Disable crash failover (the naive baseline: crashes become
+    /// on-device outages).
+    pub fn without_failover(mut self) -> Self {
+        self.failover = false;
+        self
+    }
+}
+
+/// Why a leg exists on its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LegRole {
+    /// The request's original placement.
+    Primary,
+    /// A crash-failover re-route of an interrupted leg.
+    Migrated,
+    /// A hedged duplicate of a straggling leg.
+    Hedge,
+}
+
+impl LegRole {
+    /// Winner tie-break rank (primary beats migrated beats hedge at an
+    /// equal finish instant).
+    fn rank(self) -> u8 {
+        match self {
+            LegRole::Primary => 0,
+            LegRole::Migrated => 1,
+            LegRole::Hedge => 2,
+        }
+    }
+}
+
+/// One placement of a request on a device.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    req: usize,
+    device: usize,
+    at: f64,
+    cancel_at: f64,
+    prewarm: Option<PrewarmPrefix>,
+    role: LegRole,
+    /// The other half of a hedge pair (primary ↔ hedge).
+    partner: Option<usize>,
+}
+
+/// One scheduled fleet event. Total order: `(at, rank, seq)` — crashes
+/// resolve before hedges and arrivals at the same instant, and the
+/// insertion sequence breaks exact ties deterministically.
+#[derive(Debug, Clone, Copy)]
+struct FleetEvent {
+    at: f64,
+    rank: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    Crash { device: usize, down_for: f64 },
+    Resolve { pair: usize },
+    HedgeCheck { leg: usize },
+    Arrival { req: usize },
+}
+
+impl PartialEq for FleetEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at.total_cmp(&other.at).is_eq() && self.rank == other.rank && self.seq == other.seq
+    }
+}
+impl Eq for FleetEvent {}
+impl PartialOrd for FleetEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FleetEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then(self.rank.cmp(&other.rank))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A device's cached simulation: the authoritative timeline for its
+/// currently assigned legs and directives.
+#[derive(Debug, Clone)]
+struct DeviceCache {
+    run: BatchRun,
+    /// Global leg ids in the arrival order fed to the simulator —
+    /// `run.served[i]` is the record of leg `order[i]`.
+    order: Vec<usize>,
+}
+
+/// What one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-device runs over the legs each device executed (including
+    /// cancelled crash victims and hedge losers — the device-side view
+    /// of wasted work).
+    pub device_runs: Vec<BatchRun>,
+    /// Per original request, in arrival order: the record of the leg
+    /// that delivered the answer (migration budget folded in), or the
+    /// primary leg's shed record when no leg completed.
+    pub served: Vec<ServedRequest>,
+    /// The device whose leg served each request (`None` when shed
+    /// everywhere).
+    pub serving_device: Vec<Option<usize>>,
+    /// Legs re-routed to a surviving replica after a crash.
+    pub migrations: u64,
+    /// Hedged duplicates launched.
+    pub hedges_launched: u64,
+    /// Hedges that delivered the answer.
+    pub hedges_won: u64,
+    /// Hedges cancelled as losers (or lost to crashes).
+    pub hedges_wasted: u64,
+    /// Injected device downtime, summed across devices.
+    pub crash_downtime_secs: f64,
+}
+
+impl FleetRun {
+    /// Fleet-level per-request stream records (each original request
+    /// exactly once, attributed to its winning leg).
+    pub fn fleet_records(&self) -> Vec<StreamRecord> {
+        self.served
+            .iter()
+            .map(|r| StreamRecord {
+                arrived_at: r.arrived_at,
+                finished_at: r.finished_at,
+                queue_delay: r.queue_delay(),
+                accepted_tokens: r.accepted_tokens(),
+                generator_secs: r.outcome.stats.breakdown().generator_side(),
+                verifier_secs: r.outcome.stats.breakdown().verifier,
+                slo: r.slo,
+                deadline: r.deadline,
+                completed: !r.shed,
+            })
+            .collect()
+    }
+
+    /// The fleet-level stream summary (deadline-hit rate, SLO goodput,
+    /// warm hits summed across the fleet's tiers).
+    pub fn fleet_summary(&self) -> StreamSummary {
+        let records = self.fleet_records();
+        let (sweeps, seqs) = self.device_runs.iter().fold((0u64, 0u64), |(sw, sq), r| {
+            (sw + r.ver_sweeps, sq + r.ver_seqs)
+        });
+        let occupancy = if sweeps > 0 {
+            seqs as f64 / sweeps as f64
+        } else {
+            0.0
+        };
+        let (hits, demotions) = self.device_runs.iter().fold((0u64, 0u64), |(h, d), r| {
+            (h + r.kv_tier_hits, d + r.kv_tier_demotions)
+        });
+        StreamSummary::of(&records)
+            .with_verifier_occupancy(occupancy)
+            .with_kv_tier(hits, demotions)
+    }
+
+    /// The full cross-device summary.
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            devices: self.device_runs.len(),
+            per_device: self
+                .device_runs
+                .iter()
+                .map(BatchRun::stream_summary)
+                .collect(),
+            fleet: self.fleet_summary(),
+            migrations: self.migrations,
+            hedges_launched: self.hedges_launched,
+            hedges_won: self.hedges_won,
+            hedges_wasted: self.hedges_wasted,
+            crash_downtime_secs: self.crash_downtime_secs,
+        }
+    }
+
+    /// Warm prefix hits summed across every device's host tier.
+    pub fn warm_hits(&self) -> u64 {
+        self.device_runs.iter().map(|r| r.kv_tier_hits).sum()
+    }
+}
+
+/// Serves one arrival stream across N per-device [`EventServerSim`]
+/// timelines behind a router. See the module docs for the execution
+/// and determinism model.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    devices: Vec<TtsServer>,
+    n: usize,
+    kind: SearchKind,
+    config: FleetConfig,
+}
+
+impl FleetSim {
+    /// A fleet of `devices` replicas (heterogeneous servers are fine),
+    /// each answering with `n` beams under the shared event-driven
+    /// policy in `config`.
+    pub fn new(devices: Vec<TtsServer>, n: usize, kind: SearchKind, config: FleetConfig) -> Self {
+        assert!(!devices.is_empty(), "a fleet needs at least one device");
+        assert!(
+            config.migration_delay_secs >= 0.0,
+            "migration delay must be non-negative"
+        );
+        if let Some(h) = &config.hedge {
+            assert!(h.delay_factor > 0.0, "hedge delay factor must be positive");
+            assert!(h.min_delay_secs >= 0.0, "hedge floor must be non-negative");
+        }
+        Self {
+            devices,
+            n,
+            kind,
+            config,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices (never true — construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Serve the stream with every device fault-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit a device's
+    /// entire pool.
+    pub fn run(&self, arrivals: &[RequestArrival]) -> Result<FleetRun, EngineError> {
+        let plans = vec![FaultPlan::none(); self.devices.len()];
+        self.run_faulted(arrivals, &plans)
+    }
+
+    /// Serve the stream while `plans[d]` injects faults into device
+    /// `d`. Device-crash events are handled at the routing layer when
+    /// [`FleetConfig::failover`] is on, and left in the device plan (an
+    /// on-device outage) when it is off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] when a request cannot fit a device's
+    /// entire pool.
+    pub fn run_faulted(
+        &self,
+        arrivals: &[RequestArrival],
+        plans: &[FaultPlan],
+    ) -> Result<FleetRun, EngineError> {
+        assert_eq!(plans.len(), self.devices.len(), "one fault plan per device");
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival times must be non-decreasing"
+        );
+        // (`+ 0.0` normalizes the empty sum's -0.0 identity.)
+        let crash_downtime_secs: f64 = plans
+            .iter()
+            .flat_map(|p| p.crash_windows())
+            .map(|(_, d)| d)
+            .sum::<f64>()
+            + 0.0;
+        // With failover, crashes are routing-layer events and the
+        // device timeline never sees them; without it they stay put.
+        let (device_plans, crash_windows): (Vec<FaultPlan>, Vec<Vec<(f64, f64)>>) =
+            if self.config.failover {
+                plans
+                    .iter()
+                    .map(|p| (p.without_crashes(), p.crash_windows()))
+                    .unzip()
+            } else {
+                (plans.to_vec(), vec![Vec::new(); plans.len()])
+            };
+
+        let mut engine = FleetEngine {
+            sim: self,
+            arrivals,
+            device_plans: &device_plans,
+            crash_windows: &crash_windows,
+            legs: Vec::new(),
+            legs_by_device: vec![Vec::new(); self.devices.len()],
+            states: vec![None; self.devices.len()],
+            pairs: Vec::new(),
+            events: std::collections::BinaryHeap::new(),
+            event_seq: 0,
+            rr_next: 0,
+            migrations: 0,
+        };
+        // Seed the timeline: every arrival, plus (failover only) every
+        // crash window start.
+        for (req, a) in arrivals.iter().enumerate() {
+            engine.push_event(a.at, EventKind::Arrival { req });
+        }
+        for (device, windows) in crash_windows.iter().enumerate() {
+            for &(at, down_for) in windows {
+                engine.push_event(at, EventKind::Crash { device, down_for });
+            }
+        }
+        engine.drive()?;
+        engine.finish(crash_downtime_secs)
+    }
+}
+
+/// The sequential decision loop's working state.
+struct FleetEngine<'a> {
+    sim: &'a FleetSim,
+    arrivals: &'a [RequestArrival],
+    device_plans: &'a [FaultPlan],
+    crash_windows: &'a [Vec<(f64, f64)>],
+    legs: Vec<Leg>,
+    legs_by_device: Vec<Vec<usize>>,
+    states: Vec<Option<DeviceCache>>,
+    /// Hedge pairs `(primary leg, hedge leg)`.
+    pairs: Vec<(usize, usize)>,
+    events: std::collections::BinaryHeap<std::cmp::Reverse<FleetEvent>>,
+    event_seq: u64,
+    rr_next: usize,
+    migrations: u64,
+}
+
+impl<'a> FleetEngine<'a> {
+    fn push_event(&mut self, at: f64, kind: EventKind) {
+        let rank = match kind {
+            EventKind::Crash { .. } => 0,
+            EventKind::Resolve { .. } => 1,
+            EventKind::HedgeCheck { .. } => 2,
+            EventKind::Arrival { .. } => 3,
+        };
+        self.events.push(std::cmp::Reverse(FleetEvent {
+            at,
+            rank,
+            seq: self.event_seq,
+            kind,
+        }));
+        self.event_seq += 1;
+    }
+
+    /// Re-simulate device `d` from its current legs and directives; the
+    /// cache is the authoritative timeline until the next change.
+    fn resim(&mut self, d: usize) -> Result<(), EngineError> {
+        let mut order = self.legs_by_device[d].clone();
+        order.sort_by(|&a, &b| self.legs[a].at.total_cmp(&self.legs[b].at).then(a.cmp(&b)));
+        let (sub, directives) = self.device_stream(d, &order);
+        let run = EventServerSim::new(
+            self.sim.devices[d].clone(),
+            self.sim.n,
+            self.sim.kind,
+            self.sim.config.event,
+        )
+        .run_directed(&sub, &self.device_plans[d], &directives)?;
+        self.states[d] = Some(DeviceCache { run, order });
+        Ok(())
+    }
+
+    /// The arrival sub-stream and directives device `d` currently runs.
+    fn device_stream(&self, d: usize, order: &[usize]) -> (Vec<RequestArrival>, RunDirectives) {
+        let mut sub = Vec::with_capacity(order.len());
+        let mut directives = RunDirectives::default();
+        for (pos, &id) in order.iter().enumerate() {
+            let l = &self.legs[id];
+            debug_assert_eq!(l.device, d);
+            let base = &self.arrivals[l.req];
+            sub.push(RequestArrival {
+                at: l.at,
+                problem: base.problem,
+                slo: base.slo,
+                deadline: base.deadline,
+            });
+            if l.cancel_at.is_finite() {
+                directives.cancels.push((pos, l.cancel_at));
+            }
+            if let Some(p) = l.prewarm {
+                directives.prewarms.push(p);
+            }
+        }
+        (sub, directives)
+    }
+
+    /// The cached record of a leg.
+    fn record(&self, id: usize) -> &ServedRequest {
+        let d = self.legs[id].device;
+        let cache = self.states[d].as_ref().expect("device simulated");
+        let pos = cache
+            .order
+            .iter()
+            .position(|&x| x == id)
+            .expect("leg in order");
+        &cache.run.served[pos]
+    }
+
+    /// Whether device `d` is inside a crash outage at `t`.
+    fn down(&self, d: usize, t: f64) -> bool {
+        self.crash_windows[d]
+            .iter()
+            .any(|&(at, dur)| t >= at && t < at + dur)
+    }
+
+    /// Legs assigned to `d`, arrived, not cancelled and not finished at
+    /// `t` — the router's queue-depth observable.
+    fn outstanding(&self, d: usize, t: f64) -> usize {
+        self.legs_by_device[d]
+            .iter()
+            .filter(|&&id| {
+                let l = &self.legs[id];
+                l.at <= t && l.cancel_at > t && self.record(id).finished_at > t
+            })
+            .count()
+    }
+
+    /// Completed legs the router has observed by `t`, as
+    /// `(finished_at, device, leg id, service latency)` in completion
+    /// order.
+    fn completions(&self, t: f64) -> Vec<(f64, usize, usize, f64)> {
+        let mut out = Vec::new();
+        for (d, ids) in self.legs_by_device.iter().enumerate() {
+            for &id in ids {
+                let l = &self.legs[id];
+                if l.at > t {
+                    continue;
+                }
+                let rec = self.record(id);
+                if !rec.shed && rec.finished_at <= t {
+                    out.push((rec.finished_at, d, id, rec.finished_at - l.at));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        out
+    }
+
+    /// Route a leg that wants to start at `t`: an alive replica under
+    /// the configured policy, or — when every candidate is down — the
+    /// one that recovers first, with the leg's start pushed to the
+    /// recovery instant. `None` only when `exclude` rules out the whole
+    /// fleet.
+    fn route(&mut self, t: f64, exclude: Option<usize>, problem_seed: u64) -> Option<(usize, f64)> {
+        let all: Vec<usize> = (0..self.sim.devices.len())
+            .filter(|&d| Some(d) != exclude)
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        let alive: Vec<usize> = all.iter().copied().filter(|&d| !self.down(d, t)).collect();
+        if alive.is_empty() {
+            // Buffer at the router until the earliest recovery.
+            let best = all
+                .iter()
+                .copied()
+                .map(|d| {
+                    let up_at = self.crash_windows[d]
+                        .iter()
+                        .filter(|&&(at, dur)| t >= at && t < at + dur)
+                        .map(|&(at, dur)| at + dur)
+                        .fold(t, f64::max);
+                    (d, up_at)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))?;
+            return Some(best);
+        }
+        let pick = match self.sim.config.route {
+            RoutePolicy::RoundRobin => {
+                let d = alive[self.rr_next % alive.len()];
+                self.rr_next += 1;
+                d
+            }
+            RoutePolicy::Jsq => self.jsq(&alive, t),
+            RoutePolicy::PrefixAffinity => {
+                // Most recent completed publisher of this problem…
+                let publisher = self
+                    .completions(t)
+                    .into_iter()
+                    .rev()
+                    .find(|&(_, d, id, _)| {
+                        alive.contains(&d)
+                            && self.arrivals[self.legs[id].req].problem.seed == problem_seed
+                    })
+                    .map(|(_, d, _, _)| d);
+                // …else a replica already working the problem…
+                let working = publisher.or_else(|| {
+                    alive.iter().copied().find(|&d| {
+                        self.legs_by_device[d].iter().any(|&id| {
+                            let l = &self.legs[id];
+                            l.at <= t
+                                && l.cancel_at > t
+                                && self.arrivals[l.req].problem.seed == problem_seed
+                                && self.record(id).finished_at > t
+                        })
+                    })
+                });
+                // …else shortest queue.
+                working.unwrap_or_else(|| self.jsq(&alive, t))
+            }
+            RoutePolicy::HealthEwma => {
+                let ewma = self.health_ewma(t);
+                alive
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let sa = ewma[a] * (self.outstanding(a, t) + 1) as f64;
+                        let sb = ewma[b] * (self.outstanding(b, t) + 1) as f64;
+                        sa.total_cmp(&sb).then(a.cmp(&b))
+                    })
+                    .expect("alive non-empty")
+            }
+        };
+        Some((pick, t))
+    }
+
+    fn jsq(&self, alive: &[usize], t: f64) -> usize {
+        alive
+            .iter()
+            .copied()
+            .min_by_key(|&d| (self.outstanding(d, t), d))
+            .expect("alive non-empty")
+    }
+
+    /// Per-device EWMA of observed service latencies at `t` (α = 0.3,
+    /// prior 1.0 — with no samples everywhere, health routing
+    /// degenerates to join-shortest-queue).
+    fn health_ewma(&self, t: f64) -> Vec<f64> {
+        const ALPHA: f64 = 0.3;
+        let mut ewma = vec![1.0f64; self.sim.devices.len()];
+        for (_, d, _, latency) in self.completions(t) {
+            ewma[d] = (1.0 - ALPHA) * ewma[d] + ALPHA * latency;
+        }
+        ewma
+    }
+
+    /// The hedge delay the router would use for a leg starting at `t`,
+    /// when it has enough observed completions to estimate a p99.
+    fn hedge_delay(&self, t: f64) -> Option<f64> {
+        let h = self.sim.config.hedge.as_ref()?;
+        let mut lats: Vec<f64> = self.completions(t).into_iter().map(|c| c.3).collect();
+        if lats.len() < h.min_samples.max(1) {
+            return None;
+        }
+        lats.sort_by(f64::total_cmp);
+        let idx = ((lats.len() as f64 * 0.99).ceil() as usize)
+            .saturating_sub(1)
+            .min(lats.len() - 1);
+        Some((h.delay_factor * lats[idx]).max(h.min_delay_secs))
+    }
+
+    fn push_leg(&mut self, leg: Leg) -> usize {
+        let id = self.legs.len();
+        self.legs_by_device[leg.device].push(id);
+        self.legs.push(leg);
+        id
+    }
+
+    /// Arm a hedge check for a freshly placed leg, if hedging is
+    /// enabled and the router's p99 estimate is trustworthy.
+    fn arm_hedge(&mut self, leg: usize, t: f64) {
+        if self.sim.devices.len() < 2 {
+            return;
+        }
+        if let Some(delay) = self.hedge_delay(t) {
+            self.push_event(t + delay, EventKind::HedgeCheck { leg });
+        }
+    }
+
+    fn drive(&mut self) -> Result<(), EngineError> {
+        while let Some(std::cmp::Reverse(ev)) = self.events.pop() {
+            match ev.kind {
+                EventKind::Arrival { req } => self.on_arrival(req)?,
+                EventKind::Crash { device, down_for } => self.on_crash(device, ev.at, down_for)?,
+                EventKind::HedgeCheck { leg } => self.on_hedge_check(leg, ev.at)?,
+                EventKind::Resolve { pair } => self.on_resolve(pair, ev.at)?,
+            }
+        }
+        // Make sure even leg-less devices have an (empty) timeline.
+        for d in 0..self.sim.devices.len() {
+            if self.states[d].is_none() {
+                self.resim(d)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, req: usize) -> Result<(), EngineError> {
+        let a = &self.arrivals[req];
+        let (device, at) = self
+            .route(a.at, None, a.problem.seed)
+            .expect("route with no exclusion always places");
+        let id = self.push_leg(Leg {
+            req,
+            device,
+            at,
+            cancel_at: f64::INFINITY,
+            prewarm: None,
+            role: LegRole::Primary,
+            partner: None,
+        });
+        self.resim(device)?;
+        self.arm_hedge(id, at);
+        Ok(())
+    }
+
+    fn on_crash(&mut self, d: usize, t: f64, down_for: f64) -> Result<(), EngineError> {
+        // Every leg the outage interrupts: in flight or queued at the
+        // crash, or arriving while the device is down.
+        let mut interrupted: Vec<(usize, bool)> = Vec::new();
+        for &id in &self.legs_by_device[d] {
+            let l = &self.legs[id];
+            if l.cancel_at <= t {
+                continue;
+            }
+            let rec = self.record(id);
+            let active = l.at <= t && rec.finished_at > t && !(rec.shed && rec.finished_at <= t);
+            let lands_in_outage = l.at > t && l.at < t + down_for;
+            if active || lands_in_outage {
+                let had_started = rec.started_at <= t && rec.granted_n > 0;
+                interrupted.push((id, had_started));
+            }
+        }
+        if interrupted.is_empty() {
+            return Ok(());
+        }
+        for &(id, _) in &interrupted {
+            self.legs[id].cancel_at = self.legs[id].cancel_at.min(t);
+        }
+        self.resim(d)?;
+
+        for (id, had_started) in interrupted {
+            let leg = self.legs[id];
+            // A live partner on another replica already covers this
+            // request: revive it if it was pending loser-cancellation,
+            // and skip migration.
+            if let Some(pid) = leg.partner {
+                let p = self.legs[pid];
+                if p.device != d && p.cancel_at > t {
+                    if p.cancel_at.is_finite() {
+                        self.legs[pid].cancel_at = f64::INFINITY;
+                        self.resim(p.device)?;
+                    }
+                    continue;
+                }
+            }
+            if leg.role == LegRole::Hedge {
+                continue; // its primary is gone too (or on this device)
+            }
+            // Fail over to a surviving replica after the hand-off
+            // delay; a leg that had already prefilled hands its prompt
+            // prefix to the target's host tier and warm-starts.
+            let at = t + self.sim.config.migration_delay_secs;
+            let seed = self.arrivals[leg.req].problem.seed;
+            let Some((target, at)) = self.route(at, Some(d), seed) else {
+                continue; // 1-device fleet: nowhere to go, stays shed
+            };
+            let prewarm = had_started.then(|| {
+                let prompt_tokens = self.arrivals[leg.req].problem.prompt_tokens;
+                let bpt = self.sim.devices[target]
+                    .config()
+                    .models
+                    .gen_spec
+                    .kv_bytes_per_token();
+                PrewarmPrefix {
+                    at,
+                    key: seed,
+                    tokens: prompt_tokens,
+                    bytes: prompt_tokens.saturating_mul(bpt),
+                }
+            });
+            let nid = self.push_leg(Leg {
+                req: leg.req,
+                device: target,
+                at,
+                cancel_at: f64::INFINITY,
+                prewarm,
+                role: LegRole::Migrated,
+                partner: None,
+            });
+            self.migrations += 1;
+            self.resim(target)?;
+            self.arm_hedge(nid, at);
+        }
+        Ok(())
+    }
+
+    fn on_hedge_check(&mut self, id: usize, t: f64) -> Result<(), EngineError> {
+        let leg = self.legs[id];
+        if leg.cancel_at.is_finite() || leg.partner.is_some() {
+            return Ok(());
+        }
+        let rec = self.record(id);
+        if rec.shed || rec.finished_at <= t {
+            return Ok(()); // no longer a straggler
+        }
+        let seed = self.arrivals[leg.req].problem.seed;
+        let Some((target, at)) = self.route(t, Some(leg.device), seed) else {
+            return Ok(());
+        };
+        let hid = self.push_leg(Leg {
+            req: leg.req,
+            device: target,
+            at,
+            cancel_at: f64::INFINITY,
+            prewarm: None,
+            role: LegRole::Hedge,
+            partner: Some(id),
+        });
+        self.legs[id].partner = Some(hid);
+        self.resim(target)?;
+        let pair = self.pairs.len();
+        self.pairs.push((id, hid));
+        if let Some(win) = self.pair_winner_finish(pair) {
+            self.push_event(win.max(at), EventKind::Resolve { pair });
+        }
+        Ok(())
+    }
+
+    /// The earlier projected finish of a hedge pair's live legs.
+    fn pair_winner_finish(&self, pair: usize) -> Option<f64> {
+        let (p, h) = self.pairs[pair];
+        let fin = |id: usize| {
+            let l = &self.legs[id];
+            if l.cancel_at.is_finite() {
+                return f64::INFINITY;
+            }
+            let rec = self.record(id);
+            if rec.shed {
+                f64::INFINITY
+            } else {
+                rec.finished_at
+            }
+        };
+        let win = fin(p).min(fin(h));
+        win.is_finite().then_some(win)
+    }
+
+    fn on_resolve(&mut self, pair: usize, t: f64) -> Result<(), EngineError> {
+        let (p, h) = self.pairs[pair];
+        if self.legs[p].cancel_at.is_finite() || self.legs[h].cancel_at.is_finite() {
+            return Ok(()); // a crash already resolved the pair
+        }
+        let Some(win) = self.pair_winner_finish(pair) else {
+            return Ok(()); // both shed (deadlines) — nothing to cancel
+        };
+        if win > t + 1e-9 {
+            // Timelines moved since this was scheduled (a crash freed
+            // capacity, a migration added load): re-check at the new
+            // winner instant.
+            self.push_event(win, EventKind::Resolve { pair });
+            return Ok(());
+        }
+        let (pr, hr) = (self.record(p), self.record(h));
+        let p_fin = if pr.shed {
+            f64::INFINITY
+        } else {
+            pr.finished_at
+        };
+        let h_fin = if hr.shed {
+            f64::INFINITY
+        } else {
+            hr.finished_at
+        };
+        // First finisher wins; the loser is cancelled at the winner's
+        // completion with full pool/tier reclaim. Ties go to the
+        // primary — the hedge is pure insurance.
+        let loser = if h_fin < p_fin { p } else { h };
+        self.legs[loser].cancel_at = win;
+        self.resim(self.legs[loser].device)?;
+        Ok(())
+    }
+
+    /// Authoritative parallel execution of every device timeline plus
+    /// fleet-level record assembly.
+    fn finish(mut self, crash_downtime_secs: f64) -> Result<FleetRun, EngineError> {
+        let devices: Vec<usize> = (0..self.sim.devices.len()).collect();
+        let runs: Vec<Result<(BatchRun, Vec<usize>), EngineError>> =
+            parallel_map(&devices, |_, &d| {
+                let cache = self.states[d].as_ref().expect("device simulated");
+                let order = cache.order.clone();
+                let (sub, directives) = self.device_stream(d, &order);
+                let run = EventServerSim::new(
+                    self.sim.devices[d].clone(),
+                    self.sim.n,
+                    self.sim.kind,
+                    self.sim.config.event,
+                )
+                .run_directed(&sub, &self.device_plans[d], &directives)?;
+                Ok((run, order))
+            });
+        let mut device_runs = Vec::with_capacity(devices.len());
+        for (d, r) in runs.into_iter().enumerate() {
+            let (run, order) = r?;
+            let cached = self.states[d].as_ref().expect("device simulated");
+            debug_assert!(
+                runs_equivalent(&cached.run, &run),
+                "parallel re-execution must be bit-identical to the sequential cache"
+            );
+            self.states[d] = Some(DeviceCache {
+                run: run.clone(),
+                order,
+            });
+            device_runs.push(run);
+        }
+
+        // Per-request winner selection and migration accounting.
+        let mut served = Vec::with_capacity(self.arrivals.len());
+        let mut serving_device = Vec::with_capacity(self.arrivals.len());
+        let mut hedges_won = 0u64;
+        let hedges_launched = self
+            .legs
+            .iter()
+            .filter(|l| l.role == LegRole::Hedge)
+            .count() as u64;
+        for req in 0..self.arrivals.len() {
+            let legs_of: Vec<usize> = (0..self.legs.len())
+                .filter(|&id| self.legs[id].req == req)
+                .collect();
+            let winner = legs_of
+                .iter()
+                .copied()
+                .filter(|&id| !self.record(id).shed)
+                .min_by(|&a, &b| {
+                    let (ra, rb) = (self.record(a), self.record(b));
+                    ra.finished_at
+                        .total_cmp(&rb.finished_at)
+                        .then(self.legs[a].role.rank().cmp(&self.legs[b].role.rank()))
+                        .then(a.cmp(&b))
+                });
+            match winner {
+                Some(id) => {
+                    let leg = self.legs[id];
+                    let mut rec = self.record(id).clone();
+                    rec.arrived_at = self.arrivals[req].at;
+                    if leg.role == LegRole::Hedge {
+                        hedges_won += 1;
+                    }
+                    // Book the migration hand-off(s) that led to this
+                    // leg into the fault bucket: latency stretches by
+                    // the hand-off, busy buckets stay comparable to the
+                    // crash-free run.
+                    let hops = legs_of
+                        .iter()
+                        .filter(|&&x| {
+                            self.legs[x].role == LegRole::Migrated && self.legs[x].at <= leg.at
+                        })
+                        .count();
+                    if hops > 0 {
+                        let budget = hops as f64 * self.sim.config.migration_delay_secs;
+                        rec.started_at -= budget;
+                        rec.outcome.stats.completion.latency += budget;
+                        rec.outcome.stats.completion.breakdown.fault += budget;
+                    }
+                    serving_device.push(Some(leg.device));
+                    served.push(rec);
+                }
+                None => {
+                    // Shed everywhere: report the primary leg's record
+                    // against the original arrival.
+                    let id = legs_of[0];
+                    let mut rec = self.record(id).clone();
+                    rec.arrived_at = self.arrivals[req].at;
+                    serving_device.push(None);
+                    served.push(rec);
+                }
+            }
+        }
+        let hedges_wasted = hedges_launched - hedges_won;
+        Ok(FleetRun {
+            device_runs,
+            served,
+            serving_device,
+            migrations: self.migrations,
+            hedges_launched,
+            hedges_won,
+            hedges_wasted,
+            crash_downtime_secs,
+        })
+    }
+}
+
+/// Bit-equivalence of two device runs on every scheduler-visible
+/// surface (used to assert the parallel final pass reproduces the
+/// sequential caches).
+fn runs_equivalent(a: &BatchRun, b: &BatchRun) -> bool {
+    a.served.len() == b.served.len()
+        && a.rounds == b.rounds
+        && a.group_iters == b.group_iters
+        && a.preemptions == b.preemptions
+        && a.shed == b.shed
+        && a.cancelled == b.cancelled
+        && a.kv_tier_hits == b.kv_tier_hits
+        && a.served.iter().zip(&b.served).all(|(x, y)| {
+            x.started_at == y.started_at
+                && x.finished_at == y.finished_at
+                && x.shed == y.shed
+                && x.outcome.answer == y.outcome.answer
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch_server::BatchConfig;
+
+    #[test]
+    fn config_builders() {
+        let cfg = FleetConfig::new(EventConfig::windowed(4, 0.2), RoutePolicy::PrefixAffinity)
+            .with_hedge(HedgeConfig::default());
+        assert!(cfg.failover);
+        assert!(cfg.hedge.is_some());
+        let naive = cfg.without_failover();
+        assert!(!naive.failover);
+    }
+
+    #[test]
+    fn event_order_is_total_and_crashes_preempt_arrivals() {
+        let crash = FleetEvent {
+            at: 5.0,
+            rank: 0,
+            seq: 9,
+            kind: EventKind::Crash {
+                device: 0,
+                down_for: 1.0,
+            },
+        };
+        let arrival = FleetEvent {
+            at: 5.0,
+            rank: 3,
+            seq: 1,
+            kind: EventKind::Arrival { req: 0 },
+        };
+        assert!(crash < arrival, "same instant: crash resolves first");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleets_are_rejected() {
+        let cfg = FleetConfig::new(
+            EventConfig::new(BatchConfig::fifo(), 0.0),
+            RoutePolicy::RoundRobin,
+        );
+        let _ = FleetSim::new(Vec::new(), 4, ftts_search::SearchKind::BeamSearch, cfg);
+    }
+}

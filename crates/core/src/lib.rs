@@ -70,6 +70,7 @@ mod batch_server;
 mod eval;
 mod event_server;
 mod faults;
+mod fleet;
 mod memalloc;
 mod prefix_sched;
 mod server;
@@ -77,10 +78,11 @@ mod sweep;
 
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
-pub use event_server::{EventConfig, EventServerSim};
+pub use event_server::{EventConfig, EventServerSim, PrewarmPrefix, RunDirectives};
 pub use faults::{
     degraded_beams, FaultEvent, FaultKind, FaultPlan, FaultPolicy, RobustConfig, StormConfig,
 };
+pub use fleet::{FleetConfig, FleetRun, FleetSim, HedgeConfig, RoutePolicy};
 pub use ftts_engine::{
     EngineError, RequestRun, RunPhase, SpecConfig, StepStatus, VerifyCharge, VerifyChunk,
 };

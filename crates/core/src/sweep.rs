@@ -17,7 +17,10 @@
 //!    each input to exactly one closure invocation and returns results
 //!    in input order, so [`ServerSim::run_parallel`] and [`sweep`]
 //!    produce exactly the bytes a sequential loop would, regardless of
-//!    worker count or interleaving.
+//!    worker count or interleaving. The fleet layer
+//!    (`crate::fleet::FleetSim`) leans on the same property: its final
+//!    per-device pass runs on [`parallel_map`] and is debug-asserted
+//!    bit-identical to the sequential routing loop's cached timelines.
 //!
 //! # Why not rayon
 //!

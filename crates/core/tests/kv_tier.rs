@@ -20,11 +20,12 @@
 //!   enabled — including under an injected fault storm.
 
 use ftts_core::{
-    BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, FaultPlan, KvTierConfig,
-    ServerSim, StormConfig, TtsServer,
+    BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, FaultPlan, FaultPolicy,
+    KvTierConfig, RobustConfig, RunDirectives, ServerSim, StormConfig, TtsServer,
 };
 use ftts_engine::ModelPairing;
 use ftts_hw::GpuDevice;
+use ftts_metrics::SloClass;
 use ftts_search::SearchKind;
 use ftts_workload::{ArrivalPattern, Dataset, RequestArrival};
 
@@ -207,6 +208,96 @@ fn starved_tier_drops_overflow_but_still_serves_everyone() {
         );
         assert_eq!(r.outcome.answer, f.outcome.answer, "answers");
     }
+}
+
+// ---------------------------------------------------------------------
+// Regression (PR 8): a request cancelled while its KV is parked in the
+// host tier must unpark-and-drop — tier usage returns to its
+// pre-request level instead of stranding parked bytes forever.
+// ---------------------------------------------------------------------
+
+#[test]
+fn directive_cancel_while_parked_reclaims_tier_bytes() {
+    let arrivals = pressured_arrivals();
+    let cfg = BatchConfig::continuous(4).with_tier(KvTierConfig::with_capacity(1 << 30));
+    // The burst preempts the youngest request almost immediately; its
+    // KV parks in the tier and stays parked until a completion frees
+    // device share — hundreds of seconds away. Cancelling it at t=60
+    // (a hedge-loser / crash-failover directive) hits the parked
+    // window.
+    let directives = RunDirectives {
+        cancels: vec![(2, 60.0)],
+        prewarms: Vec::new(),
+    };
+    let run = EventServerSim::new(
+        server(13, 0.30),
+        24,
+        SearchKind::BeamSearch,
+        EventConfig::lockstep(cfg),
+    )
+    .run_directed(&arrivals, &FaultPlan::none(), &directives)
+    .expect("directed run");
+    assert!(run.preemptions > 0, "fixture must preempt");
+    assert!(run.kv_tier_parked_bytes > 0, "preempted KV must park");
+    let victim = &run.served[2];
+    assert!(victim.shed, "the directed cancel must shed request 2");
+    assert!(
+        victim.preemptions >= 1,
+        "request 2 must have been preempted (parked) before its cancel"
+    );
+    assert_eq!(
+        run.kv_tier_unparked_bytes, run.kv_tier_parked_bytes,
+        "every parked byte must be reclaimed — cancellation unparks-and-drops"
+    );
+    assert_eq!(run.final_reserved_bytes, 0, "device pool fully released");
+    // Survivors are untouched: same answers as the directive-free run.
+    let base = EventServerSim::new(
+        server(13, 0.30),
+        24,
+        SearchKind::BeamSearch,
+        EventConfig::lockstep(cfg),
+    )
+    .run(&arrivals)
+    .expect("baseline run");
+    for idx in [0usize, 1, 3] {
+        assert_eq!(
+            run.served[idx].outcome.answer, base.served[idx].outcome.answer,
+            "cancelling a parked bystander must not change survivor answers"
+        );
+    }
+}
+
+#[test]
+fn deadline_cancel_while_parked_reclaims_tier_bytes() {
+    // Same parked window, but the cancellation comes from the Degrade
+    // policy's deadline sweep instead of an external directive. The
+    // whole burst runs in the Batch class (full beam widths — the
+    // degradation controller never shrinks the working set away from
+    // the preemption pressure) and only the victim carries a deadline
+    // that expires inside its parked window.
+    let mut arrivals = pressured_arrivals();
+    for a in arrivals.iter_mut() {
+        *a = a.clone().with_slo(SloClass::Batch, f64::INFINITY);
+    }
+    arrivals[2] = arrivals[2].clone().with_slo(SloClass::Batch, 60.0);
+    let cfg = BatchConfig::continuous(4)
+        .with_tier(KvTierConfig::with_capacity(1 << 30))
+        .with_robust(RobustConfig::with_policy(FaultPolicy::Degrade));
+    let run = BatchedServerSim::new(server(13, 0.30), 24, SearchKind::BeamSearch, cfg)
+        .run(&arrivals)
+        .expect("degrade run");
+    assert!(run.kv_tier_parked_bytes > 0, "preempted KV must park");
+    assert!(run.cancelled >= 1, "the deadline sweep must cancel");
+    let victim = &run.served[2];
+    assert!(victim.shed, "the deadline must shed request 2");
+    assert!(
+        victim.preemptions >= 1,
+        "request 2 must have been preempted (parked) before its deadline"
+    );
+    assert_eq!(
+        run.kv_tier_unparked_bytes, run.kv_tier_parked_bytes,
+        "deadline cancellation of a parked run must unpark its bytes"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,56 @@
+//! Fleet-level serving metrics.
+//!
+//! A fleet run produces one [`StreamSummary`] per device (each device's
+//! own completed/cancelled legs, including wasted crash and hedge-loser
+//! work) plus one *fleet-level* summary over per-request records: every
+//! original request counted exactly once, attributed to the leg that
+//! actually delivered its answer, with migration budgets folded into
+//! the latency breakdown. The fleet summary is where cross-fleet
+//! deadline-hit rate and SLO goodput live — the numbers failover and
+//! hedging exist to defend.
+
+use crate::stream::StreamSummary;
+
+/// Cross-device summary of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Number of devices in the fleet.
+    pub devices: usize,
+    /// Per-device serving summaries over the legs each device ran
+    /// (migrated and hedged duplicates count on the device that ran
+    /// them — this is the device-utilization view).
+    pub per_device: Vec<StreamSummary>,
+    /// Fleet-level summary over per-request records: each original
+    /// request exactly once, attributed to its winning leg. Deadline
+    /// hit rate, SLO goodput and warm-hit totals here are the fleet's
+    /// headline numbers.
+    pub fleet: StreamSummary,
+    /// Requests that failed over to a surviving replica after a device
+    /// crash.
+    pub migrations: u64,
+    /// Hedged duplicates launched for straggling requests.
+    pub hedges_launched: u64,
+    /// Hedges whose duplicate finished first (or outlived a crashed
+    /// primary) and delivered the answer.
+    pub hedges_won: u64,
+    /// Hedges cancelled because the primary won (or lost to a crash);
+    /// their partial work is reclaimed but the device time is wasted.
+    pub hedges_wasted: u64,
+    /// Total seconds of device downtime injected by crash events,
+    /// summed across devices.
+    pub crash_downtime_secs: f64,
+}
+
+impl FleetSummary {
+    /// Fraction of deadline-bearing requests (fleet-wide) that finished
+    /// in time — delegates to the fleet-level stream summary.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        self.fleet.deadline_hit_rate
+    }
+
+    /// Fleet-wide SLO goodput (accepted tokens of in-deadline requests
+    /// per second of makespan).
+    pub fn slo_goodput(&self) -> f64 {
+        self.fleet.slo_goodput
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod fleet;
 mod goodput;
 mod latency;
 mod report;
@@ -25,6 +26,7 @@ mod stream;
 mod summary;
 
 pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
+pub use fleet::FleetSummary;
 pub use goodput::{precise_goodput, BeamOutcome};
 pub use latency::{CompletionRecord, LatencyBreakdown};
 pub use report::{fmt, Table};

@@ -46,9 +46,10 @@ pub use ftts_workload as workload;
 pub use ftts_core::{
     degraded_beams, evaluate, parallel_map, sweep, AblationFlags, BatchConfig, BatchRun,
     BatchedServerSim, EngineError, EvalConfig, EvalSummary, EventConfig, EventServerSim,
-    FaultEvent, FaultKind, FaultPlan, FaultPolicy, HostTier, HotnessPolicy, KvTierConfig,
-    LruAccessHotness, PrefixAwareOrder, RobustConfig, RooflinePlanner, ServeOutcome, ServedRequest,
-    ServerSim, SpecConfig, StormConfig, SweepJob, TierStats, TtsServer, WorstCaseOrder,
+    FaultEvent, FaultKind, FaultPlan, FaultPolicy, FleetConfig, FleetRun, FleetSim, HedgeConfig,
+    HostTier, HotnessPolicy, KvTierConfig, LruAccessHotness, PrefixAwareOrder, RobustConfig,
+    RooflinePlanner, RoutePolicy, ServeOutcome, ServedRequest, ServerSim, SpecConfig, StormConfig,
+    SweepJob, TierStats, TtsServer, WorstCaseOrder,
 };
 pub use ftts_engine::{
     Engine, EngineConfig, ModelPairing, RequestRun, RunStats, SearchDriver, StepStatus,
