@@ -1,8 +1,10 @@
 //! CI bench-regression gate.
 //!
 //! ```text
-//! bench-gate --baseline <dir> --fresh <dir>   # compare reports, exit 1 on regression
-//! bench-gate --self-test                      # verify the gate fails a synthetic regression
+//! bench-gate --baseline <dir> --fresh <dir>     # compare reports, exit 1 on regression
+//! bench-gate --self-test                        # verify the gate fails a synthetic regression
+//! bench-gate --write-baseline --baseline <dir> --fresh <dir>
+//!                                               # validate fresh reports, install as baseline
 //! ```
 //!
 //! Prints the delta table as markdown and, when `$GITHUB_STEP_SUMMARY`
@@ -14,6 +16,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ftts_bench::gate;
+
+const USAGE: &str =
+    "usage: bench-gate --baseline <dir> --fresh <dir> [--write-baseline] | --self-test";
 
 fn emit(markdown: &str) {
     println!("{markdown}");
@@ -33,15 +38,17 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--baseline" => baseline = it.next().map(PathBuf::from),
             "--fresh" => fresh = it.next().map(PathBuf::from),
             "--self-test" => self_test = true,
+            "--write-baseline" => write_baseline = true,
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: bench-gate --baseline <dir> --fresh <dir> | --self-test");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
@@ -61,9 +68,27 @@ fn main() -> ExitCode {
     }
 
     let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
-        eprintln!("usage: bench-gate --baseline <dir> --fresh <dir> | --self-test");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+
+    if write_baseline {
+        return match gate::write_baseline(&fresh, &baseline, &gate::default_specs()) {
+            Ok(files) => {
+                println!(
+                    "RESULT bench-gate --write-baseline: installed {} validated reports into {}",
+                    files.len(),
+                    baseline.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("bench-gate --write-baseline refused:\n{why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let report = gate::run_gate(&baseline, &fresh, &gate::default_specs());
     emit(&report.to_markdown());
     if report.passed() {

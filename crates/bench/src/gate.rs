@@ -396,6 +396,43 @@ pub fn default_specs() -> Vec<MetricSpec> {
             absolute: Some(3.0),
             direction: HigherIsBetter,
         },
+        MetricSpec {
+            file: "BENCH_PR9.json",
+            path: "fair_share.victim.deadline_hit_rate",
+            label: "PR9 victim deadline-hit rate under fair share",
+            min_ratio: 0.0,
+            // Near-zero fractions ratio badly; the fixture is tuned so
+            // fair share saves every victim deadline.
+            absolute: Some(0.99),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR9.json",
+            path: "victim_deadline_hit_gain",
+            label: "PR9 victim deadline-hit gain vs uncapped",
+            min_ratio: 0.0,
+            // Strictly-beats is the PR's acceptance bar: any gain at or
+            // below 1.0 means the tenant layer stopped protecting.
+            absolute: Some(1.05),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR9.json",
+            path: "noisy_cap_utilization",
+            label: "PR9 noisy tenant peak vs hard cap",
+            min_ratio: 0.0,
+            // Cap compliance: peak grant / cap must never exceed 1.0.
+            absolute: Some(1.0),
+            direction: LowerIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR9.json",
+            path: "fair_share.victim.stream_goodput_tok_per_s",
+            label: "PR9 victim stream goodput under fair share",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: HigherIsBetter,
+        },
     ]
 }
 
@@ -521,6 +558,60 @@ pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path, specs: &[MetricSpec]) -> 
         })
         .collect();
     GateReport { rows }
+}
+
+/// Validate the fresh reports in `fresh_dir` and install them as the
+/// new baseline in `baseline_dir` — the intentional-refresh path
+/// (`bench-gate --write-baseline`). Every gated file must parse and
+/// every gated metric must resolve to a number *before* anything is
+/// copied, so a half-emitted report can never become the baseline.
+/// Returns the files installed, in name order.
+///
+/// # Errors
+///
+/// Returns a description of every unreadable/unparseable report or
+/// unresolvable metric; `baseline_dir` is left untouched on any error.
+pub fn write_baseline(
+    fresh_dir: &Path,
+    baseline_dir: &Path,
+    specs: &[MetricSpec],
+) -> Result<Vec<&'static str>, String> {
+    let mut files: Vec<&'static str> = specs.iter().map(|s| s.file).collect();
+    files.sort_unstable();
+    files.dedup();
+    let mut problems = Vec::new();
+    let mut parsed: BTreeMap<&'static str, Json> = BTreeMap::new();
+    for file in &files {
+        match std::fs::read_to_string(fresh_dir.join(file)) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(json) => {
+                    parsed.insert(file, json);
+                }
+                Err(why) => problems.push(format!("{file}: does not parse ({why})")),
+            },
+            Err(why) => problems.push(format!("{file}: unreadable ({why})")),
+        }
+    }
+    for spec in specs {
+        if let Some(json) = parsed.get(spec.file) {
+            if json.number_at(spec.path).is_none() {
+                problems.push(format!(
+                    "{}: gated metric '{}' does not resolve to a number",
+                    spec.file, spec.path
+                ));
+            }
+        }
+    }
+    if !problems.is_empty() {
+        return Err(problems.join("\n"));
+    }
+    std::fs::create_dir_all(baseline_dir)
+        .map_err(|e| format!("create {}: {e}", baseline_dir.display()))?;
+    for file in &files {
+        std::fs::copy(fresh_dir.join(file), baseline_dir.join(file))
+            .map_err(|e| format!("install {file}: {e}"))?;
+    }
+    Ok(files)
 }
 
 /// The negative self-test: run the gate over a synthetic baseline and a
@@ -658,6 +749,37 @@ mod tests {
     }
 
     #[test]
+    fn write_baseline_validates_before_installing() {
+        let dir = std::env::temp_dir().join(format!("ftts-gate-wb-{}", std::process::id()));
+        let (fresh, base) = (dir.join("fresh"), dir.join("base"));
+        std::fs::create_dir_all(&fresh).unwrap();
+        let specs = vec![MetricSpec {
+            file: "BENCH_WB.json",
+            path: "policies.best.goodput",
+            label: "wb goodput",
+            min_ratio: 0.95,
+            absolute: None,
+            direction: Direction::HigherIsBetter,
+        }];
+        // A report whose gated metric is missing must refuse to install.
+        std::fs::write(fresh.join("BENCH_WB.json"), r#"{ "policies": {} }"#).unwrap();
+        let err = write_baseline(&fresh, &base, &specs).expect_err("missing metric refuses");
+        assert!(err.contains("does not resolve"), "{err}");
+        assert!(!base.exists(), "nothing installed on refusal");
+        // A complete report installs and round-trips through the gate.
+        std::fs::write(
+            fresh.join("BENCH_WB.json"),
+            r#"{ "policies": { "best": { "goodput": 123.0 } } }"#,
+        )
+        .unwrap();
+        let installed = write_baseline(&fresh, &base, &specs).expect("valid report installs");
+        assert_eq!(installed, vec!["BENCH_WB.json"]);
+        let report = run_gate(&base, &fresh, &specs);
+        assert!(report.passed(), "fresh vs just-written baseline is 1.0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn synthetic_regression_fails_and_improvement_passes() {
         // The negative test the ISSUE requires: the gate must go red on
         // a synthetic regression (and green on an improvement).
@@ -666,19 +788,40 @@ mod tests {
 
     #[test]
     fn default_specs_cover_every_bench_report() {
+        // Discover the committed reports instead of hand-maintaining a
+        // list: any `BENCH_PR*.json` landing in the repo root without a
+        // gated metric fails this test until a spec is added.
         let specs = default_specs();
-        for file in [
-            "BENCH_PR1.json",
-            "BENCH_PR2.json",
-            "BENCH_PR3.json",
-            "BENCH_PR4.json",
-            "BENCH_PR6.json",
-            "BENCH_PR7.json",
-            "BENCH_PR8.json",
-        ] {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut reports: Vec<String> = std::fs::read_dir(&root)
+            .expect("repo root is readable")
+            .map(|e| {
+                e.expect("dir entry")
+                    .file_name()
+                    .into_string()
+                    .expect("utf8 name")
+            })
+            .filter(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
+            .collect();
+        reports.sort();
+        assert!(
+            reports.len() >= 8,
+            "the committed BENCH_PR*.json baselines must be present (found {reports:?})"
+        );
+        for file in &reports {
             assert!(
                 specs.iter().any(|s| s.file == file),
-                "{file} must have at least one gated metric"
+                "{file} must have at least one gated metric in default_specs()"
+            );
+        }
+        // And the converse: every gated file is a report that exists,
+        // so a renamed bench cannot leave a stale spec behind.
+        for spec in &specs {
+            assert!(
+                reports.iter().any(|f| f == spec.file),
+                "spec '{}' gates {}, which is not a committed report",
+                spec.label,
+                spec.file
             );
         }
     }

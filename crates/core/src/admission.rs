@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use ftts_engine::{EngineError, RequestRun, RunStats, SearchDriver, VerifyCharge, VerifyChunk};
-use ftts_kv::{HostTier, PoolBudget, ShareRequest};
+use ftts_kv::{HostTier, PoolBudget, ShareRequest, TenantShareRequest};
 use ftts_metrics::SloClass;
 use ftts_search::{make_driver, SearchKind};
 use ftts_workload::RequestArrival;
@@ -27,6 +27,7 @@ use ftts_workload::RequestArrival;
 use crate::batch_server::BatchConfig;
 use crate::faults::degraded_beams;
 use crate::server::{ServeOutcome, ServedRequest, TtsServer};
+use crate::tenant::TenantPolicy;
 
 /// One in-flight (or preempted) request.
 pub(crate) struct InFlight {
@@ -39,6 +40,8 @@ pub(crate) struct InFlight {
     pub(crate) slo: SloClass,
     /// Absolute deadline (`f64::INFINITY` = none).
     pub(crate) deadline: f64,
+    /// Tenant the request bills to (0 when untenanted).
+    pub(crate) tenant: u32,
     /// Beam width actually granted at admission (equal to the
     /// configured width unless the degradation controller shrank it).
     pub(crate) granted_n: usize,
@@ -191,7 +194,8 @@ pub(crate) fn top_up_first_holder(
 }
 
 /// Completion/preemption boundary: re-share the surviving in-flight set
-/// — equal split by default, demand-proportional when configured.
+/// — equal split by default, demand-proportional when configured,
+/// two-level tenant fair-share when a [`TenantPolicy`] is attached.
 pub(crate) fn reshare(
     config: &BatchConfig,
     group: &mut [InFlight],
@@ -201,10 +205,34 @@ pub(crate) fn reshare(
     if group.is_empty() && rest.is_empty() {
         return;
     }
-    if config.demand_shares {
+    if let Some(policy) = config.tenants {
+        rebalance_tenants(&policy, group, rest, pool);
+    } else if config.demand_shares {
         rebalance_demand(group, rest, pool);
     } else {
         regrow(group, rest, pool);
+    }
+}
+
+/// Whether the policy rebalances at admission/drift boundaries (either
+/// elastic mode) rather than only regrowing at completion/preemption.
+pub(crate) fn elastic(config: &BatchConfig) -> bool {
+    config.demand_shares || config.tenants.is_some()
+}
+
+/// Admission/drift boundary for the elastic policies: tenant fair-share
+/// when configured, demand-proportional otherwise. Callers gate on
+/// [`elastic`].
+pub(crate) fn rebalance_elastic(
+    config: &BatchConfig,
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+) {
+    if let Some(policy) = config.tenants {
+        rebalance_tenants(&policy, group, rest, pool);
+    } else {
+        rebalance_demand(group, rest, pool);
     }
 }
 
@@ -248,6 +276,49 @@ pub(crate) fn rebalance_demand(
     }
 }
 
+/// Two-level tenant fair-share rebalance: every in-flight run declares
+/// its demand/floor exactly as [`rebalance_demand`], tagged with the
+/// tenant it bills to and the tenant's policy weight; the ledger splits
+/// the pool across tenants by weighted fair-share (each bounded by its
+/// hard cap), then within each tenant demand-proportionally — see
+/// [`ftts_kv::PoolBudget::rebalance_tenants`]. Unlike the untenanted
+/// rebalance the ledger may end under-subscribed: bytes a tenant cap
+/// withholds stay free instead of spilling to other tenants.
+pub(crate) fn rebalance_tenants(
+    policy: &TenantPolicy,
+    group: &mut [InFlight],
+    rest: &mut [InFlight],
+    pool: &mut PoolBudget,
+) {
+    if group.is_empty() && rest.is_empty() {
+        return;
+    }
+    let requests: Vec<TenantShareRequest> = group
+        .iter_mut()
+        .chain(rest.iter_mut())
+        .map(|a| {
+            let demand = a.run.demand_bytes();
+            a.declared_demand = demand;
+            TenantShareRequest {
+                req: ShareRequest {
+                    holder: a.idx as u64,
+                    demand,
+                    floor: a.run.kv_floor_bytes(),
+                },
+                tenant: u64::from(a.tenant),
+                weight: policy.spec(a.tenant).weight,
+            }
+        })
+        .collect();
+    assert!(
+        pool.rebalance_tenants(&requests),
+        "active set must cover the reservation ledger exactly"
+    );
+    for a in group.iter_mut().chain(rest.iter_mut()) {
+        a.run.set_kv_budget(pool.share_of(a.idx as u64));
+    }
+}
+
 /// Whether any in-flight run's working-set demand drifted ±25% past its
 /// last declaration — the trigger for an off-boundary elastic
 /// rebalance. Trees grow for many rounds between admissions and
@@ -259,6 +330,46 @@ pub(crate) fn demand_drifted(group: &[InFlight], rest: &[InFlight]) -> bool {
         let declared = a.declared_demand.max(1);
         demand * 4 > declared * 5 || demand * 5 < declared * 4
     })
+}
+
+/// Whether `tenant` has admission quota left, counting every in-flight
+/// holder (launching group plus rest). Always true without a tenant
+/// policy.
+fn tenant_quota_open(
+    policy: Option<&TenantPolicy>,
+    tenant: u32,
+    group: &[InFlight],
+    rest: &[InFlight],
+) -> bool {
+    let Some(p) = policy else { return true };
+    let in_flight = group
+        .iter()
+        .chain(rest.iter())
+        .filter(|a| a.tenant == tenant)
+        .count();
+    in_flight < p.spec(tenant).quota()
+}
+
+/// The probe/admission share offered to a candidate of `tenant`: the
+/// equal split, additionally clamped to the tenant's hard cap divided
+/// across the tenant's would-be in-flight count — so a capped tenant's
+/// candidate is probed at a share the tenant rebalance can actually
+/// sustain instead of admitting on memory it will lose at the very next
+/// boundary. Identity without a tenant policy.
+fn tenant_probe_share(
+    policy: Option<&TenantPolicy>,
+    share: u64,
+    tenant: u32,
+    group: &[InFlight],
+    rest: &[InFlight],
+) -> u64 {
+    let Some(p) = policy else { return share };
+    let n_t = group
+        .iter()
+        .chain(rest.iter())
+        .filter(|a| a.tenant == tenant)
+        .count() as u64;
+    share.min(p.spec(tenant).kv_cap_bytes / (n_t + 1))
 }
 
 /// What an admission pass did, beyond whether anyone joined.
@@ -317,8 +428,14 @@ pub(crate) fn admit(
         // (pause order), then the head of the arrival queue. Under SLO
         // enforcement both classes rank earliest-deadline-first instead
         // (readmits still outrank fresh arrivals — they hold accepted
-        // work), with position as the deterministic tiebreak.
-        let mut readmit_order: Vec<usize> = (0..paused.len()).collect();
+        // work), with position as the deterministic tiebreak. A tenant
+        // policy filters both classes by admission quota first, so a
+        // quota-blocked tenant's arrivals queue without blocking other
+        // tenants' arrivals behind them.
+        let policy = ctx.config.tenants;
+        let mut readmit_order: Vec<usize> = (0..paused.len())
+            .filter(|&pos| tenant_quota_open(policy.as_ref(), paused[pos].tenant, group, rest))
+            .collect();
         let fresh_pos = if edf {
             readmit_order.sort_by(|&x, &y| {
                 paused[x]
@@ -327,12 +444,20 @@ pub(crate) fn admit(
                     .expect("finite or +inf deadlines")
                     .then(x.cmp(&y))
             });
-            (0..waiting.len()).min_by(|&x, &y| {
-                arrivals[waiting[x]]
-                    .deadline
-                    .partial_cmp(&arrivals[waiting[y]].deadline)
-                    .expect("finite or +inf deadlines")
-                    .then(waiting[x].cmp(&waiting[y]))
+            (0..waiting.len())
+                .filter(|&x| {
+                    tenant_quota_open(policy.as_ref(), arrivals[waiting[x]].tenant, group, rest)
+                })
+                .min_by(|&x, &y| {
+                    arrivals[waiting[x]]
+                        .deadline
+                        .partial_cmp(&arrivals[waiting[y]].deadline)
+                        .expect("finite or +inf deadlines")
+                        .then(waiting[x].cmp(&waiting[y]))
+                })
+        } else if policy.is_some() {
+            (0..waiting.len()).find(|&x| {
+                tenant_quota_open(policy.as_ref(), arrivals[waiting[x]].tenant, group, rest)
             })
         } else if waiting.is_empty() {
             None
@@ -360,19 +485,21 @@ pub(crate) fn admit(
                     // requires its working set to fit, or it would
                     // bounce straight back out; with the device to
                     // itself it may thrash, as FIFO would.
+                    let cand =
+                        tenant_probe_share(policy.as_ref(), share, paused[pos].tenant, group, rest);
                     let p = &mut paused[pos];
-                    if !matches!(p.probe, Some((s, _, _)) if s == share) {
-                        p.run.set_kv_budget(share);
-                        p.probe = Some((share, p.run.can_progress(), p.run.fits_working_set()));
+                    if !matches!(p.probe, Some((s, _, _)) if s == cand) {
+                        p.run.set_kv_budget(cand);
+                        p.probe = Some((cand, p.run.can_progress(), p.run.fits_working_set()));
                     }
                     let (_, can_progress, fits_ws) = p.probe.expect("probe just set");
                     if !(can_progress && (!joining_others || fits_ws)) {
                         continue;
                     }
                     let mut p = paused.remove(pos).expect("index in range");
-                    p.run.set_kv_budget(share);
+                    p.run.set_kv_budget(cand);
                     shrink(group, rest, pool, share);
-                    assert!(pool.reserve(p.idx as u64, share), "ledger must have room");
+                    assert!(pool.reserve(p.idx as u64, cand), "ledger must have room");
                     // The parked host bytes are coming back on-device:
                     // free the tier's ledger now; the actual swap-in is
                     // charged lazily as host-resident nodes pin
@@ -383,7 +510,13 @@ pub(crate) fn admit(
                     p.admit_seq = *admit_seq;
                     *admit_seq += 1;
                     group.push(p);
-                    top_up_first_holder(group, rest, pool, share);
+                    // Tenant mode under-subscribes the ledger by design
+                    // (caps withhold bytes); the tenant rebalance right
+                    // after this boundary sets the real shares, so the
+                    // full-subscription top-up does not apply.
+                    if policy.is_none() {
+                        top_up_first_holder(group, rest, pool, share);
+                    }
                     report.admitted = true;
                     progressed = true;
                 }
@@ -416,12 +549,19 @@ pub(crate) fn admit(
                     let warm = (warm_tokens > 0).then_some(ftts_engine::WarmStart {
                         tokens: warm_tokens,
                     });
+                    let cand = tenant_probe_share(
+                        policy.as_ref(),
+                        share,
+                        arrivals[idx].tenant,
+                        group,
+                        rest,
+                    );
                     match ctx.server.begin_request_warm(
                         &arrivals[idx].problem,
                         n_granted,
                         driver.as_mut(),
                         f64::INFINITY,
-                        Some(share),
+                        Some(cand),
                         warm,
                     ) {
                         Ok(mut run) => {
@@ -435,7 +575,7 @@ pub(crate) fn admit(
                                 .expect("candidate still queued");
                             waiting.remove(pos);
                             shrink(group, rest, pool, share);
-                            assert!(pool.reserve(idx as u64, share), "ledger must have room");
+                            assert!(pool.reserve(idx as u64, cand), "ledger must have room");
                             group.push(InFlight {
                                 idx,
                                 run,
@@ -443,6 +583,7 @@ pub(crate) fn admit(
                                 arrived_at: arrivals[idx].at,
                                 slo: arrivals[idx].slo,
                                 deadline: arrivals[idx].deadline,
+                                tenant: arrivals[idx].tenant,
                                 granted_n: n_granted,
                                 started_at: global,
                                 admit_seq: *admit_seq,
@@ -452,7 +593,9 @@ pub(crate) fn admit(
                                 probe: None,
                                 declared_demand: 0,
                             });
-                            top_up_first_holder(group, rest, pool, share);
+                            if policy.is_none() {
+                                top_up_first_holder(group, rest, pool, share);
+                            }
                             *admit_seq += 1;
                             report.admitted = true;
                             if n_granted < ctx.n {
@@ -565,7 +708,16 @@ pub(crate) fn enforce_slo(
             .problem
             .prompt_tokens
             .saturating_sub(tier.peek_prefix_tokens(a.problem.seed));
-        let infeasible = cold_tokens.saturating_mul(gen_bpt) > pool_bytes;
+        // The device working set must fit the whole pool — and, under a
+        // tenant policy, the arrival's own tenant cap: a prompt the cap
+        // could never host sheds now instead of thrashing in and out of
+        // admission forever (working-set-aware early rejection).
+        let cap = ctx
+            .config
+            .tenants
+            .map_or(u64::MAX, |p| p.spec(a.tenant).kv_cap_bytes);
+        let cold_bytes = cold_tokens.saturating_mul(gen_bpt);
+        let infeasible = cold_bytes > pool_bytes || cold_bytes > cap;
         if !(expired || infeasible) {
             return true;
         }

@@ -81,6 +81,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::{self, InFlight, SchedCtx};
 use crate::faults::{FaultCursor, FaultPlan, LaunchFaults, RobustConfig};
 use crate::server::{ServeOutcome, ServedRequest, TtsServer};
+use crate::tenant::TenantPolicy;
 
 /// Request-level scheduling knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,6 +121,12 @@ pub struct BatchConfig {
     /// unbounded host and completed requests' KV vanishes, exactly the
     /// pre-tier behaviour.
     pub tier: KvTierConfig,
+    /// Per-tenant fair-share policy (see [`TenantPolicy`]): weighted KV
+    /// fair-share across tenants with hard byte caps and admission
+    /// quotas. The default — `None` — is bit-inert: requests' tenant
+    /// tags are ignored and scheduling is exactly the untenanted
+    /// policy.
+    pub tenants: Option<TenantPolicy>,
 }
 
 impl BatchConfig {
@@ -135,6 +142,7 @@ impl BatchConfig {
             first_finish_bar: 0.0,
             robust: RobustConfig::default(),
             tier: KvTierConfig::default(),
+            tenants: None,
         }
     }
 
@@ -185,6 +193,14 @@ impl BatchConfig {
     /// Put a host-RAM KV tier behind the device pool.
     pub fn with_tier(mut self, tier: KvTierConfig) -> Self {
         self.tier = tier;
+        self
+    }
+
+    /// Attach a per-tenant fair-share policy: weighted KV fair-share
+    /// across tenants at every rebalance boundary, hard per-tenant byte
+    /// caps, and per-tenant admission quotas.
+    pub fn with_tenants(mut self, tenants: TenantPolicy) -> Self {
+        self.tenants = Some(tenants);
         self
     }
 }
@@ -251,6 +267,10 @@ pub struct BatchRun {
     /// parked byte is eventually swapped back in or dropped on
     /// cancellation, never stranded.
     pub kv_tier_unparked_bytes: u64,
+    /// Per-tenant peak KV grant (tenant id, bytes) recorded at tenant
+    /// rebalance boundaries, in tenant-id order — the audit that hard
+    /// caps held for the whole run. Empty without a tenant policy.
+    pub tenant_peak_bytes: Vec<(u32, u64)>,
 }
 
 impl BatchRun {
@@ -360,6 +380,11 @@ impl BatchedServerSim {
         let device = self.server.config().device.clone();
         let gen_bpt = self.server.config().models.gen_spec.kv_bytes_per_token();
         let mut pool = PoolBudget::new(pool_bytes);
+        if let Some(policy) = self.config.tenants {
+            for spec in policy.specs() {
+                pool.set_tenant_cap(u64::from(spec.id), spec.kv_cap_bytes);
+            }
+        }
         let mut tier = HostTier::new(self.config.tier);
         let mut global = 0.0f64;
         let mut next_arrival = 0usize;
@@ -430,9 +455,10 @@ impl BatchedServerSim {
                 &mut admit_seq,
             )?;
             degradations += report.degradations;
-            // Admission boundary: size elastic shares by demand.
-            if report.admitted && self.config.demand_shares {
-                admission::rebalance_demand(&mut active, &mut [], &mut pool);
+            // Admission boundary: size elastic shares by demand (and,
+            // under a tenant policy, by tenant fair-share).
+            if report.admitted && admission::elastic(&self.config) {
+                admission::rebalance_elastic(&self.config, &mut active, &mut [], &mut pool);
             }
 
             if active.is_empty() {
@@ -657,13 +683,15 @@ impl BatchedServerSim {
                 }
                 if !finished.is_empty() {
                     admission::reshare(&self.config, &mut active, &mut [], &mut pool);
-                } else if self.config.demand_shares && admission::demand_drifted(&active, &[]) {
+                } else if admission::elastic(&self.config)
+                    && admission::demand_drifted(&active, &[])
+                {
                     // Demand-drift boundary: trees grow for many rounds
                     // between admissions/completions; shares frozen at
                     // an early snapshot would shrink a growing request
                     // into preemption. Re-declare and rebalance once any
                     // run's demand drifts ±25% past its declaration.
-                    admission::rebalance_demand(&mut active, &mut [], &mut pool);
+                    admission::rebalance_elastic(&self.config, &mut active, &mut [], &mut pool);
                 }
             }
         }
@@ -694,6 +722,11 @@ impl BatchedServerSim {
             kv_tier_parked_bytes: tier.stats().parked_bytes,
             kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
             kv_tier_unparked_bytes: tier.stats().unparked_bytes,
+            tenant_peak_bytes: pool
+                .tenant_peaks()
+                .into_iter()
+                .map(|(t, b)| (t as u32, b))
+                .collect(),
         })
     }
 }

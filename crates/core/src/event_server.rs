@@ -250,6 +250,11 @@ impl EventServerSim {
         let device = self.server.config().device.clone();
         let gen_bpt = self.server.config().models.gen_spec.kv_bytes_per_token();
         let mut pool = PoolBudget::new(pool_bytes);
+        if let Some(policy) = batch.tenants {
+            for spec in policy.specs() {
+                pool.set_tenant_cap(u64::from(spec.id), spec.kv_cap_bytes);
+            }
+        }
         let mut tier = HostTier::new(batch.tier);
         // Earliest instant the next launch may happen: raised by
         // preemption PCIe transfers, by completions that drain the
@@ -430,9 +435,10 @@ impl EventServerSim {
                 &mut admit_seq,
             )?;
             degradations += report.degradations;
-            // Admission boundary: size elastic shares by demand.
-            if report.admitted && batch.demand_shares {
-                admission::rebalance_demand(&mut group, &mut rest, &mut pool);
+            // Admission boundary: size elastic shares by demand (and,
+            // under a tenant policy, by tenant fair-share).
+            if report.admitted && admission::elastic(batch) {
+                admission::rebalance_elastic(batch, &mut group, &mut rest, &mut pool);
             }
 
             if group.is_empty() && rest.is_empty() {
@@ -671,8 +677,8 @@ impl EventServerSim {
             if !(group.is_empty() && rest.is_empty()) {
                 if !finished.is_empty() {
                     admission::reshare(batch, &mut group, &mut rest, &mut pool);
-                } else if batch.demand_shares && admission::demand_drifted(&group, &rest) {
-                    admission::rebalance_demand(&mut group, &mut rest, &mut pool);
+                } else if admission::elastic(batch) && admission::demand_drifted(&group, &rest) {
+                    admission::rebalance_elastic(batch, &mut group, &mut rest, &mut pool);
                 }
             }
 
@@ -710,6 +716,11 @@ impl EventServerSim {
             kv_tier_parked_bytes: tier.stats().parked_bytes,
             kv_tier_dropped_bytes: tier_dropped + tier.stats().overflow_dropped_bytes,
             kv_tier_unparked_bytes: tier.stats().unparked_bytes,
+            tenant_peak_bytes: pool
+                .tenant_peaks()
+                .into_iter()
+                .map(|(t, b)| (t as u32, b))
+                .collect(),
         })
     }
 }

@@ -520,6 +520,7 @@ impl<'a> FleetEngine<'a> {
                 problem: base.problem,
                 slo: base.slo,
                 deadline: base.deadline,
+                tenant: base.tenant,
             });
             if l.cancel_at.is_finite() {
                 directives.cancels.push((pos, l.cancel_at));

@@ -75,6 +75,7 @@ mod memalloc;
 mod prefix_sched;
 mod server;
 mod sweep;
+mod tenant;
 
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
@@ -91,3 +92,4 @@ pub use memalloc::RooflinePlanner;
 pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};
 pub use sweep::{parallel_map, sweep, SweepJob};
+pub use tenant::{TenantPolicy, TenantSpec, MAX_TENANTS};

@@ -54,7 +54,7 @@ mod stats;
 mod tier;
 mod tree;
 
-pub use budget::{PoolBudget, ShareRequest};
+pub use budget::{tenant_weighted_budgets, PoolBudget, ShareRequest, TenantShareRequest};
 pub use cache::{KvCache, KvCacheConfig, KvError, PinCost};
 pub use pool::BlockPool;
 pub use stats::CacheStats;

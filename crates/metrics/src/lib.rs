@@ -24,6 +24,7 @@ mod latency;
 mod report;
 mod stream;
 mod summary;
+mod tenant;
 
 pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
 pub use fleet::FleetSummary;
@@ -32,3 +33,4 @@ pub use latency::{CompletionRecord, LatencyBreakdown};
 pub use report::{fmt, Table};
 pub use stream::{ClassSummary, SloClass, StreamRecord, StreamSummary};
 pub use summary::Summary;
+pub use tenant::TenantRollup;

@@ -1,0 +1,118 @@
+//! The `ftts-serve` binary.
+//!
+//! ```text
+//! ftts-serve --config serve.toml                         # serve until a shutdown frame
+//! ftts-serve --config serve.toml --client-replay t.jsonl # boot, replay, assert, exit
+//! ```
+//!
+//! In replay mode the binary boots the server on the configured
+//! address, drives the trace through a real client socket, prints each
+//! frame/reply pair, then asserts the exchange was coherent (every
+//! frame got a parseable reply and the trace ended in a clean
+//! shutdown) and prints a final `RESULT` sentinel — CI fails the smoke
+//! job if the sentinel is missing.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use ftts_serve::{Json, ServeConfig, ServeRuntime};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ftts-serve: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => config_path = it.next().cloned(),
+            "--client-replay" => replay_path = it.next().cloned(),
+            other => {
+                return fail(&format!(
+                    "unknown argument '{other}'\nusage: ftts-serve --config <file> [--client-replay <trace>]"
+                ));
+            }
+        }
+    }
+    let Some(config_path) = config_path else {
+        return fail("--config <file> is required");
+    };
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("read {config_path}: {e}")),
+    };
+    let config = match ServeConfig::parse(&text) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("{config_path}: {e}")),
+    };
+    let listener = match TcpListener::bind(&config.listen) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("bind {}: {e}", config.listen)),
+    };
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("LISTENING {addr}");
+    let runtime = Arc::new(Mutex::new(ServeRuntime::new(config)));
+
+    let Some(replay_path) = replay_path else {
+        // Plain serving mode: block until a shutdown frame drains us.
+        let connections = ftts_serve::net::serve(&listener, &runtime);
+        println!("RESULT ftts-serve: clean shutdown after {connections} connections");
+        return ExitCode::SUCCESS;
+    };
+
+    // Replay mode: boot the server thread, drive the trace, assert.
+    let trace = match std::fs::read_to_string(&replay_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("read {replay_path}: {e}")),
+    };
+    let server = {
+        let runtime = Arc::clone(&runtime);
+        thread::spawn(move || ftts_serve::net::serve(&listener, &runtime))
+    };
+    let replies = match ftts_serve::net::replay(&addr.to_string(), &trace) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("replay: {e}")),
+    };
+    let frames: Vec<&str> = trace
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    for (frame, reply) in frames.iter().zip(&replies) {
+        println!("-> {frame}");
+        println!("<- {reply}");
+        let parsed = match Json::parse(reply) {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("unparseable reply '{reply}': {e}")),
+        };
+        match parsed.at("ok") {
+            Some(Json::Bool(true)) => ok += 1,
+            Some(Json::Bool(false)) => errors += 1,
+            _ => return fail(&format!("reply missing 'ok' field: {reply}")),
+        }
+    }
+    if server.join().is_err() {
+        return fail("server thread panicked");
+    }
+    let Some(last) = replies.last() else {
+        return fail("empty trace");
+    };
+    if !last.contains("\"op\":\"shutdown\"") {
+        return fail("trace must end in a clean shutdown");
+    }
+    println!(
+        "RESULT serve-replay: {} frames, {ok} ok, {errors} structured errors, clean shutdown",
+        frames.len()
+    );
+    ExitCode::SUCCESS
+}

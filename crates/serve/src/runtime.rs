@@ -1,0 +1,569 @@
+//! The serving runtime behind the wire protocol.
+//!
+//! The server is a *virtual-time* front-end over the deterministic
+//! simulators: clients submit requests with explicit arrival instants,
+//! and any query that needs results (`status`, `stats`) replays the
+//! accumulated timeline through [`EventServerSim`] (or [`FleetSim`]
+//! when the config declares more than one device) from scratch.
+//! Because every layer underneath is seeded and deterministic, the
+//! replay is instant in the relevant sense — simulated seconds cost
+//! microseconds — and *incremental in effect*: re-running the grown
+//! timeline yields exactly the previous results for old requests plus
+//! results for the new ones, which the replay-determinism tests pin
+//! down byte-for-byte.
+//!
+//! The runtime also owns the protocol-level tenant front door
+//! ([`TenantBudget`]): unknown tenants, prompts whose cold working set
+//! cannot fit the tenant's hard cap (or the pool), and tenants at
+//! their open-request quota are refused with structured errors before
+//! anything reaches the scheduler's admission path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ftts_core::{
+    BatchConfig, EventConfig, EventServerSim, FaultPlan, FleetConfig, FleetSim, RoutePolicy,
+    ServedRequest, StormConfig, TenantPolicy, TenantSpec, TtsServer,
+};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_metrics::{StreamRecord, TenantRollup};
+use ftts_search::SearchKind;
+use ftts_workload::RequestArrival;
+
+use crate::config::ServeConfig;
+use crate::json::escape;
+use crate::protocol::{parse_frame, Frame, Submit, WireError};
+use crate::tenant::{AdmitError, TenantBudget};
+
+/// What handling one frame produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handled {
+    /// The reply line (no trailing newline).
+    pub reply: String,
+    /// Whether the frame asked the server to shut down.
+    pub shutdown: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Submission {
+    frame: Submit,
+    cold_bytes: u64,
+    cancelled: bool,
+    /// Whether the submission currently holds ledger bytes/quota; open
+    /// holdings resolve (release) at the next replay or cancellation.
+    billed: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SimResult {
+    /// Resolved record per submission index (cancelled ones absent).
+    outcomes: BTreeMap<usize, ServedRequest>,
+    /// Per-tenant peak KV grants, merged max across devices.
+    tenant_peaks: Vec<(u32, u64)>,
+}
+
+/// The serving runtime: config, tenant front door, submission log and
+/// the cached replay.
+#[derive(Debug, Clone)]
+pub struct ServeRuntime {
+    config: ServeConfig,
+    budget: TenantBudget,
+    subs: Vec<Submission>,
+    by_id: BTreeMap<String, usize>,
+    rejected: u64,
+    dirty: bool,
+    cache: SimResult,
+    pool_bytes: u64,
+    gen_bpt: u64,
+}
+
+impl ServeRuntime {
+    /// Build a runtime from a validated config.
+    pub fn new(config: ServeConfig) -> Self {
+        let server = Self::build_server(&config);
+        let pool_bytes = server.config().kv_budget_bytes();
+        let gen_bpt = server.config().models.gen_spec.kv_bytes_per_token();
+        let mut budget = TenantBudget::new(pool_bytes);
+        if config.tenants.is_empty() {
+            budget.register(0, 1, u64::MAX, 0);
+        } else {
+            for t in &config.tenants {
+                budget.register(
+                    t.id,
+                    t.weight,
+                    cap_bytes(t.kv_cap_frac, pool_bytes),
+                    t.max_open,
+                );
+            }
+        }
+        Self {
+            config,
+            budget,
+            subs: Vec::new(),
+            by_id: BTreeMap::new(),
+            rejected: 0,
+            dirty: false,
+            cache: SimResult::default(),
+            pool_bytes,
+            gen_bpt,
+        }
+    }
+
+    /// The validated config the runtime was built from.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submissions accepted so far (cancelled ones included).
+    pub fn accepted(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Frames refused by the front door (malformed, unknown tenant,
+    /// oversized, over quota, duplicate) — none of these reached the
+    /// scheduler.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Handle one frame line and produce the reply line.
+    pub fn handle_line(&mut self, line: &str) -> Handled {
+        match parse_frame(line) {
+            Ok(frame) => self.handle(frame),
+            Err(e) => {
+                self.rejected += 1;
+                Handled {
+                    reply: e.reply(),
+                    shutdown: false,
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, frame: Frame) -> Handled {
+        let (reply, shutdown) = match frame {
+            Frame::Submit(s) => (self.submit(s).unwrap_or_else(|e| e.reply()), false),
+            Frame::Status { id } => (self.status(&id).unwrap_or_else(|e| e.reply()), false),
+            Frame::Cancel { id } => (self.cancel(&id).unwrap_or_else(|e| e.reply()), false),
+            Frame::Stats => (self.stats().unwrap_or_else(|e| e.reply()), false),
+            Frame::Shutdown => ("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true),
+        };
+        Handled { reply, shutdown }
+    }
+
+    fn submit(&mut self, s: Submit) -> Result<String, WireError> {
+        let refused = |this: &mut Self, e: WireError| {
+            this.rejected += 1;
+            Err(e)
+        };
+        if self.by_id.contains_key(&s.id) {
+            return refused(
+                self,
+                WireError::new("duplicate_id", format!("request '{}' already exists", s.id)),
+            );
+        }
+        let problem = s.dataset.problems(1, s.problem_seed)[0];
+        if problem.prompt_tokens > self.config.max_prompt_tokens {
+            return refused(
+                self,
+                WireError::new(
+                    "oversized_prompt",
+                    format!(
+                        "prompt of {} tokens exceeds the configured maximum of {}",
+                        problem.prompt_tokens, self.config.max_prompt_tokens
+                    ),
+                ),
+            );
+        }
+        let cold_bytes = problem.prompt_tokens.saturating_mul(self.gen_bpt);
+        match self.budget.try_admit(s.tenant, cold_bytes) {
+            Ok(()) => {}
+            Err(AdmitError::UnknownTenant { tenant }) => {
+                return refused(
+                    self,
+                    WireError::new(
+                        "unknown_tenant",
+                        format!("tenant {tenant} is not configured on this server"),
+                    ),
+                );
+            }
+            Err(AdmitError::Oversized { need, limit }) => {
+                return refused(
+                    self,
+                    WireError::new(
+                        "oversized_prompt",
+                        format!(
+                            "cold working set of {need} bytes cannot fit tenant {}'s \
+                             limit of {limit} bytes",
+                            s.tenant
+                        ),
+                    ),
+                );
+            }
+            Err(AdmitError::QuotaExhausted { open, max_open }) => {
+                return refused(
+                    self,
+                    WireError::new(
+                        "quota_exhausted",
+                        format!(
+                            "tenant {} holds {open} open requests of a quota of {max_open}",
+                            s.tenant
+                        ),
+                    ),
+                );
+            }
+        }
+        let reply = format!(
+            "{{\"ok\":true,\"op\":\"submit\",\"id\":\"{}\",\"tenant\":{},\"arrive_at\":{:.3}}}",
+            escape(&s.id),
+            s.tenant,
+            s.arrive_at
+        );
+        self.by_id.insert(s.id.clone(), self.subs.len());
+        self.subs.push(Submission {
+            frame: s,
+            cold_bytes,
+            cancelled: false,
+            billed: true,
+        });
+        self.dirty = true;
+        Ok(reply)
+    }
+
+    fn cancel(&mut self, id: &str) -> Result<String, WireError> {
+        let idx = *self.by_id.get(id).ok_or_else(|| {
+            WireError::new("unknown_request", format!("no request with id '{id}'"))
+        })?;
+        let sub = &mut self.subs[idx];
+        if !sub.cancelled {
+            sub.cancelled = true;
+            if sub.billed {
+                sub.billed = false;
+                self.budget.release(sub.frame.tenant, sub.cold_bytes);
+            }
+            self.dirty = true;
+        }
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"cancel\",\"id\":\"{}\",\"state\":\"cancelled\"}}",
+            escape(id)
+        ))
+    }
+
+    fn status(&mut self, id: &str) -> Result<String, WireError> {
+        let idx = *self.by_id.get(id).ok_or_else(|| {
+            WireError::new("unknown_request", format!("no request with id '{id}'"))
+        })?;
+        if self.subs[idx].cancelled {
+            return Ok(format!(
+                "{{\"ok\":true,\"op\":\"status\",\"id\":\"{}\",\"state\":\"cancelled\"}}",
+                escape(id)
+            ));
+        }
+        self.freshen()?;
+        let r = self.cache.outcomes.get(&idx).expect("active sub resolved");
+        let state = if r.shed { "shed" } else { "completed" };
+        let answer = r
+            .outcome
+            .answer
+            .map_or_else(|| "null".to_string(), |a| a.to_string());
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"status\",\"id\":\"{}\",\"state\":\"{}\",\"tenant\":{},\
+             \"arrived_at\":{:.3},\"finished_at\":{:.3},\"accepted_tokens\":{},\
+             \"deadline_hit\":{},\"answer\":{}}}",
+            escape(id),
+            state,
+            self.subs[idx].frame.tenant,
+            r.arrived_at,
+            r.finished_at,
+            r.accepted_tokens(),
+            !r.shed && r.finished_at <= r.deadline,
+            answer
+        ))
+    }
+
+    fn stats(&mut self) -> Result<String, WireError> {
+        self.freshen()?;
+        let mut tagged: Vec<(u32, StreamRecord)> = Vec::new();
+        let mut cancelled = 0usize;
+        for (idx, sub) in self.subs.iter().enumerate() {
+            if sub.cancelled {
+                cancelled += 1;
+                continue;
+            }
+            let r = self.cache.outcomes.get(&idx).expect("active sub resolved");
+            tagged.push((
+                sub.frame.tenant,
+                StreamRecord {
+                    arrived_at: r.arrived_at,
+                    finished_at: r.finished_at,
+                    queue_delay: r.queue_delay(),
+                    accepted_tokens: r.accepted_tokens(),
+                    generator_secs: r.outcome.stats.breakdown().generator_side(),
+                    verifier_secs: r.outcome.stats.breakdown().verifier,
+                    slo: r.slo,
+                    deadline: r.deadline,
+                    completed: !r.shed,
+                },
+            ));
+        }
+        let rollups = TenantRollup::of(&tagged);
+        let peak = |tenant: u32| {
+            self.cache
+                .tenant_peaks
+                .iter()
+                .find(|&&(t, _)| t == tenant)
+                .map_or(0, |&(_, b)| b)
+        };
+        let mut tenants = String::new();
+        for (i, row) in rollups.iter().enumerate() {
+            if i > 0 {
+                tenants.push(',');
+            }
+            let _ = write!(
+                tenants,
+                "{{\"tenant\":{},\"requests\":{},\"completed\":{},\"shed\":{},\
+                 \"accepted_tokens\":{},\"deadline_hit_rate\":{:.4},\
+                 \"mean_latency_secs\":{:.3},\"p99_latency_secs\":{:.3},\
+                 \"stream_goodput\":{:.3},\"kv_peak_bytes\":{}}}",
+                row.tenant,
+                row.requests,
+                row.requests - row.summary.shed,
+                row.summary.shed,
+                row.summary.total_accepted_tokens,
+                row.summary.deadline_hit_rate,
+                row.summary.latency.mean,
+                row.summary.latency.p99,
+                row.summary.stream_goodput,
+                peak(row.tenant)
+            );
+        }
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"requests\":{},\"cancelled\":{},\"rejected\":{},\
+             \"pool_bytes\":{},\"tenants\":[{}]}}",
+            self.subs.len(),
+            cancelled,
+            self.rejected,
+            self.pool_bytes,
+            tenants
+        ))
+    }
+
+    fn build_server(config: &ServeConfig) -> TtsServer {
+        let mut server = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+        server.config_mut().seed = config.seed;
+        server.config_mut().memory_fraction = config.memory_fraction;
+        server
+    }
+
+    fn batch_config(&self) -> BatchConfig {
+        let mut batch = BatchConfig::fused(self.config.max_batch);
+        if !self.config.tenants.is_empty() {
+            let specs: Vec<TenantSpec> = self
+                .config
+                .tenants
+                .iter()
+                .map(|t| TenantSpec {
+                    id: t.id,
+                    weight: t.weight,
+                    kv_cap_bytes: cap_bytes(t.kv_cap_frac, self.pool_bytes),
+                    max_in_flight: t.max_in_flight,
+                })
+                .collect();
+            batch = batch.with_tenants(TenantPolicy::new(&specs));
+        }
+        batch
+    }
+
+    fn fault_plan(&self, device: u64) -> FaultPlan {
+        self.config
+            .storm
+            .as_ref()
+            .map_or_else(FaultPlan::none, |s| {
+                FaultPlan::storm(
+                    s.seed.wrapping_add(device),
+                    s.horizon_secs,
+                    &StormConfig {
+                        kernel_faults: s.kernel_faults,
+                        slowdowns: s.slowdowns,
+                        slowdown_factor: s.slowdown_factor,
+                        slowdown_secs: s.slowdown_secs,
+                        kv_losses: s.kv_losses,
+                        device_crashes: 0,
+                        crash_down_secs: 60.0,
+                        device_degrades: 0,
+                        degrade_factor: 2.0,
+                        degrade_secs: 30.0,
+                    },
+                )
+            })
+    }
+
+    /// Replay the accumulated timeline if anything changed since the
+    /// cached run.
+    fn freshen(&mut self) -> Result<(), WireError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut order: Vec<usize> = (0..self.subs.len())
+            .filter(|&i| !self.subs[i].cancelled)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.subs[a]
+                .frame
+                .arrive_at
+                .partial_cmp(&self.subs[b].frame.arrive_at)
+                .expect("finite arrivals")
+                .then(a.cmp(&b))
+        });
+        let arrivals: Vec<RequestArrival> = order
+            .iter()
+            .map(|&i| {
+                let f = &self.subs[i].frame;
+                RequestArrival {
+                    at: f.arrive_at,
+                    problem: f.dataset.problems(1, f.problem_seed)[0],
+                    slo: f.slo,
+                    deadline: f.arrive_at + f.deadline_secs,
+                    tenant: f.tenant,
+                }
+            })
+            .collect();
+        let result = self.simulate(&arrivals, &order)?;
+        // Open ledger holdings resolve with the replay: every active
+        // submission now has a result, so its bytes and quota slot
+        // return to the tenant's budget.
+        for i in &order {
+            let sub = &mut self.subs[*i];
+            if sub.billed {
+                sub.billed = false;
+                self.budget.release(sub.frame.tenant, sub.cold_bytes);
+            }
+        }
+        self.cache = result;
+        self.dirty = false;
+        Ok(())
+    }
+
+    fn simulate(
+        &self,
+        arrivals: &[RequestArrival],
+        order: &[usize],
+    ) -> Result<SimResult, WireError> {
+        let event = EventConfig::new(self.batch_config(), self.config.window_secs);
+        let internal = |e: ftts_core::EngineError| {
+            WireError::new("internal_error", format!("simulation failed: {e:?}"))
+        };
+        let (served, tenant_peaks) = if self.config.devices == 1 {
+            let sim = EventServerSim::new(
+                Self::build_server(&self.config),
+                self.config.n_beams,
+                SearchKind::BeamSearch,
+                event,
+            );
+            let run = sim
+                .run_faulted(arrivals, &self.fault_plan(0))
+                .map_err(internal)?;
+            (run.served, run.tenant_peak_bytes)
+        } else {
+            let devices: Vec<TtsServer> = (0..self.config.devices)
+                .map(|_| Self::build_server(&self.config))
+                .collect();
+            let plans: Vec<FaultPlan> = (0..self.config.devices as u64)
+                .map(|d| self.fault_plan(d))
+                .collect();
+            let sim = FleetSim::new(
+                devices,
+                self.config.n_beams,
+                SearchKind::BeamSearch,
+                FleetConfig::new(event, RoutePolicy::Jsq),
+            );
+            let run = sim.run_faulted(arrivals, &plans).map_err(internal)?;
+            let mut peaks: BTreeMap<u32, u64> = BTreeMap::new();
+            for device_run in &run.device_runs {
+                for &(t, b) in &device_run.tenant_peak_bytes {
+                    let entry = peaks.entry(t).or_insert(0);
+                    *entry = (*entry).max(b);
+                }
+            }
+            (run.served, peaks.into_iter().collect())
+        };
+        debug_assert_eq!(served.len(), order.len());
+        Ok(SimResult {
+            outcomes: order.iter().copied().zip(served).collect(),
+            tenant_peaks,
+        })
+    }
+}
+
+fn cap_bytes(frac: f64, pool: u64) -> u64 {
+    if frac <= 0.0 {
+        u64::MAX
+    } else {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let bytes = (pool as f64 * frac) as u64;
+        bytes.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(extra: &str) -> ServeRuntime {
+        let toml = format!(
+            "[server]\nseed = 7\nn_beams = 4\nmax_batch = 4\nwindow_secs = 0.2\n\
+             memory_fraction = 0.5\nmax_prompt_tokens = 2048\n{extra}"
+        );
+        ServeRuntime::new(ServeConfig::parse(&toml).expect("config"))
+    }
+
+    fn submit_line(id: &str, tenant: u32, at: f64) -> String {
+        format!(
+            "{{\"op\":\"submit\",\"id\":\"{id}\",\"tenant\":{tenant},\"slo\":\"standard\",\
+             \"dataset\":\"amc2023\",\"problem_seed\":{},\"arrive_at\":{at}}}",
+            7 + u64::from(tenant)
+        )
+    }
+
+    #[test]
+    fn submit_status_stats_round_trip() {
+        let mut rt = runtime("");
+        let h = rt.handle_line(&submit_line("r1", 0, 0.0));
+        assert!(h.reply.contains("\"ok\":true"), "{}", h.reply);
+        let h = rt.handle_line("{\"op\":\"status\",\"id\":\"r1\"}");
+        assert!(h.reply.contains("\"state\":\"completed\""), "{}", h.reply);
+        let h = rt.handle_line("{\"op\":\"stats\"}");
+        assert!(h.reply.contains("\"requests\":1"), "{}", h.reply);
+        assert!(h.reply.contains("\"tenant\":0"), "{}", h.reply);
+        let h = rt.handle_line("{\"op\":\"shutdown\"}");
+        assert!(h.shutdown);
+    }
+
+    #[test]
+    fn cancel_withdraws_from_the_timeline() {
+        let mut rt = runtime("");
+        rt.handle_line(&submit_line("r1", 0, 0.0));
+        rt.handle_line(&submit_line("r2", 0, 1.0));
+        let h = rt.handle_line("{\"op\":\"cancel\",\"id\":\"r2\"}");
+        assert!(h.reply.contains("\"state\":\"cancelled\""), "{}", h.reply);
+        let h = rt.handle_line("{\"op\":\"status\",\"id\":\"r2\"}");
+        assert!(h.reply.contains("\"state\":\"cancelled\""), "{}", h.reply);
+        let h = rt.handle_line("{\"op\":\"stats\"}");
+        assert!(h.reply.contains("\"cancelled\":1"), "{}", h.reply);
+    }
+
+    #[test]
+    fn duplicate_ids_are_refused() {
+        let mut rt = runtime("");
+        rt.handle_line(&submit_line("r1", 0, 0.0));
+        let h = rt.handle_line(&submit_line("r1", 0, 1.0));
+        assert!(h.reply.contains("duplicate_id"), "{}", h.reply);
+        assert_eq!(rt.accepted(), 1);
+        assert_eq!(rt.rejected(), 1);
+    }
+}

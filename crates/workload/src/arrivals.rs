@@ -24,6 +24,11 @@ pub struct RequestArrival {
     /// Absolute completion deadline in seconds since experiment start
     /// (`f64::INFINITY` when the request has none).
     pub deadline: f64,
+    /// Tenant the request bills to (0 — the default tenant — unless
+    /// assigned via [`RequestArrival::with_tenant`]). Only meaningful
+    /// when the scheduler runs a tenant fair-share policy; untenanted
+    /// streams leave every arrival at 0.
+    pub tenant: u32,
 }
 
 impl RequestArrival {
@@ -33,6 +38,12 @@ impl RequestArrival {
         assert!(slack >= 0.0, "deadline slack must be non-negative");
         self.slo = slo;
         self.deadline = self.at + slack;
+        self
+    }
+
+    /// Bill the request to `tenant` (see `TenantPolicy` in `ftts-core`).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -69,6 +80,7 @@ fn arrival(at: f64, problem: ProblemSpec) -> RequestArrival {
         problem,
         slo: SloClass::default(),
         deadline: f64::INFINITY,
+        tenant: 0,
     }
 }
 

@@ -7,7 +7,7 @@
 //! bands), **answer-space shape** (drives majority voting), **prompt
 //! length**, and **step-length profile** (drives workload irregularity).
 //! [`Dataset`] captures those four properties per benchmark and generates
-//! deterministic [`ProblemSpec`]s from them.
+//! deterministic [`ProblemSpec`](ftts_model::ProblemSpec)s from them.
 //!
 //! [`ArrivalPattern`] generates request arrival timelines for the
 //! multi-request/preemption experiments (two-phase scheduling, Sec. 4.1.2).

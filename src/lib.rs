@@ -14,6 +14,7 @@
 //! | [`engine`] | `ftts-engine` | The vLLM-like serving loop with stragglers & batching |
 //! | [`search`] | `ftts-search` | Best-of-N, Beam Search, DVTS, Dynamic Branching, VG |
 //! | [`core`] | `ftts-core` | FastTTS itself: S + P + M optimizations, serving facade |
+//! | [`serve`] | `ftts-serve` | Multi-tenant TCP front-end: wire protocol, quotas, caps |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -41,6 +42,7 @@ pub use ftts_kv as kv;
 pub use ftts_metrics as metrics;
 pub use ftts_model as model;
 pub use ftts_search as search;
+pub use ftts_serve as serve;
 pub use ftts_workload as workload;
 
 pub use ftts_core::{
