@@ -1,0 +1,386 @@
+//! PR-10 benchmark: the global device timeline with token-granularity
+//! decode joins, against iteration-granularity event scheduling —
+//! `BENCH_PR10.json` report.
+//!
+//! **Fixtures.** The goodput fixture is a straggler-heavy overload at
+//! window = 0: twelve requests (shallow AMC-2023 mixed with deep
+//! AIME-2024 stragglers) arriving every 1.5 s into a fused-6 scheduler,
+//! n = 16 beam search. The join-wait fixture is one deep AIME
+//! straggler holding the device plus shallow AMC arrivals trickling in
+//! every 6 s with free batch seats: iteration-granularity scheduling
+//! holds them (and their co-batch) to *launch boundaries*; token joins
+//! admit and resync at *chunk boundaries*, so the late arrivals finish
+//! sooner. (Under overload the admission wait is slot-bound — a seat
+//! frees at launch end in both modes — so the boundary granularity
+//! only shows in goodput there.)
+//!
+//! Every timeline policy here runs with **honest contention pricing**
+//! on ([`TimelineConfig::honest`]): overlapping launches retroactively
+//! stretch each other on the shared device timeline, so window = 0 no
+//! longer gets free overlap. That keeps the comparison fair — the PR's
+//! speedup is *scheduling* (joining sooner), not optimistic costing.
+//!
+//! Asserted gates (the PR's acceptance criteria):
+//!
+//! * token joins beat iteration-granularity joins at window = 0 on
+//!   stream goodput **and** the late arrivals' mean join latency (the
+//!   end-to-end latency of requests that join an in-flight decode);
+//! * retroactive contention is real: the honest window-0 run books
+//!   stretch seconds > 0 and no longer coincides with the
+//!   infinite-window (lockstep) run — the overlap-pricing gap is > 0;
+//! * the anchored timeline (contention off, joins off) reproduces
+//!   `EventServerSim` bit-for-bit on the same fixture — completion
+//!   instants, answers, and every breakdown bucket;
+//! * answers are schedule-invariant across all policies.
+//!
+//! Run with `cargo bench --bench pr10_timeline` (release profile).
+
+use criterion::{Criterion, SampleStats};
+use ftts_core::{
+    BatchRun, EventConfig, EventServerSim, FaultPlan, TimelineConfig, TimelineServerSim, TtsServer,
+};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_search::SearchKind;
+use ftts_workload::{ArrivalPattern, Dataset, RequestArrival};
+
+const N_BEAMS: usize = 16;
+const MAX_BATCH: usize = 6;
+const ARRIVAL_INTERVAL_S: f64 = 1.5;
+/// Arrival cadence of the sparse join-wait fixture.
+const SPARSE_INTERVAL_S: f64 = 6.0;
+/// Decode tokens per sequence between token-join chunk boundaries.
+const JOIN_QUANTUM: u64 = 2;
+/// Gate: token joins must beat iteration joins on goodput by this much.
+const JOIN_GOODPUT_TARGET: f64 = 1.01;
+/// Gate: and cut the late arrivals' mean join latency by this factor.
+const JOIN_WAIT_TARGET: f64 = 1.01;
+
+fn server(seed: u64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s.config_mut().memory_fraction = 0.9;
+    s
+}
+
+/// Shallow AMC requests interleaved with deep AIME stragglers at a
+/// 1.5 s cadence — arrivals almost always land mid-launch.
+fn straggler_arrivals() -> Vec<RequestArrival> {
+    let shallow = Dataset::Amc2023.problems(7, 29);
+    let deep = Dataset::Aime2024.problems(5, 43);
+    let problems = vec![
+        shallow[0], deep[0], shallow[1], shallow[2], deep[1], shallow[3], deep[2], shallow[4],
+        deep[3], shallow[5], deep[4], shallow[6],
+    ];
+    ArrivalPattern::Uniform {
+        interval: ARRIVAL_INTERVAL_S,
+    }
+    .schedule(&problems, 0)
+}
+
+/// The join-wait fixture: one deep AIME straggler holds the device
+/// from t = 0, then shallow AMC requests trickle in with free batch
+/// seats and join its in-flight decode. Iteration-granularity
+/// scheduling holds each late arrival (and the co-batch it joins) to
+/// *launch boundaries*; token joins admit at the next *chunk boundary*
+/// and resync there, so the late arrivals finish sooner. The admission
+/// instant itself is booked at arrival in both modes (the boundary
+/// wait lands in the idle bucket), so the observable is the late
+/// arrivals' completion latency, not `queue_delay`.
+fn sparse_arrivals() -> Vec<RequestArrival> {
+    let shallow = Dataset::Amc2023.problems(5, 29);
+    let deep = Dataset::Aime2024.problems(1, 43);
+    let problems = vec![
+        deep[0], shallow[0], shallow[1], shallow[2], shallow[3], shallow[4],
+    ];
+    ArrivalPattern::Uniform {
+        interval: SPARSE_INTERVAL_S,
+    }
+    .schedule(&problems, 0)
+}
+
+fn event_config(window: f64) -> EventConfig {
+    EventConfig::windowed(MAX_BATCH, window)
+}
+
+fn run_event(arrivals: &[RequestArrival], window: f64) -> BatchRun {
+    EventServerSim::new(
+        server(17),
+        N_BEAMS,
+        SearchKind::BeamSearch,
+        event_config(window),
+    )
+    .run(arrivals)
+    .expect("event run")
+}
+
+fn run_timeline(arrivals: &[RequestArrival], config: TimelineConfig) -> BatchRun {
+    TimelineServerSim::new(server(17), N_BEAMS, SearchKind::BeamSearch, config)
+        .run_faulted(arrivals, &FaultPlan::none())
+        .expect("timeline run")
+}
+
+/// Mean seconds an arrival waited before entering the decode batch.
+fn mean_admission_wait(run: &BatchRun) -> f64 {
+    let total: f64 = run
+        .served
+        .iter()
+        .map(ftts_core::ServedRequest::queue_delay)
+        .sum();
+    total / run.served.len().max(1) as f64
+}
+
+/// Mean end-to-end latency of the *late* arrivals (`arrived_at > 0`) —
+/// the requests that join an in-flight decode. The launch-boundary
+/// wait iteration scheduling imposes on them shows up here.
+fn mean_late_latency(run: &BatchRun) -> f64 {
+    let late: Vec<f64> = run
+        .served
+        .iter()
+        .filter(|r| r.arrived_at > 0.0)
+        .map(ftts_core::ServedRequest::total_latency)
+        .collect();
+    late.iter().sum::<f64>() / late.len().max(1) as f64
+}
+
+/// (contention seconds, join-wait seconds) summed over a run.
+fn honesty_profile(run: &BatchRun) -> (f64, f64) {
+    run.served.iter().fold((0.0, 0.0), |(c, j), r| {
+        let b = r.outcome.stats.breakdown();
+        (c + b.contention, j + b.join_wait)
+    })
+}
+
+fn policy_json(label: &str, run: &BatchRun) -> String {
+    let s = run.stream_summary();
+    let (contention, join_wait) = honesty_profile(run);
+    format!(
+        r#"    "{label}": {{
+      "stream_goodput_tok_per_s": {goodput:.2},
+      "makespan_s": {makespan:.3},
+      "total_accepted_tokens": {tokens},
+      "latency_mean_s": {lat_mean:.3},
+      "latency_p95_s": {lat_p95:.3},
+      "mean_admission_wait_s": {wait:.4},
+      "late_arrival_latency_mean_s": {late:.3},
+      "contention_s": {contention:.3},
+      "join_wait_s": {join_wait:.3},
+      "launches": {rounds},
+      "timeline_segments": {segments},
+      "timeline_busy_s": {busy:.3},
+      "timeline_stretch_s": {stretch:.3},
+      "timeline_utilization": {util:.4},
+      "timeline_max_concurrency": {conc}
+    }}"#,
+        goodput = s.stream_goodput,
+        makespan = s.makespan,
+        tokens = s.total_accepted_tokens,
+        lat_mean = s.latency.mean,
+        lat_p95 = s.latency.p95,
+        wait = mean_admission_wait(run),
+        late = mean_late_latency(run),
+        rounds = run.rounds,
+        segments = run.timeline.segments,
+        busy = run.timeline.busy_secs,
+        stretch = run.timeline.stretch_secs,
+        util = run.timeline.utilization(),
+        conc = run.timeline.max_concurrency,
+    )
+}
+
+fn wall_json(stats: &SampleStats) -> String {
+    format!(
+        r#"  "timeline_wall_clock": {{
+    "samples": {n},
+    "outliers_rejected": {outliers},
+    "mean_s": {mean:.6},
+    "min_s": {min:.6},
+    "variance_s2": {var:.9},
+    "p50_s": {p50:.6},
+    "p99_s": {p99:.6}
+  }}"#,
+        n = stats.n,
+        outliers = stats.outliers_rejected,
+        mean = stats.mean_seconds,
+        min = stats.min_seconds,
+        var = stats.variance_seconds2,
+        p50 = stats.p50_seconds,
+        p99 = stats.p99_seconds,
+    )
+}
+
+/// The anchored timeline must reproduce `EventServerSim` bit-for-bit:
+/// instants, answers, tokens and every breakdown bucket.
+fn anchor_identical(event: &BatchRun, anchored: &BatchRun) -> bool {
+    event.served.len() == anchored.served.len()
+        && event.rounds == anchored.rounds
+        && event.group_iters == anchored.group_iters
+        && event.served.iter().zip(&anchored.served).all(|(e, a)| {
+            e.started_at == a.started_at
+                && e.finished_at == a.finished_at
+                && e.outcome.answer == a.outcome.answer
+                && e.accepted_tokens() == a.accepted_tokens()
+                && e.outcome.stats.breakdown() == a.outcome.stats.breakdown()
+        })
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let arrivals = straggler_arrivals();
+    let event_w0 = run_event(&arrivals, 0.0);
+    let anchored = run_timeline(&arrivals, TimelineConfig::anchored(event_config(0.0)));
+    let iter_w0 = run_timeline(&arrivals, TimelineConfig::honest(event_config(0.0)));
+    let joins_w0 = run_timeline(
+        &arrivals,
+        TimelineConfig::honest(event_config(0.0))
+            .with_token_joins()
+            .with_join_quantum(JOIN_QUANTUM),
+    );
+    let iter_winf = run_timeline(
+        &arrivals,
+        TimelineConfig::honest(event_config(f64::INFINITY)),
+    );
+
+    println!("== pr10: global device timeline on the straggler overload ==");
+    println!(
+        "{} requests (AMC + AIME mix), n={N_BEAMS} beam search, one arrival per \
+         {ARRIVAL_INTERVAL_S} s, fused-{MAX_BATCH}, join quantum {JOIN_QUANTUM} tokens",
+        arrivals.len()
+    );
+    for (label, run) in [
+        ("event w=0 (pr4)", &event_w0),
+        ("timeline anchored", &anchored),
+        ("timeline iter w=0", &iter_w0),
+        ("timeline joins w=0", &joins_w0),
+        ("timeline iter w=inf", &iter_winf),
+    ] {
+        let s = run.stream_summary();
+        let (contention, join_wait) = honesty_profile(run);
+        println!(
+            "  {label:<20} goodput {goodput:>8.1} tok/s | makespan {makespan:>6.1} s | wait {wait:>6.3} s | contention {contention:>7.2} s | join_wait {join_wait:>6.2} s | stretch {stretch:>7.2} s | {launches:>4} launches",
+            goodput = s.stream_goodput,
+            makespan = s.makespan,
+            wait = mean_admission_wait(run),
+            stretch = run.timeline.stretch_secs,
+            launches = run.rounds,
+        );
+    }
+
+    // Gate (a): the anchored timeline is bit-identical to the event
+    // scheduler — the equivalence anchor that licenses everything else.
+    let anchor_ok = anchor_identical(&event_w0, &anchored);
+    assert!(
+        anchor_ok,
+        "anchored timeline must reproduce EventServerSim bit-for-bit"
+    );
+    assert!(
+        anchored.timeline.segments > 0 && anchored.timeline.stretch_secs == 0.0,
+        "the anchor records segments but never stretches"
+    );
+
+    // Gate (b): token joins beat iteration-granularity joins at w=0 on
+    // goodput (overload fixture) AND mean admission wait (sparse
+    // fixture, where the wait IS the launch-boundary wait), both under
+    // honest pricing.
+    let (gi, gj) = (iter_w0.stream_summary(), joins_w0.stream_summary());
+    let join_speedup = gj.stream_goodput / gi.stream_goodput.max(1e-12);
+    let sparse = sparse_arrivals();
+    let sparse_iter = run_timeline(&sparse, TimelineConfig::honest(event_config(0.0)));
+    let sparse_joins = run_timeline(
+        &sparse,
+        TimelineConfig::honest(event_config(0.0))
+            .with_token_joins()
+            .with_join_quantum(JOIN_QUANTUM),
+    );
+    let (late_iter, late_joins) = (
+        mean_late_latency(&sparse_iter),
+        mean_late_latency(&sparse_joins),
+    );
+    let wait_reduction = late_iter / late_joins.max(1e-12);
+    println!(
+        "  token joins vs iteration joins: goodput {join_speedup:.3}x (overload), \
+         late-arrival latency {late_joins:.3} vs {late_iter:.3} s = {wait_reduction:.3}x cut (sparse)"
+    );
+    assert!(
+        join_speedup >= JOIN_GOODPUT_TARGET,
+        "token joins must beat iteration joins on goodput ({:.1} vs {:.1} tok/s, {join_speedup:.3}x < {JOIN_GOODPUT_TARGET}x)",
+        gj.stream_goodput,
+        gi.stream_goodput
+    );
+    assert!(
+        wait_reduction >= JOIN_WAIT_TARGET,
+        "token joins must cut the late arrivals' mean join latency ({late_joins:.3} vs {late_iter:.3} s, {wait_reduction:.3}x < {JOIN_WAIT_TARGET}x)"
+    );
+    for (i, (a, b)) in sparse_iter
+        .served
+        .iter()
+        .zip(&sparse_joins.served)
+        .enumerate()
+    {
+        assert_eq!(
+            a.outcome.answer, b.outcome.answer,
+            "sparse request {i}: answers are schedule-invariant"
+        );
+    }
+    let (_, joins_join_wait) = honesty_profile(&joins_w0);
+    assert!(
+        joins_join_wait > 0.0,
+        "token joins must book join_wait seconds (in-flight members waiting at chunk boundaries)"
+    );
+
+    // Gate (c): retroactive contention is real — the honest window-0
+    // run stretches in-flight segments and no longer coincides with the
+    // infinite-window lockstep run.
+    assert!(
+        iter_w0.timeline.stretch_secs > 0.0,
+        "honest w=0 must retroactively stretch overlapped launches"
+    );
+    let gap_frac = (gi.stream_goodput - iter_winf.stream_summary().stream_goodput).abs()
+        / iter_winf.stream_summary().stream_goodput.max(1e-12);
+    assert!(
+        gap_frac > 0.0,
+        "honest pricing must keep w=0 distinct from the infinite window"
+    );
+
+    // Answers are schedule-invariant across every policy.
+    for other in [&anchored, &iter_w0, &joins_w0, &iter_winf] {
+        for (e, o) in event_w0.served.iter().zip(&other.served) {
+            assert_eq!(
+                e.outcome.answer, o.outcome.answer,
+                "answers are schedule-invariant"
+            );
+        }
+    }
+
+    println!("\n== pr10: scheduler wall-clock (token-join replay) ==");
+    let mut criterion = Criterion::default().sample_size(15);
+    let wall = criterion.bench_stats("timeline_joins_replay", |b| {
+        b.iter(|| {
+            run_timeline(
+                &arrivals,
+                TimelineConfig::honest(event_config(0.0))
+                    .with_token_joins()
+                    .with_join_quantum(JOIN_QUANTUM),
+            )
+        })
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr10_timeline\",\n  \"workload\": {{\n    \"requests\": {requests},\n    \"n_beams\": {N_BEAMS},\n    \"max_batch\": {MAX_BATCH},\n    \"arrival_interval_s\": {ARRIVAL_INTERVAL_S},\n    \"sparse_requests\": {sparse_requests},\n    \"sparse_interval_s\": {SPARSE_INTERVAL_S},\n    \"join_quantum_tokens\": {JOIN_QUANTUM},\n    \"mix\": \"amc2023+aime2024 stragglers\",\n    \"search\": \"beam\"\n  }},\n  \"policies\": {{\n{event_json},\n{anchored_json},\n{iter_json},\n{joins_json},\n{winf_json},\n{sparse_iter_json},\n{sparse_joins_json}\n  }},\n  \"token_join_goodput_speedup_vs_iteration_joins\": {join_speedup:.3},\n  \"join_wait_reduction_x\": {wait_reduction:.3},\n  \"retroactive_stretch_secs\": {stretch:.3},\n  \"w0_vs_winf_goodput_gap_frac\": {gap_frac:.4},\n  \"anchor_bitwise_identical_to_event\": {anchor:.1},\n{wall}\n}}\n",
+        requests = arrivals.len(),
+        sparse_requests = sparse.len(),
+        event_json = policy_json("event_w0", &event_w0),
+        anchored_json = policy_json("timeline_anchored", &anchored),
+        iter_json = policy_json("timeline_iter_w0", &iter_w0),
+        joins_json = policy_json("timeline_joins_w0", &joins_w0),
+        winf_json = policy_json("timeline_iter_winf", &iter_winf),
+        sparse_iter_json = policy_json("sparse_iter_w0", &sparse_iter),
+        sparse_joins_json = policy_json("sparse_joins_w0", &sparse_joins),
+        stretch = iter_w0.timeline.stretch_secs,
+        anchor = if anchor_ok { 1.0 } else { 0.0 },
+        wall = wall_json(&wall),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    std::fs::write(out_path, &json).expect("write BENCH_PR10.json");
+    println!("\nwrote {out_path}");
+}

@@ -17,7 +17,13 @@
 //!   same Zipf trace: prefix-affinity follows published prompt prefixes
 //!   into the host tier, join-shortest-queue spreads blindly;
 //! * `single_device` vs `fleet4` — crash-free capacity scaling on a
-//!   deadline-free copy of the trace.
+//!   deadline-free copy of the trace;
+//! * `edge_orin_only` vs `hetero_mixed` — heterogeneous device classes:
+//!   four Jetson AGX Orins versus a mixed fleet that swaps two Orins for
+//!   A100s, both under join-shortest-queue on the cadenced Zipf trace
+//!   (a burst would tie every queue at t = 0 and erase the signal). The
+//!   fast replicas drain their queues between arrivals and attract the
+//!   tail of the trace, so the mixed fleet's goodput gain is gated.
 //!
 //! Asserted gates (the PR's acceptance criteria):
 //!
@@ -110,6 +116,40 @@ fn burst_arrivals() -> Vec<RequestArrival> {
 fn fleet_with(devices: usize, config: FleetConfig) -> FleetSim {
     let servers: Vec<TtsServer> = (0..devices).map(|_| server(17)).collect();
     FleetSim::new(servers, N_BEAMS, SearchKind::BeamSearch, config)
+}
+
+/// A fleet over explicit (possibly heterogeneous) device specs.
+fn hetero_fleet(specs: Vec<GpuDevice>) -> FleetSim {
+    let servers: Vec<TtsServer> = specs
+        .into_iter()
+        .map(|dev| {
+            let mut s = TtsServer::fasttts(dev, ModelPairing::pair_1_5b_1_5b());
+            s.config_mut().seed = 17;
+            s.config_mut().memory_fraction = 0.55;
+            s
+        })
+        .collect();
+    FleetSim::new(
+        servers,
+        N_BEAMS,
+        SearchKind::BeamSearch,
+        FleetConfig::new(event_config(), RoutePolicy::Jsq),
+    )
+}
+
+/// Four embedded-edge Orins — the slow homogeneous baseline.
+fn edge_orin_specs() -> Vec<GpuDevice> {
+    (0..DEVICES).map(|_| GpuDevice::jetson_orin()).collect()
+}
+
+/// The mixed fleet: two Orins swapped for server-class A100s.
+fn hetero_mixed_specs() -> Vec<GpuDevice> {
+    vec![
+        GpuDevice::a100_80g(),
+        GpuDevice::jetson_orin(),
+        GpuDevice::a100_80g(),
+        GpuDevice::jetson_orin(),
+    ]
 }
 
 fn fleet(devices: usize, route: RoutePolicy, hedge: Option<HedgeConfig>) -> FleetSim {
@@ -229,6 +269,12 @@ fn main() {
     let fleet4 = fleet(DEVICES, RoutePolicy::Jsq, None)
         .run(&scale_trace)
         .expect("fleet4 run");
+    let edge_only = hetero_fleet(edge_orin_specs())
+        .run(&free_trace)
+        .expect("edge-orin run");
+    let hetero = hetero_fleet(hetero_mixed_specs())
+        .run(&free_trace)
+        .expect("hetero run");
 
     println!("== pr8: fleet serving under the seeded crash ==");
     println!(
@@ -244,6 +290,8 @@ fn main() {
         ("prefix_affinity", &affinity),
         ("single_device", &single),
         ("fleet4", &fleet4),
+        ("edge_orin_only", &edge_only),
+        ("hetero_mixed", &hetero),
     ] {
         let s = run.fleet_summary();
         println!(
@@ -302,6 +350,21 @@ fn main() {
         "4-device crash-free goodput must be >= 3x single device (got {scaling:.2}x)"
     );
 
+    // Gate (d): heterogeneous device classes. Swapping two Orins for
+    // A100s must raise goodput — JSQ's queue-depth signal steers work
+    // toward the fast replicas; every request still completes on the
+    // slow fleet (capacity, not correctness, is what differs).
+    let (se, sh) = (edge_only.fleet_summary(), hetero.fleet_summary());
+    let hetero_gain = sh.stream_goodput / se.stream_goodput.max(1e-12);
+    assert!(
+        edge_only.served.iter().all(|r| !r.shed),
+        "the all-Orin fleet must still complete every request"
+    );
+    assert!(
+        hetero_gain >= 1.2,
+        "the mixed fleet must out-serve all-Orin by >= 1.2x (got {hetero_gain:.2}x)"
+    );
+
     // Answers are placement-invariant: routing moves time, not tokens.
     for (a, b) in jsq.served.iter().zip(&affinity.served) {
         assert_eq!(
@@ -327,13 +390,15 @@ fn main() {
     let slo_gain = fh.slo_goodput / nf.slo_goodput.max(1e-12);
     let warm_gain = affinity.warm_hits() as f64 / (jsq.warm_hits().max(1)) as f64;
     let json = format!(
-        "{{\n  \"bench\": \"pr8_fleet\",\n  \"workload\": {{\n    \"requests\": {REQUESTS},\n    \"distinct_problems\": {DISTINCT_PROBLEMS},\n    \"zipf_skew\": {ZIPF_SKEW},\n    \"n_beams\": {N_BEAMS},\n    \"devices\": {DEVICES},\n    \"arrival_interval_s\": {ARRIVAL_INTERVAL_S},\n    \"crash_device\": {CRASH_DEVICE},\n    \"crash_at_s\": {CRASH_AT_S},\n    \"crash_down_s\": {CRASH_DOWN_S},\n    \"search\": \"beam\"\n  }},\n  \"policies\": {{\n{nf_json},\n{fh_json},\n{jsq_json},\n{aff_json},\n{single_json},\n{fleet4_json}\n  }},\n  \"failover_deadline_hit_gain\": {hit_gain:.3},\n  \"failover_slo_goodput_gain\": {slo_gain:.3},\n  \"affinity_warm_hit_gain\": {warm_gain:.3},\n  \"fleet4_goodput_scaling_x\": {scaling:.3},\n{wall}\n}}\n",
+        "{{\n  \"bench\": \"pr8_fleet\",\n  \"workload\": {{\n    \"requests\": {REQUESTS},\n    \"distinct_problems\": {DISTINCT_PROBLEMS},\n    \"zipf_skew\": {ZIPF_SKEW},\n    \"n_beams\": {N_BEAMS},\n    \"devices\": {DEVICES},\n    \"arrival_interval_s\": {ARRIVAL_INTERVAL_S},\n    \"crash_device\": {CRASH_DEVICE},\n    \"crash_at_s\": {CRASH_AT_S},\n    \"crash_down_s\": {CRASH_DOWN_S},\n    \"search\": \"beam\"\n  }},\n  \"policies\": {{\n{nf_json},\n{fh_json},\n{jsq_json},\n{aff_json},\n{single_json},\n{fleet4_json},\n{edge_json},\n{hetero_json}\n  }},\n  \"failover_deadline_hit_gain\": {hit_gain:.3},\n  \"failover_slo_goodput_gain\": {slo_gain:.3},\n  \"affinity_warm_hit_gain\": {warm_gain:.3},\n  \"fleet4_goodput_scaling_x\": {scaling:.3},\n  \"hetero_vs_edge_goodput_x\": {hetero_gain:.3},\n{wall}\n}}\n",
         nf_json = policy_json("no_failover", &no_failover),
         fh_json = policy_json("failover_hedge", &failover_hedge),
         jsq_json = policy_json("jsq", &jsq),
         aff_json = policy_json("prefix_affinity", &affinity),
         single_json = policy_json("single_device", &single),
         fleet4_json = policy_json("fleet4", &fleet4),
+        edge_json = policy_json("edge_orin_only", &edge_only),
+        hetero_json = policy_json("hetero_mixed", &hetero),
         wall = wall_json(&wall),
     );
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");

@@ -397,6 +397,66 @@ pub fn default_specs() -> Vec<MetricSpec> {
             direction: HigherIsBetter,
         },
         MetricSpec {
+            file: "BENCH_PR8.json",
+            path: "hetero_vs_edge_goodput_x",
+            label: "PR8 hetero (Orin+A100) goodput gain vs all-Orin",
+            min_ratio: 0.0,
+            // JSQ must steer the cadenced trace toward the fast
+            // replicas; at or below 1.2x the heterogeneity signal is
+            // lost in the noise.
+            absolute: Some(1.2),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR10.json",
+            path: "token_join_goodput_speedup_vs_iteration_joins",
+            label: "PR10 token-join goodput vs iteration joins (honest w=0)",
+            min_ratio: 0.0,
+            // Strictly-beats is the PR's acceptance bar, under honest
+            // contention pricing on both sides.
+            absolute: Some(1.01),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR10.json",
+            path: "join_wait_reduction_x",
+            label: "PR10 late-arrival join-latency cut vs iteration joins",
+            min_ratio: 0.0,
+            // The sparse fixture's launch-boundary wait must shrink when
+            // arrivals join at chunk boundaries instead.
+            absolute: Some(1.01),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR10.json",
+            path: "retroactive_stretch_secs",
+            label: "PR10 retroactive contention stretch (honest w=0)",
+            min_ratio: 0.0,
+            // Honest pricing must actually stretch overlapped launches;
+            // 0.5 s is well below the fixture's ~1.2 s but far from 0.
+            absolute: Some(0.5),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR10.json",
+            path: "w0_vs_winf_goodput_gap_frac",
+            label: "PR10 honest w=0 vs w=inf goodput gap",
+            min_ratio: 0.0,
+            // Window = 0 must stay meaningfully distinct from lockstep
+            // even after overlap is priced (fixture sits near 0.64).
+            absolute: Some(0.2),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
+            file: "BENCH_PR10.json",
+            path: "anchor_bitwise_identical_to_event",
+            label: "PR10 anchored timeline bit-identical to EventServerSim",
+            min_ratio: 0.0,
+            // The equivalence anchor is boolean: 1.0 or the gate is red.
+            absolute: Some(1.0),
+            direction: HigherIsBetter,
+        },
+        MetricSpec {
             file: "BENCH_PR9.json",
             path: "fair_share.victim.deadline_hit_rate",
             label: "PR9 victim deadline-hit rate under fair share",

@@ -120,6 +120,16 @@ pub(crate) fn pad_to(a: &mut InFlight, global: f64) {
     }
 }
 
+/// Like [`pad_to`], but books the gap as *token-join* idle — the wait
+/// at a shared chunk boundary for the slowest co-batched decode chunk.
+pub(crate) fn pad_to_join(a: &mut InFlight, global: f64) {
+    let clock = a.run.clock();
+    let absolute = a.started_at + clock;
+    if absolute < global {
+        a.run.sync_clock_to_join(clock + (global - absolute));
+    }
+}
+
 /// Like [`pad_to`], but books the gap as *barrier* idle — the lockstep
 /// round-barrier wait event-driven scheduling removes.
 pub(crate) fn pad_to_barrier(a: &mut InFlight, global: f64) {

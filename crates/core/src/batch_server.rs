@@ -271,6 +271,11 @@ pub struct BatchRun {
     /// rebalance boundaries, in tenant-id order — the audit that hard
     /// caps held for the whole run. Empty without a tenant policy.
     pub tenant_peak_bytes: Vec<(u32, u64)>,
+    /// Device-timeline occupancy roll-up. Only the global-timeline
+    /// scheduler ([`crate::TimelineServerSim`]) records segments; the
+    /// lockstep and event-driven schedulers leave it at the default
+    /// (empty) value.
+    pub timeline: ftts_metrics::TimelineOccupancy,
 }
 
 impl BatchRun {
@@ -727,6 +732,7 @@ impl BatchedServerSim {
                 .into_iter()
                 .map(|(t, b)| (t as u32, b))
                 .collect(),
+            timeline: ftts_metrics::TimelineOccupancy::default(),
         })
     }
 }

@@ -721,6 +721,7 @@ impl EventServerSim {
                 .into_iter()
                 .map(|(t, b)| (t as u32, b))
                 .collect(),
+            timeline: ftts_metrics::TimelineOccupancy::default(),
         })
     }
 }

@@ -59,6 +59,7 @@ use crate::event_server::{EventConfig, EventServerSim, PrewarmPrefix, RunDirecti
 use crate::faults::FaultPlan;
 use crate::server::{ServedRequest, TtsServer};
 use crate::sweep::parallel_map;
+use crate::timeline::{TimelineServerSim, TimelineTuning};
 
 /// How the fleet router picks a replica for a fresh (or migrated, or
 /// hedged) request.
@@ -130,6 +131,12 @@ pub struct FleetConfig {
     pub migration_delay_secs: f64,
     /// Hedged execution for stragglers; `None` disables hedging.
     pub hedge: Option<HedgeConfig>,
+    /// Optional global-timeline honesty features for the per-device
+    /// scheduler (retroactive contention pricing, token-granularity
+    /// decode joins — see [`crate::TimelineConfig`]). `None` keeps the
+    /// plain event-driven scheduler, bit-identical to the pre-timeline
+    /// fleet.
+    pub timeline: Option<TimelineTuning>,
 }
 
 impl FleetConfig {
@@ -142,12 +149,20 @@ impl FleetConfig {
             failover: true,
             migration_delay_secs: 2.0,
             hedge: None,
+            timeline: None,
         }
     }
 
     /// Enable hedged execution.
     pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
         self.hedge = Some(hedge);
+        self
+    }
+
+    /// Run every device on the global-timeline scheduler with the given
+    /// honesty tuning.
+    pub fn with_timeline(mut self, tuning: TimelineTuning) -> Self {
+        self.timeline = Some(tuning);
         self
     }
 
@@ -456,6 +471,29 @@ impl FleetSim {
     }
 }
 
+/// Run one device's arrival sub-stream under the fleet's scheduler:
+/// the plain event loop by default, or the global device timeline when
+/// [`FleetConfig::with_timeline`] opted in.
+fn device_run(
+    sim: &FleetSim,
+    d: usize,
+    sub: &[RequestArrival],
+    plan: &FaultPlan,
+    directives: &RunDirectives,
+) -> Result<BatchRun, EngineError> {
+    match sim.config.timeline {
+        Some(tuning) => TimelineServerSim::new(
+            sim.devices[d].clone(),
+            sim.n,
+            sim.kind,
+            tuning.config(sim.config.event),
+        )
+        .run_directed(sub, plan, directives),
+        None => EventServerSim::new(sim.devices[d].clone(), sim.n, sim.kind, sim.config.event)
+            .run_directed(sub, plan, directives),
+    }
+}
+
 /// The sequential decision loop's working state.
 struct FleetEngine<'a> {
     sim: &'a FleetSim,
@@ -496,13 +534,7 @@ impl<'a> FleetEngine<'a> {
         let mut order = self.legs_by_device[d].clone();
         order.sort_by(|&a, &b| self.legs[a].at.total_cmp(&self.legs[b].at).then(a.cmp(&b)));
         let (sub, directives) = self.device_stream(d, &order);
-        let run = EventServerSim::new(
-            self.sim.devices[d].clone(),
-            self.sim.n,
-            self.sim.kind,
-            self.sim.config.event,
-        )
-        .run_directed(&sub, &self.device_plans[d], &directives)?;
+        let run = device_run(self.sim, d, &sub, &self.device_plans[d], &directives)?;
         self.states[d] = Some(DeviceCache { run, order });
         Ok(())
     }
@@ -928,13 +960,7 @@ impl<'a> FleetEngine<'a> {
                 let cache = self.states[d].as_ref().expect("device simulated");
                 let order = cache.order.clone();
                 let (sub, directives) = self.device_stream(d, &order);
-                let run = EventServerSim::new(
-                    self.sim.devices[d].clone(),
-                    self.sim.n,
-                    self.sim.kind,
-                    self.sim.config.event,
-                )
-                .run_directed(&sub, &self.device_plans[d], &directives)?;
+                let run = device_run(self.sim, d, &sub, &self.device_plans[d], &directives)?;
                 Ok((run, order))
             });
         let mut device_runs = Vec::with_capacity(devices.len());

@@ -37,7 +37,13 @@
 //! ([`EventConfig::window_secs`]) — with batch-1 and infinite-window
 //! modes that reproduce [`ServerSim`] and [`BatchedServerSim`]
 //! bit-for-bit as correctness anchors (see `event_server`'s module
-//! docs).
+//! docs). [`TimelineServerSim`] makes that event loop *honest*: every
+//! kernel launch lands as a costed segment on a global per-device
+//! timeline ([`DeviceTimeline`]), cross-launch decode overlap is priced
+//! retroactively, and arrivals can join the in-flight decode batch at
+//! token-chunk boundaries ([`TimelineConfig`]) — with an anchored mode
+//! that reproduces [`EventServerSim`] bit-for-bit (see `timeline`'s
+//! module docs).
 //!
 //! For evaluation at scale, the `sweep` module provides a parallel
 //! harness: [`ServerSim::run_parallel`] replays independent request
@@ -76,6 +82,7 @@ mod prefix_sched;
 mod server;
 mod sweep;
 mod tenant;
+mod timeline;
 
 pub use batch_server::{BatchConfig, BatchRun, BatchedServerSim};
 pub use eval::{evaluate, EvalConfig, EvalSummary};
@@ -93,3 +100,6 @@ pub use prefix_sched::{PrefixAwareOrder, WorstCaseOrder};
 pub use server::{AblationFlags, ServeOutcome, ServedRequest, ServerSim, TtsServer};
 pub use sweep::{parallel_map, sweep, SweepJob};
 pub use tenant::{TenantPolicy, TenantSpec, MAX_TENANTS};
+pub use timeline::{
+    DeviceTimeline, Segment, SegmentKind, TimelineConfig, TimelineServerSim, TimelineTuning,
+};

@@ -16,8 +16,8 @@
 //!   event window never does.
 
 use ftts_core::{
-    BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, ServedRequest, ServerSim,
-    TtsServer,
+    BatchConfig, BatchRun, BatchedServerSim, EventConfig, EventServerSim, FaultPlan, KvTierConfig,
+    ServedRequest, ServerSim, StormConfig, TimelineConfig, TimelineServerSim, TtsServer,
 };
 use ftts_engine::ModelPairing;
 use ftts_hw::GpuDevice;
@@ -341,5 +341,206 @@ fn simultaneous_arrivals_admit_in_stream_order_on_both_schedulers() {
         for r in &run.served[3..] {
             assert!(r.queue_delay() > 0.0, "overflow waits for capacity");
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anchor 3: the global-timeline scheduler with both honesty features
+// disabled (`TimelineConfig::anchored`) reproduces `EventServerSim`
+// bit for bit — the timeline records segments purely as an observer.
+// ---------------------------------------------------------------------
+
+fn check_timeline_anchor(
+    label: &str,
+    seed: u64,
+    memory_fraction: f64,
+    arrivals: &[RequestArrival],
+    n: usize,
+    event: EventConfig,
+    plan: &FaultPlan,
+) {
+    let reference = EventServerSim::new(
+        server(seed, memory_fraction),
+        n,
+        SearchKind::BeamSearch,
+        event,
+    )
+    .run_faulted(arrivals, plan)
+    .expect("event run");
+    let timeline = TimelineServerSim::new(
+        server(seed, memory_fraction),
+        n,
+        SearchKind::BeamSearch,
+        TimelineConfig::anchored(event),
+    )
+    .run_faulted(arrivals, plan)
+    .expect("timeline run");
+    assert_runs_identical(label, &reference, &timeline);
+    assert_eq!(
+        reference.kernel_faults, timeline.kernel_faults,
+        "{label}: fault counters"
+    );
+    assert_eq!(
+        reference.lost_blocks, timeline.lost_blocks,
+        "{label}: kv loss"
+    );
+    assert!(
+        timeline.timeline.segments > 0,
+        "{label}: the observer still records segments"
+    );
+    assert_eq!(
+        timeline.timeline.stretch_secs, 0.0,
+        "{label}: anchored mode never stretches"
+    );
+    // The reference scheduler records nothing.
+    assert_eq!(reference.timeline.segments, 0);
+}
+
+#[test]
+fn timeline_anchored_matches_event_fault_free() {
+    let problems = Dataset::Amc2023.problems(6, 41);
+    let arrivals = ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0);
+    for window in [0.0, 0.1, 1.0] {
+        check_timeline_anchor(
+            &format!("anchored window {window}"),
+            5,
+            0.9,
+            &arrivals,
+            16,
+            EventConfig::windowed(8, window),
+            &FaultPlan::none(),
+        );
+    }
+}
+
+#[test]
+fn timeline_anchored_matches_event_under_fault_storm() {
+    let problems = Dataset::Amc2023.problems(5, 29);
+    let arrivals = ArrivalPattern::Uniform { interval: 1.0 }.schedule(&problems, 0);
+    let plan = FaultPlan::storm(0xBEEF, 80.0, &StormConfig::default());
+    check_timeline_anchor(
+        "anchored faulted",
+        17,
+        0.9,
+        &arrivals,
+        16,
+        EventConfig::windowed(8, 0.1),
+        &plan,
+    );
+}
+
+#[test]
+fn timeline_anchored_matches_event_with_host_tier() {
+    // The PR-7 pressure fixture: a tight pool plus an enabled host
+    // tier, so preemption swap-downs, parks and warm readmissions all
+    // exercise identically through the timeline loop.
+    let problems = Dataset::Aime2024.problems(4, 51);
+    let arrivals = ArrivalPattern::Burst { at: 0.0 }.schedule(&problems, 0);
+    let tiered = BatchConfig::continuous(4).with_tier(KvTierConfig::with_capacity(1 << 30));
+    check_timeline_anchor(
+        "anchored tiered",
+        13,
+        0.30,
+        &arrivals,
+        24,
+        EventConfig::new(tiered, 0.2),
+        &FaultPlan::none(),
+    );
+}
+
+#[test]
+fn timeline_batch1_matches_serversim() {
+    // Batch 1 collapses the whole stack: the anchored timeline loop
+    // must still reproduce the FIFO `ServerSim` exactly, like the
+    // lockstep and event schedulers do.
+    let problems = Dataset::Amc2023.problems(3, 33);
+    let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
+    let fifo = ServerSim::new(server(11, 0.9), 8, SearchKind::BeamSearch)
+        .run(&arrivals)
+        .expect("fifo run");
+    for window in [0.0, 0.5, f64::INFINITY] {
+        let timeline = TimelineServerSim::new(
+            server(11, 0.9),
+            8,
+            SearchKind::BeamSearch,
+            TimelineConfig::anchored(EventConfig::new(BatchConfig::fifo(), window)),
+        )
+        .run(&arrivals)
+        .expect("timeline run");
+        assert_served_identical(
+            &format!("timeline batch-1 (window {window})"),
+            &fifo,
+            &timeline.served,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Honest-mode attribution: contention joins the conservation identity,
+// join waits stay a slice of idle.
+// ---------------------------------------------------------------------
+
+#[test]
+fn honest_timeline_conserves_time_and_prices_overlap() {
+    let problems = Dataset::Amc2023.problems(6, 41);
+    let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
+    let event = EventConfig::windowed(6, 0.0);
+    let honest = TimelineServerSim::new(
+        server(5, 0.9),
+        16,
+        SearchKind::BeamSearch,
+        TimelineConfig::honest(event),
+    )
+    .run(&arrivals)
+    .expect("honest run");
+    assert_time_conserved("honest timeline", &honest.served);
+    let stretched: f64 = honest
+        .served
+        .iter()
+        .map(|r| r.outcome.stats.breakdown().contention)
+        .sum();
+    assert!(
+        stretched > 0.0,
+        "window-0 overlap under load must book contention stretch"
+    );
+    assert!(
+        honest.timeline.stretch_secs > 0.0,
+        "segments already on the timeline must stretch retroactively"
+    );
+    // The iteration-granularity reference books none.
+    let anchored = TimelineServerSim::new(
+        server(5, 0.9),
+        16,
+        SearchKind::BeamSearch,
+        TimelineConfig::anchored(event),
+    )
+    .run(&arrivals)
+    .expect("anchored run");
+    for r in &anchored.served {
+        assert_eq!(r.outcome.stats.breakdown().contention, 0.0);
+    }
+}
+
+#[test]
+fn token_join_timeline_conserves_time() {
+    let problems = Dataset::Amc2023.problems(6, 41);
+    let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
+    let joins = TimelineServerSim::new(
+        server(5, 0.9),
+        16,
+        SearchKind::BeamSearch,
+        TimelineConfig::honest(EventConfig::windowed(6, 0.0))
+            .with_token_joins()
+            .with_join_quantum(8),
+    )
+    .run(&arrivals)
+    .expect("joins run");
+    assert_time_conserved("token-join timeline", &joins.served);
+    for r in &joins.served {
+        let b = r.outcome.stats.breakdown();
+        assert!(
+            b.join_wait <= b.idle + 1e-9,
+            "join_wait must stay a slice of idle"
+        );
     }
 }

@@ -17,7 +17,7 @@
 use ftts_core::{
     BatchConfig, BatchRun, EventConfig, EventServerSim, FaultEvent, FaultKind, FaultPlan,
     FleetConfig, FleetRun, FleetSim, HedgeConfig, KvTierConfig, RoutePolicy, ServedRequest,
-    StormConfig, TtsServer,
+    StormConfig, TimelineTuning, TtsServer,
 };
 use ftts_engine::ModelPairing;
 use ftts_hw::GpuDevice;
@@ -293,5 +293,101 @@ fn crash_failover_migrates_and_completes_every_request() {
     assert!(
         run.device_runs[1].cancelled > 0 || run.device_runs[1].served.is_empty(),
         "device 1 either had nothing routed or shows cancelled legs"
+    );
+}
+
+/// PR 10: attaching an *anchored* timeline tuning to the fleet is pure
+/// bookkeeping — per-device runs stay bit-identical to the plain
+/// event-driven fleet, but now carry occupancy roll-ups.
+#[test]
+fn timeline_fleet_anchored_is_bit_identical_to_plain_fleet() {
+    let stream = arrivals(6, 77, 4.0);
+    let config = event_config();
+    let devices = || vec![server(9, 0.55), server(9, 0.55)];
+    let plain = FleetSim::new(
+        devices(),
+        16,
+        SearchKind::BeamSearch,
+        FleetConfig::new(config, RoutePolicy::Jsq),
+    )
+    .run(&stream)
+    .expect("plain fleet run");
+    let timed = FleetSim::new(
+        devices(),
+        16,
+        SearchKind::BeamSearch,
+        FleetConfig::new(config, RoutePolicy::Jsq).with_timeline(TimelineTuning::anchored()),
+    )
+    .run(&stream)
+    .expect("timeline fleet run");
+    assert_served_identical("anchored fleet", &timed.served, &plain.served);
+    assert_eq!(
+        timed.serving_device, plain.serving_device,
+        "routing decisions are unchanged"
+    );
+    for (d, run) in timed.device_runs.iter().enumerate() {
+        if !run.served.is_empty() {
+            assert!(
+                run.timeline.segments > 0,
+                "device {d} records segments on the global timeline"
+            );
+            assert_eq!(
+                run.timeline.stretch_secs, 0.0,
+                "anchored mode never stretches"
+            );
+        }
+    }
+    for run in &plain.device_runs {
+        assert_eq!(
+            run.timeline.segments, 0,
+            "the plain event fleet has no timeline"
+        );
+    }
+}
+
+/// PR 10: the honest timeline with token joins serves every request
+/// with the same answers as the plain fleet — honesty moves clocks,
+/// never outcomes.
+#[test]
+fn timeline_fleet_honest_joins_preserves_answers() {
+    let stream = arrivals(6, 77, 4.0);
+    let config = event_config();
+    let devices = || vec![server(9, 0.55), server(9, 0.55)];
+    let plain = FleetSim::new(
+        devices(),
+        16,
+        SearchKind::BeamSearch,
+        FleetConfig::new(config, RoutePolicy::RoundRobin),
+    )
+    .run(&stream)
+    .expect("plain fleet run");
+    let honest = FleetSim::new(
+        devices(),
+        16,
+        SearchKind::BeamSearch,
+        FleetConfig::new(config, RoutePolicy::RoundRobin).with_timeline(
+            TimelineTuning::honest()
+                .with_token_joins()
+                .with_join_quantum(8),
+        ),
+    )
+    .run(&stream)
+    .expect("honest fleet run");
+    assert_eq!(honest.served.len(), plain.served.len());
+    for (i, (h, p)) in honest.served.iter().zip(&plain.served).enumerate() {
+        assert!(!h.shed, "request {i} completes under the honest timeline");
+        assert_eq!(
+            h.outcome.answer, p.outcome.answer,
+            "request {i}: answers survive honest scheduling"
+        );
+        assert_eq!(
+            h.accepted_tokens(),
+            p.accepted_tokens(),
+            "request {i}: token counts survive honest scheduling"
+        );
+    }
+    assert!(
+        honest.device_runs.iter().any(|r| r.timeline.segments > 0),
+        "at least one device recorded timeline segments"
     );
 }

@@ -1,0 +1,198 @@
+//! Property tests for the global device timeline (PR 10):
+//!
+//! 1. **Segment conservation**: for any recorded segment set, the
+//!    occupancy roll-up satisfies `busy + idle == span` exactly, the
+//!    busy union never exceeds the span or the per-kind sums, and the
+//!    per-kind sums partition the total recorded duration.
+//! 2. **No negative overlap**: every segment has `end >= start`, the
+//!    union is non-negative, and peak concurrency never exceeds the
+//!    number of segments.
+//! 3. **Stretch monotonicity**: retroactive contention stretch never
+//!    shrinks a segment — ends only move right, and the roll-up's
+//!    `stretch_secs` accounts every applied second.
+//! 4. **Run determinism**: a `(workload seed, storm, mode)` triple
+//!    fully determines a `TimelineServerSim` run — honest contention
+//!    pricing and token-granularity joins replay bit-identically.
+//! 5. **Conservation under honesty**: per served request,
+//!    `queue_delay + breakdown.total()` equals arrival-to-completion
+//!    wall-clock in every timeline mode; `join_wait` stays a slice of
+//!    `idle`.
+
+use ftts_core::{
+    DeviceTimeline, EventConfig, FaultPlan, SegmentKind, StormConfig, TimelineConfig,
+    TimelineServerSim, TtsServer,
+};
+use ftts_engine::ModelPairing;
+use ftts_hw::GpuDevice;
+use ftts_search::SearchKind;
+use ftts_workload::{ArrivalPattern, Dataset};
+use proptest::prelude::*;
+
+fn server(seed: u64, memory_fraction: f64) -> TtsServer {
+    let mut s = TtsServer::fasttts(GpuDevice::rtx4090(), ModelPairing::pair_1_5b_1_5b());
+    s.config_mut().seed = seed;
+    s.config_mut().memory_fraction = memory_fraction;
+    s
+}
+
+fn kind_of(tag: u8) -> SegmentKind {
+    match tag % 3 {
+        0 => SegmentKind::Decode,
+        1 => SegmentKind::Verify,
+        _ => SegmentKind::Swap,
+    }
+}
+
+/// Map centisecond integers (the shim has no float strategies) to
+/// seconds.
+fn secs(centi: u64) -> f64 {
+    centi as f64 / 100.0
+}
+
+fn timeline_run(
+    seed: u64,
+    count: usize,
+    storm: &StormConfig,
+    config: TimelineConfig,
+) -> ftts_core::BatchRun {
+    let problems = Dataset::Amc2023.problems(count, seed);
+    let arrivals = ArrivalPattern::Uniform { interval: 0.5 }.schedule(&problems, 0);
+    let plan = FaultPlan::storm(seed ^ 0xA11CE, 60.0, storm);
+    TimelineServerSim::new(server(seed, 0.9), 8, SearchKind::BeamSearch, config)
+        .run_faulted(&arrivals, &plan)
+        .expect("timeline run completes")
+}
+
+fn quiet_storm() -> StormConfig {
+    StormConfig {
+        kernel_faults: 0,
+        slowdowns: 0,
+        kv_losses: 0,
+        ..StormConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn occupancy_conserves_span_and_partitions_kinds(
+        segs in prop::collection::vec((0u64..10_000, 0u64..1_000, 0u8..6), 1..40),
+    ) {
+        let mut tl = DeviceTimeline::default();
+        let mut total_dur = 0.0f64;
+        for &(start, dur, tag) in &segs {
+            tl.record(secs(start), secs(dur), kind_of(tag), usize::from(tag) + 1);
+            total_dur += secs(dur);
+        }
+        let occ = tl.occupancy();
+        prop_assert_eq!(occ.segments, segs.len() as u64);
+        // busy + idle == span, exactly (idle is defined as the clamped
+        // difference).
+        prop_assert!((occ.busy_secs + occ.idle_secs() - occ.span_secs).abs() <= 1e-9);
+        // The union never exceeds the span nor the summed durations.
+        prop_assert!(occ.busy_secs <= occ.span_secs + 1e-9);
+        prop_assert!(occ.busy_secs <= total_dur + 1e-9);
+        // Per-kind sums partition the total recorded duration.
+        let kinds = occ.decode_secs + occ.verify_secs + occ.swap_secs;
+        prop_assert!((kinds - total_dur).abs() <= 1e-6 * total_dur.max(1.0));
+        // No negative overlap, bounded concurrency.
+        prop_assert!(occ.busy_secs >= 0.0);
+        prop_assert!(occ.max_concurrency >= 1);
+        prop_assert!(occ.max_concurrency as usize <= segs.len());
+        prop_assert!(occ.utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn stretch_never_shrinks_any_segment(
+        segs in prop::collection::vec((0u64..5_000, 0u64..500), 1..20),
+        stretches in prop::collection::vec((0usize..20, 0u64..300), 0..30),
+    ) {
+        let mut tl = DeviceTimeline::default();
+        for &(start, dur) in &segs {
+            tl.record(secs(start), secs(dur), SegmentKind::Decode, 1);
+        }
+        let before: Vec<f64> = tl.segments().iter().map(|s| s.end).collect();
+        let mut applied = 0.0f64;
+        for &(id, extra) in &stretches {
+            let id = id % segs.len();
+            tl.stretch(id, secs(extra));
+            applied += secs(extra);
+        }
+        for (s, &b) in tl.segments().iter().zip(&before) {
+            prop_assert!(s.end >= b, "stretch moved an end left");
+            prop_assert!(s.end >= s.start, "stretch broke segment ordering");
+        }
+        let occ = tl.occupancy();
+        prop_assert!((occ.stretch_secs - applied).abs() <= 1e-9 * applied.max(1.0));
+    }
+
+    #[test]
+    fn timeline_runs_are_bit_deterministic(
+        count in 2usize..4,
+        kernel_faults in 0usize..4,
+        slowdowns in 0usize..2,
+        seed in 0u64..500,
+        joins in any::<bool>(),
+    ) {
+        // Faults stay launch-granularity; keep the faulted determinism
+        // check on the iteration path and the joins check fault-free.
+        let base = TimelineConfig::honest(EventConfig::windowed(4, 0.0));
+        let (config, storm) = if joins {
+            (base.with_token_joins().with_join_quantum(8), quiet_storm())
+        } else {
+            (base, StormConfig {
+                kernel_faults,
+                slowdowns,
+                kv_losses: 0,
+                ..StormConfig::default()
+            })
+        };
+        let a = timeline_run(seed, count, &storm, config);
+        let b = timeline_run(seed, count, &storm, config);
+        prop_assert_eq!(a.served.len(), b.served.len());
+        for (x, y) in a.served.iter().zip(&b.served) {
+            prop_assert_eq!(x.started_at, y.started_at);
+            prop_assert_eq!(x.finished_at, y.finished_at);
+            prop_assert_eq!(x.outcome.answer.clone(), y.outcome.answer.clone());
+            prop_assert_eq!(
+                &x.outcome.stats.completion.breakdown,
+                &y.outcome.stats.completion.breakdown
+            );
+        }
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.group_iters, b.group_iters);
+        prop_assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn honest_modes_conserve_wall_clock(
+        count in 2usize..5,
+        seed in 0u64..500,
+        mode in 0u8..3,
+    ) {
+        let event = EventConfig::windowed(4, 0.0);
+        let config = match mode {
+            0 => TimelineConfig::anchored(event),
+            1 => TimelineConfig::honest(event),
+            _ => TimelineConfig::honest(event).with_token_joins().with_join_quantum(8),
+        };
+        let run = timeline_run(seed, count, &quiet_storm(), config);
+        for (i, r) in run.served.iter().enumerate() {
+            let b = r.outcome.stats.breakdown();
+            let accounted = r.queue_delay() + b.total();
+            let wall = r.finished_at - r.arrived_at;
+            prop_assert!(
+                (accounted - wall).abs() <= 1e-9 * wall.max(1.0),
+                "request {} (mode {}): accounted {} != wall {}",
+                i, mode, accounted, wall
+            );
+            prop_assert!(b.join_wait <= b.idle + 1e-9);
+            prop_assert!(b.contention >= 0.0);
+        }
+        // The timeline roll-up stays internally consistent on real runs.
+        let occ = run.timeline;
+        prop_assert!(occ.busy_secs <= occ.span_secs + 1e-9);
+        prop_assert!((occ.busy_secs + occ.idle_secs() - occ.span_secs).abs() <= 1e-9);
+    }
+}

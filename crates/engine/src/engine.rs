@@ -296,6 +296,11 @@ impl StepStatus {
 pub enum RunPhase {
     /// Between iterations: `plan_iteration` is the only legal call.
     Ready,
+    /// Mid-generation under the chunked sub-iteration decode protocol:
+    /// `plan_decode_chunk` / `apply_decode_chunk` drive the phase until
+    /// it reports [`DecodeStatus::Generated`]. The monolithic
+    /// `plan_iteration` wrapper never exposes this state.
+    Decoding,
     /// Generation ran; `take_verify_batch` must run next.
     Generated,
     /// Verifier mirror work done, chunks await costing;
@@ -363,6 +368,44 @@ impl VerifyCharge {
             busy_seconds: cost.seconds,
         }
     }
+}
+
+/// One planned slice of the generation phase: the next `k` decode steps
+/// over this request's `batch` decoding sequences (active beams plus
+/// filled speculative slots), whose context lengths sum to `ctx_sum`
+/// tokens. Produced by [`RequestRun::plan_decode_chunk`]; the kernel
+/// time is charged when the scheduler calls
+/// [`RequestRun::apply_decode_chunk`], priced over the co-batch
+/// declared at that instant — which is what lets an external scheduler
+/// admit new requests into the decode batch *between* chunks (token-
+/// granularity joins) instead of at iteration boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeChunk {
+    /// Decode steps (tokens per sequence) this chunk advances.
+    pub k: u64,
+    /// Sequences decoding in this request's own batch (beams + spec
+    /// slots); co-resident sequences from other requests are added at
+    /// pricing time from [`RequestRun::set_co_batch`].
+    pub batch: usize,
+    /// Sum of those sequences' context lengths, in tokens.
+    pub ctx_sum: u64,
+}
+
+/// Progress of the chunked sub-iteration decode protocol
+/// ([`RequestRun::plan_decode_chunk`] /
+/// [`RequestRun::apply_decode_chunk`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStatus {
+    /// A chunk is planned and awaits [`RequestRun::apply_decode_chunk`].
+    Planned(DecodeChunk),
+    /// The chunk was applied and generation continues: call
+    /// [`RequestRun::plan_decode_chunk`] again.
+    Decoding,
+    /// The generation phase is complete;
+    /// [`RequestRun::take_verify_batch`] is the next legal call.
+    Generated,
+    /// The run already completed; nothing was planned.
+    Finished,
 }
 
 /// Transient speculative decoding task (one filled slot).
@@ -481,6 +524,13 @@ pub struct RequestRun {
     co_ctx_sum: u64,
     /// Split-phase protocol position (see [`RequestRun::plan_iteration`]).
     phase: RunPhase,
+    /// Peak decode batch width observed so far in the current
+    /// generation phase (spec-slot target; persists across decode
+    /// chunks).
+    gen_target_batch: usize,
+    /// The decode chunk planned by `plan_decode_chunk`, awaiting its
+    /// `apply_decode_chunk` charge.
+    pending_decode: Option<DecodeChunk>,
     /// Verifier chunks produced by `take_verify_batch`, awaiting their
     /// `apply_verify_results` charges.
     pending_chunks: Vec<VerifyChunk>,
@@ -592,6 +642,8 @@ impl RequestRun {
             co_seqs: 0,
             co_ctx_sum: 0,
             phase: RunPhase::Ready,
+            gen_target_batch: 0,
+            pending_decode: None,
             pending_chunks: Vec::new(),
             pending_verify_all: true,
             last_demand: 0,
@@ -742,12 +794,22 @@ impl RequestRun {
         if self.done {
             return Ok(StepStatus::Finished);
         }
-        self.replan();
-        let order = self.generation_phase(driver)?;
-        self.scratch.ordered = order;
-        self.pending_verify_all = driver.verify_every_step();
-        self.phase = RunPhase::Generated;
-        Ok(StepStatus::Running)
+        // Drive the chunked sub-iteration protocol with an uncapped
+        // chunk size: every chunk is one full decode segment, so the
+        // sequence of kernel launches (and every float op) is identical
+        // to the historical monolithic generation phase — the wrapper
+        // is bit-identical by construction.
+        loop {
+            match self.plan_decode_chunk(driver, u64::MAX)? {
+                DecodeStatus::Finished => return Ok(StepStatus::Finished),
+                DecodeStatus::Generated | DecodeStatus::Decoding => return Ok(StepStatus::Running),
+                DecodeStatus::Planned(_) => {
+                    if self.apply_decode_chunk(driver)? == DecodeStatus::Generated {
+                        return Ok(StepStatus::Running);
+                    }
+                }
+            }
+        }
     }
 
     /// Split phase 2: mirror this iteration's fresh steps into the
@@ -988,6 +1050,54 @@ impl RequestRun {
             self.breakdown.barrier_idle += t - self.clock;
         }
         self.sync_clock_to(t);
+    }
+
+    /// Advance the internal clock to `t` as *token-join* idle time — the
+    /// wait at a shared chunk boundary for the slowest co-batched decode
+    /// chunk, where newly arrived requests may join the batch. Books the
+    /// gap both to `idle` and to its `join_wait` slice. No-op if `t` is
+    /// in the past.
+    pub fn sync_clock_to_join(&mut self, t: f64) {
+        if t > self.clock {
+            self.breakdown.join_wait += t - self.clock;
+        }
+        self.sync_clock_to(t);
+    }
+
+    /// Retroactively stretch this run's in-flight iteration for decode
+    /// contention from a *later* launch: `add_seqs` new sequences (with
+    /// `add_ctx` total context tokens) started sharing the device while
+    /// this run still had `remaining` seconds of its current iteration
+    /// in flight. The remaining time is stretched by the marginal
+    /// co-batch slowdown — the ratio of the decode-step cost with and
+    /// without the new load on top of this run's own frontier plus its
+    /// declared co-batch — and the stretch is booked to the
+    /// `contention` latency bucket (wall-clock, not device-busy time,
+    /// so busy buckets stay comparable to contention-free scheduling).
+    /// Returns the seconds added; never negative, and zero whenever the
+    /// added load does not slow the shared kernel.
+    pub fn contention_stretch(&mut self, add_seqs: usize, add_ctx: u64, remaining: f64) -> f64 {
+        if add_seqs == 0 || remaining <= 0.0 {
+            return 0.0;
+        }
+        let (seqs, ctx) = self.decode_load();
+        let total = seqs + self.co_seqs;
+        if total == 0 {
+            return 0.0;
+        }
+        let base_ctx = ctx + self.co_ctx_sum;
+        let before = self.gen_roof.decode_step(total, base_ctx / total as u64);
+        let after = self.gen_roof.decode_step(
+            total + add_seqs,
+            (base_ctx + add_ctx) / (total + add_seqs) as u64,
+        );
+        if before.seconds <= 0.0 || after.seconds <= before.seconds {
+            return 0.0;
+        }
+        let extra = remaining * (after.seconds / before.seconds - 1.0);
+        self.clock += extra;
+        self.breakdown.contention += extra;
+        extra
     }
 
     /// Preempt the request: swap all unpinned KV (generator and
@@ -1240,12 +1350,11 @@ impl RequestRun {
         beam.remaining() / self.cfg.block_size + 2
     }
 
-    /// Run the generation phase; returns the scheduling order used (the
+    /// Open a generation phase: offload the verifier's KV if planned,
+    /// order the frontier, initialize the admission queue and per-phase
+    /// containers. The scheduling order lands in `scratch.ordered` (the
     /// verification phase reuses it for locality).
-    fn generation_phase(
-        &mut self,
-        driver: &mut dyn SearchDriver,
-    ) -> Result<Vec<usize>, EngineError> {
+    fn begin_generation(&mut self, driver: &mut dyn SearchDriver) {
         // Offload: the verifier yields its KV while the generator runs.
         if self.plan.offload {
             let bytes = self.ver_kv.swap_out_unpinned();
@@ -1271,28 +1380,76 @@ impl RequestRun {
         ordered.extend(perm.iter().map(|&i| self.frontier[items[i].index]));
         self.scratch.items = items;
 
-        let mut queue = std::mem::take(&mut self.scratch.queue);
-        queue.clear();
-        queue.extend(ordered.iter().copied());
-        let mut active = std::mem::take(&mut self.scratch.active);
-        active.clear();
-        let mut finished_this_phase = std::mem::take(&mut self.scratch.finished);
-        finished_this_phase.clear();
-        let mut spec_tasks = std::mem::take(&mut self.scratch.spec_tasks);
-        spec_tasks.clear();
-        let mut spec_started = std::mem::take(&mut self.scratch.spec_started);
-        spec_started.clear();
-        let mut defer_counts = std::mem::take(&mut self.scratch.defer_counts);
-        defer_counts.clear();
-        let mut deferred = std::mem::take(&mut self.scratch.deferred);
-        let mut still_failing = std::mem::take(&mut self.scratch.still_failing);
-        let mut still_active = std::mem::take(&mut self.scratch.still_active);
-        let mut kept_spec = std::mem::take(&mut self.scratch.kept_spec);
-        let mut target_batch = 0usize;
+        self.scratch.queue.clear();
+        self.scratch.queue.extend(ordered.iter().copied());
+        self.scratch.ordered = ordered;
+        self.scratch.active.clear();
+        self.scratch.finished.clear();
+        self.scratch.spec_tasks.clear();
+        self.scratch.spec_started.clear();
+        self.scratch.defer_counts.clear();
+        self.gen_target_batch = 0;
         self.compute_score_bins(driver.branching().max(1));
+    }
+
+    /// Close a generation phase: capture the driver's verification mode
+    /// and move to [`RunPhase::Generated`].
+    fn end_generation(&mut self, driver: &mut dyn SearchDriver) {
+        self.pending_verify_all = driver.verify_every_step();
+        self.phase = RunPhase::Generated;
+    }
+
+    /// Chunked sub-iteration decode, step 1: admit waiting paths into
+    /// the decode batch, refill speculative slots, and plan the next
+    /// decode segment — capped at `cap` tokens per sequence, so an
+    /// external scheduler can force a chunk boundary every `cap` tokens
+    /// and admit newly arrived requests into the co-batch there
+    /// (token-granularity joins). Called in [`RunPhase::Ready`] it
+    /// opens the generation phase first (replan, frontier ordering).
+    ///
+    /// Returns [`DecodeStatus::Planned`] with the chunk to be charged
+    /// via [`RequestRun::apply_decode_chunk`],
+    /// [`DecodeStatus::Generated`] when the generation phase completed
+    /// without another segment, or [`DecodeStatus::Finished`] when the
+    /// run was already complete. With `cap == u64::MAX` every chunk is
+    /// one full decode segment and the plan/apply cycle reproduces the
+    /// historical monolithic generation phase bit for bit
+    /// ([`RequestRun::plan_iteration`] is exactly that loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when a single path
+    /// cannot fit in the generator's KV allocation.
+    pub fn plan_decode_chunk(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+        cap: u64,
+    ) -> Result<DecodeStatus, EngineError> {
+        if self.phase == RunPhase::Ready {
+            if self.done {
+                return Ok(DecodeStatus::Finished);
+            }
+            self.replan();
+            self.begin_generation(driver);
+            self.phase = RunPhase::Decoding;
+        }
+        assert!(
+            self.phase == RunPhase::Decoding,
+            "plan_decode_chunk called mid-iteration (phase {:?})",
+            self.phase
+        );
+        assert!(
+            self.pending_decode.is_none(),
+            "previous decode chunk was never applied"
+        );
+        let mut queue = std::mem::take(&mut self.scratch.queue);
+        let mut active = std::mem::take(&mut self.scratch.active);
+        let mut finished_this_phase = std::mem::take(&mut self.scratch.finished);
+        let mut spec_tasks = std::mem::take(&mut self.scratch.spec_tasks);
+        let mut spec_started = std::mem::take(&mut self.scratch.spec_started);
         let bins = std::mem::take(&mut self.scratch.bins);
 
-        loop {
+        let planned = loop {
             // Admission: fill with waiting paths first (Phase 1,
             // continuous beam batching).
             let reserve: u64 = active
@@ -1341,11 +1498,11 @@ impl RequestRun {
             }
             if active.is_empty() {
                 if queue.is_empty() {
-                    break;
+                    break None;
                 }
                 continue;
             }
-            target_batch = target_batch.max(active.len() + spec_tasks.len());
+            self.gen_target_batch = self.gen_target_batch.max(active.len() + spec_tasks.len());
 
             // Phase 2: speculative slot refill, only with an empty
             // waiting queue and before the preemption deadline.
@@ -1357,11 +1514,12 @@ impl RequestRun {
                     &active,
                     &mut spec_tasks,
                     &mut spec_started,
-                    target_batch,
+                    self.gen_target_batch,
                 );
             }
 
-            // One segment: advance until the next completion event.
+            // One segment: advance until the next completion event (or
+            // the scheduler's chunk cap, whichever is nearer).
             let k_active = active
                 .iter()
                 .map(|&i| self.beams[i].remaining())
@@ -1372,109 +1530,181 @@ impl RequestRun {
                 .map(|t| t.target - t.generated)
                 .min()
                 .unwrap_or(u64::MAX);
-            let k = k_active.min(k_spec).max(1);
+            let k = k_active.min(k_spec).max(1).min(cap.max(1));
             let batch = active.len() + spec_tasks.len();
             let ctx_sum: u64 = active
                 .iter()
                 .map(|&i| self.gen_kv.seq_tokens(self.beams[i].kv))
                 .chain(spec_tasks.iter().map(|t| self.gen_kv.seq_tokens(t.node)))
                 .sum();
-            // Sequences co-scheduled from other requests ride the same
-            // decode kernel: one shared weight sweep, everyone's KV
-            // traffic. With no co-batch this reduces to the standalone
-            // cost exactly.
-            let total_batch = batch + self.co_seqs;
-            let avg_ctx = (ctx_sum + self.co_ctx_sum) / total_batch as u64 + k / 2;
-            let step_cost = self.gen_roof.decode_step(total_batch, avg_ctx);
-            let dt = step_cost.seconds * k as f64;
-            self.advance(dt, step_cost.compute_util, Phase::Generation);
-            self.breakdown.generator += dt;
-            self.stats.decoded_tokens += k * batch as u64;
-
-            // Apply k tokens to every member.
-            deferred.clear();
-            let mut emergency = false;
-            for &bi in &active {
-                match self.gen_kv.extend(self.beams[bi].kv, k) {
-                    Ok(()) => self.beams[bi].step_done += k,
-                    Err(KvError::InsufficientMemory { .. }) => {
-                        emergency = true;
-                        deferred.push(bi);
-                    }
-                    Err(e) => panic!("extend failed: {e}"),
-                }
+            break Some(DecodeChunk { k, batch, ctx_sum });
+        };
+        // Hand the containers back between protocol calls (error paths
+        // above skip this; the run is over then anyway).
+        self.scratch.queue = queue;
+        self.scratch.active = active;
+        self.scratch.finished = finished_this_phase;
+        self.scratch.spec_tasks = spec_tasks;
+        self.scratch.spec_started = spec_started;
+        self.scratch.bins = bins;
+        match planned {
+            Some(chunk) => {
+                self.pending_decode = Some(chunk);
+                Ok(DecodeStatus::Planned(chunk))
             }
-            if emergency {
-                // Abort speculation to relieve pressure, retry deferred.
-                self.abort_spec(&mut spec_tasks, &mut spec_started, true);
-                still_failing.clear();
-                for &bi in &deferred {
-                    match self.gen_kv.extend(self.beams[bi].kv, k) {
-                        Ok(()) => self.beams[bi].step_done += k,
-                        Err(_) => still_failing.push(bi),
-                    }
-                }
-                for &bi in &still_failing {
-                    // Defer the beam: release it and re-queue; its
-                    // partial step stays cached and resumes later. A beam
-                    // that keeps failing cannot fit at all.
-                    let count = defer_counts.entry(bi).or_insert(0);
-                    *count += 1;
-                    if *count > 3 {
-                        return Err(EngineError::PathExceedsMemory {
-                            needed: self.gen_kv.blocks_needed(self.beams[bi].kv, 1),
-                            capacity: self.gen_kv.config().capacity_blocks(),
-                        });
-                    }
-                    self.gen_kv.unpin(self.beams[bi].kv);
-                    active.retain(|&x| x != bi);
-                    queue.push_back(bi);
-                }
-            }
-            kept_spec.clear();
-            for mut task in spec_tasks.drain(..) {
-                match self.gen_kv.extend(task.node, k) {
-                    Ok(()) => {
-                        task.generated += k;
-                        self.stats.spec.spec_tokens += k;
-                        if task.generated >= task.target {
-                            self.finish_spec_branch(task, false);
-                        } else {
-                            kept_spec.push(task);
-                        }
-                    }
-                    Err(_) => {
-                        // Memory pressure kills the branch (the partial
-                        // head start is still recorded and unpinned).
-                        self.stats.spec.preempted_branches += 1;
-                        self.record_partial_spec(task);
-                    }
-                }
-            }
-            std::mem::swap(&mut spec_tasks, &mut kept_spec);
-
-            // Retire members that finished their step; their slots will
-            // be refilled at the top of the loop.
-            still_active.clear();
-            for &bi in &active {
-                if self.beams[bi].step_complete() {
-                    self.gen_kv.unpin(self.beams[bi].kv);
-                    finished_this_phase.push(bi);
-                } else {
-                    still_active.push(bi);
-                }
-            }
-            std::mem::swap(&mut active, &mut still_active);
-
-            if active.is_empty() && queue.is_empty() {
-                // Straggler done: strictly terminate speculation
-                // regardless of progress (Sec. 4.1.2).
-                self.abort_spec(&mut spec_tasks, &mut spec_started, false);
-                break;
+            None => {
+                self.end_generation(driver);
+                Ok(DecodeStatus::Generated)
             }
         }
-        // Hand the containers back for the next iteration (error paths
-        // above skip this; the run is over then anyway).
+    }
+
+    /// The wall-clock seconds the planned chunk will charge under the
+    /// co-batch currently declared via [`RequestRun::set_co_batch`] —
+    /// what a scheduler uses to find the next shared chunk boundary
+    /// before committing the chunk. Bit-identical to the charge
+    /// [`RequestRun::apply_decode_chunk`] books (same float ops).
+    pub fn chunk_seconds(&self, chunk: &DecodeChunk) -> f64 {
+        let total_batch = chunk.batch + self.co_seqs;
+        let avg_ctx = (chunk.ctx_sum + self.co_ctx_sum) / total_batch as u64 + chunk.k / 2;
+        self.gen_roof.decode_step(total_batch, avg_ctx).seconds * chunk.k as f64
+    }
+
+    /// Chunked sub-iteration decode, step 2: charge the planned chunk's
+    /// decode kernel (priced over the co-batch declared *now*, which may
+    /// differ from the plan-time co-batch — that is the point of
+    /// token-granularity joins) and apply its `k` tokens to every batch
+    /// member: extend KV, handle memory-pressure deferral, advance
+    /// speculative slots, retire members whose step completed.
+    ///
+    /// Returns [`DecodeStatus::Decoding`] while the generation phase has
+    /// more work and [`DecodeStatus::Generated`] when it completed
+    /// ([`RequestRun::take_verify_batch`] is next).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PathExceedsMemory`] when a repeatedly
+    /// deferred path cannot fit the generator's KV allocation at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a planned chunk.
+    pub fn apply_decode_chunk(
+        &mut self,
+        driver: &mut dyn SearchDriver,
+    ) -> Result<DecodeStatus, EngineError> {
+        assert!(
+            self.phase == RunPhase::Decoding,
+            "apply_decode_chunk called out of phase (phase {:?})",
+            self.phase
+        );
+        let chunk = self.pending_decode.take().expect("no decode chunk planned");
+        let k = chunk.k;
+        let mut queue = std::mem::take(&mut self.scratch.queue);
+        let mut active = std::mem::take(&mut self.scratch.active);
+        let mut finished_this_phase = std::mem::take(&mut self.scratch.finished);
+        let mut spec_tasks = std::mem::take(&mut self.scratch.spec_tasks);
+        let mut spec_started = std::mem::take(&mut self.scratch.spec_started);
+        let mut defer_counts = std::mem::take(&mut self.scratch.defer_counts);
+        let mut deferred = std::mem::take(&mut self.scratch.deferred);
+        let mut still_failing = std::mem::take(&mut self.scratch.still_failing);
+        let mut still_active = std::mem::take(&mut self.scratch.still_active);
+        let mut kept_spec = std::mem::take(&mut self.scratch.kept_spec);
+
+        // Sequences co-scheduled from other requests ride the same
+        // decode kernel: one shared weight sweep, everyone's KV
+        // traffic. With no co-batch this reduces to the standalone
+        // cost exactly.
+        let total_batch = chunk.batch + self.co_seqs;
+        let avg_ctx = (chunk.ctx_sum + self.co_ctx_sum) / total_batch as u64 + k / 2;
+        let step_cost = self.gen_roof.decode_step(total_batch, avg_ctx);
+        let dt = step_cost.seconds * k as f64;
+        self.advance(dt, step_cost.compute_util, Phase::Generation);
+        self.breakdown.generator += dt;
+        self.stats.decoded_tokens += k * chunk.batch as u64;
+
+        // Apply k tokens to every member.
+        deferred.clear();
+        let mut emergency = false;
+        for &bi in &active {
+            match self.gen_kv.extend(self.beams[bi].kv, k) {
+                Ok(()) => self.beams[bi].step_done += k,
+                Err(KvError::InsufficientMemory { .. }) => {
+                    emergency = true;
+                    deferred.push(bi);
+                }
+                Err(e) => panic!("extend failed: {e}"),
+            }
+        }
+        if emergency {
+            // Abort speculation to relieve pressure, retry deferred.
+            self.abort_spec(&mut spec_tasks, &mut spec_started, true);
+            still_failing.clear();
+            for &bi in &deferred {
+                match self.gen_kv.extend(self.beams[bi].kv, k) {
+                    Ok(()) => self.beams[bi].step_done += k,
+                    Err(_) => still_failing.push(bi),
+                }
+            }
+            for &bi in &still_failing {
+                // Defer the beam: release it and re-queue; its
+                // partial step stays cached and resumes later. A beam
+                // that keeps failing cannot fit at all.
+                let count = defer_counts.entry(bi).or_insert(0);
+                *count += 1;
+                if *count > 3 {
+                    return Err(EngineError::PathExceedsMemory {
+                        needed: self.gen_kv.blocks_needed(self.beams[bi].kv, 1),
+                        capacity: self.gen_kv.config().capacity_blocks(),
+                    });
+                }
+                self.gen_kv.unpin(self.beams[bi].kv);
+                active.retain(|&x| x != bi);
+                queue.push_back(bi);
+            }
+        }
+        kept_spec.clear();
+        for mut task in spec_tasks.drain(..) {
+            match self.gen_kv.extend(task.node, k) {
+                Ok(()) => {
+                    task.generated += k;
+                    self.stats.spec.spec_tokens += k;
+                    if task.generated >= task.target {
+                        self.finish_spec_branch(task, false);
+                    } else {
+                        kept_spec.push(task);
+                    }
+                }
+                Err(_) => {
+                    // Memory pressure kills the branch (the partial
+                    // head start is still recorded and unpinned).
+                    self.stats.spec.preempted_branches += 1;
+                    self.record_partial_spec(task);
+                }
+            }
+        }
+        std::mem::swap(&mut spec_tasks, &mut kept_spec);
+
+        // Retire members that finished their step; their slots will
+        // be refilled at the next chunk's admission.
+        still_active.clear();
+        for &bi in &active {
+            if self.beams[bi].step_complete() {
+                self.gen_kv.unpin(self.beams[bi].kv);
+                finished_this_phase.push(bi);
+            } else {
+                still_active.push(bi);
+            }
+        }
+        std::mem::swap(&mut active, &mut still_active);
+
+        let over = active.is_empty() && queue.is_empty();
+        if over {
+            // Straggler done: strictly terminate speculation
+            // regardless of progress (Sec. 4.1.2).
+            self.abort_spec(&mut spec_tasks, &mut spec_started, false);
+        }
+        // Hand the containers back for the next chunk / iteration.
         self.scratch.queue = queue;
         self.scratch.active = active;
         self.scratch.finished = finished_this_phase;
@@ -1485,8 +1715,12 @@ impl RequestRun {
         self.scratch.still_failing = still_failing;
         self.scratch.still_active = still_active;
         self.scratch.kept_spec = kept_spec;
-        self.scratch.bins = bins;
-        Ok(ordered)
+        if over {
+            self.end_generation(driver);
+            Ok(DecodeStatus::Generated)
+        } else {
+            Ok(DecodeStatus::Decoding)
+        }
     }
 
     fn charge_gen_restore(&mut self, cost: &ftts_kv::PinCost) {

@@ -42,8 +42,8 @@ mod stats;
 pub use beam::{Beam, BeamId, BeamState, ScoredBeam};
 pub use config::{EngineConfig, ModelPairing, SpecConfig};
 pub use engine::{
-    Engine, EngineError, RequestRun, RunPhase, SearchDriver, SelectCtx, StepStatus, VerifyCharge,
-    VerifyChunk, WarmStart,
+    DecodeChunk, DecodeStatus, Engine, EngineError, RequestRun, RunPhase, SearchDriver, SelectCtx,
+    StepStatus, VerifyCharge, VerifyChunk, WarmStart,
 };
 pub use order::{FifoOrder, OrderItem, OrderPolicy, RandomOrder};
 pub use planner::{working_set_demand, MemoryPlan, MemoryPlanner, PlanContext, StaticSplitPlanner};

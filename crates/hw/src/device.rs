@@ -105,6 +105,24 @@ impl GpuDevice {
         }
     }
 
+    /// NVIDIA Jetson AGX Orin (64 GB, unified) — embedded-edge class
+    /// for heterogeneous-fleet studies. The Ampere iGPU peaks around
+    /// 10.6 dense BF16 TFLOPS with 204.8 GB/s LPDDR5; the "PCIe" link
+    /// models the effective host-copy path through the unified memory
+    /// controller.
+    pub fn jetson_orin() -> Self {
+        Self {
+            name: "Jetson AGX Orin".to_string(),
+            class: DeviceClass::Edge,
+            peak_flops: 10.6e12,
+            mem_bandwidth: 204.8e9,
+            vram_bytes: 32 * GIB,
+            pcie_bandwidth: 10.0e9,
+            compute_efficiency: 0.45,
+            bandwidth_efficiency: 0.72,
+        }
+    }
+
     /// NVIDIA A100-SXM4-80GB — cloud reference for Fig. 1.
     pub fn a100_80g() -> Self {
         Self {
@@ -215,6 +233,17 @@ mod tests {
         assert_eq!(GpuDevice::a100_80g().class, DeviceClass::Cloud);
         assert_eq!(GpuDevice::h100_80g().class, DeviceClass::Cloud);
         assert_eq!(GpuDevice::rtx4090().class, DeviceClass::Edge);
+    }
+
+    #[test]
+    fn jetson_orin_is_the_slowest_edge_part() {
+        let orin = GpuDevice::jetson_orin();
+        assert_eq!(orin.class, DeviceClass::Edge);
+        for dev in GpuDevice::edge_presets() {
+            assert!(orin.effective_flops() < dev.effective_flops());
+            assert!(orin.effective_bandwidth() < dev.effective_bandwidth());
+        }
+        assert!(orin.ridge_point() > 0.0 && orin.ridge_point().is_finite());
     }
 
     #[test]

@@ -39,6 +39,24 @@ pub struct LatencyBreakdown {
     /// never book barrier idle: their waits are window waits (plain
     /// `idle`).
     pub barrier_idle: f64,
+    /// The slice of `idle` spent waiting at a *token-join* boundary — a
+    /// request decoding in a shared launch pauses at each chunk boundary
+    /// until the slowest co-batched chunk lands, so newly arrived
+    /// requests can join the decode batch there. Like
+    /// [`LatencyBreakdown::barrier_idle`] it is already counted inside
+    /// `idle` (always `<= idle`) and does not contribute to
+    /// [`LatencyBreakdown::total`] separately. Only the token-join
+    /// timeline scheduler books it; iteration-granularity schedulers
+    /// leave it zero.
+    pub join_wait: f64,
+    /// Seconds lost to cross-launch decode contention: a later launch
+    /// overlapping this request's in-flight iteration retroactively
+    /// stretches its remaining time by the marginal co-batch slowdown.
+    /// An own phase that counts toward [`LatencyBreakdown::total`]
+    /// (like `fault`), and *not* booked into `generator`, so busy
+    /// buckets stay comparable with contention-free scheduling. Only
+    /// the global device timeline books it.
+    pub contention: f64,
     /// Seconds lost to injected faults: device work wasted by transient
     /// kernel failures (including repeated immediate retries), retry
     /// backoff waits, and thermal-throttle stretch. A sixth phase that
@@ -58,6 +76,7 @@ impl LatencyBreakdown {
             + self.offload
             + self.swap
             + self.idle
+            + self.contention
             + self.fault
     }
 
@@ -76,6 +95,8 @@ impl LatencyBreakdown {
         self.swap += other.swap;
         self.idle += other.idle;
         self.barrier_idle += other.barrier_idle;
+        self.join_wait += other.join_wait;
+        self.contention += other.contention;
         self.fault += other.fault;
     }
 
@@ -89,6 +110,8 @@ impl LatencyBreakdown {
             swap: self.swap * k,
             idle: self.idle * k,
             barrier_idle: self.barrier_idle * k,
+            join_wait: self.join_wait * k,
+            contention: self.contention * k,
             fault: self.fault * k,
         }
     }
@@ -117,12 +140,14 @@ mod tests {
             swap: 0.5,
             idle: 0.25,
             barrier_idle: 0.25,
+            join_wait: 0.1,
+            contention: 0.5,
             fault: 0.5,
         };
         assert_eq!(
             b.total(),
-            5.0,
-            "barrier idle is a slice of idle, fault and swap are their own phases"
+            5.5,
+            "barrier idle and join wait are slices of idle; contention, fault and swap are their own phases"
         );
         assert_eq!(b.generator_side(), 1.5);
     }
@@ -132,18 +157,23 @@ mod tests {
         let mut a = LatencyBreakdown {
             idle: 2.0,
             barrier_idle: 1.0,
+            join_wait: 0.5,
             ..Default::default()
         };
         a.accumulate(&LatencyBreakdown {
             idle: 1.0,
             barrier_idle: 0.5,
+            join_wait: 0.25,
             ..Default::default()
         });
         assert_eq!(a.idle, 3.0);
         assert_eq!(a.barrier_idle, 1.5);
+        assert_eq!(a.join_wait, 0.75);
         let half = a.scaled(0.5);
         assert_eq!(half.barrier_idle, 0.75);
+        assert_eq!(half.join_wait, 0.375);
         assert!(half.barrier_idle <= half.idle);
+        assert!(half.join_wait <= half.idle);
     }
 
     #[test]

@@ -21,6 +21,7 @@ mod accuracy;
 mod fleet;
 mod goodput;
 mod latency;
+mod occupancy;
 mod report;
 mod stream;
 mod summary;
@@ -30,6 +31,7 @@ pub use accuracy::{pass_at_n, top1_majority, vote_weighted};
 pub use fleet::FleetSummary;
 pub use goodput::{precise_goodput, BeamOutcome};
 pub use latency::{CompletionRecord, LatencyBreakdown};
+pub use occupancy::TimelineOccupancy;
 pub use report::{fmt, Table};
 pub use stream::{ClassSummary, SloClass, StreamRecord, StreamSummary};
 pub use summary::Summary;

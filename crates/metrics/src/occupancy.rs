@@ -1,0 +1,78 @@
+//! Device-timeline occupancy statistics.
+//!
+//! The global device timeline (`ftts_core::timeline`) records every
+//! kernel launch — decode chunks, verifier prefills, swap transfers —
+//! as a costed segment on one per-device clock. [`TimelineOccupancy`]
+//! is the roll-up it reports per run: how much wall-clock the device
+//! spent busy versus idle, how the busy time splits by kernel kind,
+//! how much retroactive contention stretch was applied, and how deep
+//! the overlap got.
+
+use serde::{Deserialize, Serialize};
+
+/// Roll-up of one device timeline: per-kind busy sums, the overlap-aware
+/// busy union, and the retroactive stretch total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineOccupancy {
+    /// Wall-clock span covered by the timeline: first segment start to
+    /// last segment end, seconds. Zero for an empty timeline.
+    pub span_secs: f64,
+    /// Union of all segment intervals — seconds the device had at least
+    /// one kernel in flight. Always `<= span_secs`; overlapping
+    /// segments never double-count here.
+    pub busy_secs: f64,
+    /// Summed duration of decode segments (overlaps counted per
+    /// segment).
+    pub decode_secs: f64,
+    /// Summed duration of verifier-prefill segments.
+    pub verify_secs: f64,
+    /// Summed duration of swap/PCIe-transfer segments.
+    pub swap_secs: f64,
+    /// Seconds of retroactive contention stretch applied to segments
+    /// already on the timeline by later overlapping launches.
+    pub stretch_secs: f64,
+    /// Segments recorded.
+    pub segments: u64,
+    /// Peak number of simultaneously in-flight segments.
+    pub max_concurrency: u32,
+}
+
+impl TimelineOccupancy {
+    /// Seconds the device sat with no kernel in flight inside the span.
+    pub fn idle_secs(&self) -> f64 {
+        (self.span_secs - self.busy_secs).max(0.0)
+    }
+
+    /// Busy fraction of the span (`0.0` for an empty timeline).
+    pub fn utilization(&self) -> f64 {
+        if self.span_secs > 0.0 {
+            self.busy_secs / self.span_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let o = TimelineOccupancy::default();
+        assert_eq!(o.span_secs, 0.0);
+        assert_eq!(o.utilization(), 0.0);
+        assert_eq!(o.idle_secs(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_span() {
+        let o = TimelineOccupancy {
+            span_secs: 10.0,
+            busy_secs: 7.5,
+            ..Default::default()
+        };
+        assert_eq!(o.utilization(), 0.75);
+        assert_eq!(o.idle_secs(), 2.5);
+    }
+}

@@ -12,6 +12,14 @@
 //! results for the new ones, which the replay-determinism tests pin
 //! down byte-for-byte.
 //!
+//! Replays are memoized on a hash of `(config, active trace)`: any
+//! query whose effective simulation input matches the cached run is
+//! answered from the cache without re-simulating, so repeated `stats`
+//! polls — and no-op trace churn like a submit immediately cancelled —
+//! are O(1). Determinism makes this safe: equal inputs *must* produce
+//! the byte-identical reply, which the memoization regression test
+//! pins down.
+//!
 //! The runtime also owns the protocol-level tenant front door
 //! ([`TenantBudget`]): unknown tenants, prompts whose cold working set
 //! cannot fit the tenant's hard cap (or the pool), and tenants at
@@ -72,7 +80,11 @@ pub struct ServeRuntime {
     subs: Vec<Submission>,
     by_id: BTreeMap<String, usize>,
     rejected: u64,
-    dirty: bool,
+    /// Memo key of the cached replay: FNV-1a over the config and the
+    /// ordered active trace. `None` until the first replay.
+    cache_key: Option<u64>,
+    /// Full re-simulations actually executed (memo misses).
+    replays: u64,
     cache: SimResult,
     pool_bytes: u64,
     gen_bpt: u64,
@@ -103,7 +115,8 @@ impl ServeRuntime {
             subs: Vec::new(),
             by_id: BTreeMap::new(),
             rejected: 0,
-            dirty: false,
+            cache_key: None,
+            replays: 0,
             cache: SimResult::default(),
             pool_bytes,
             gen_bpt,
@@ -125,6 +138,12 @@ impl ServeRuntime {
     /// scheduler.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Full re-simulations executed so far. Repeated queries over an
+    /// unchanged trace are memo hits and leave this untouched.
+    pub fn replays(&self) -> u64 {
+        self.replays
     }
 
     /// Handle one frame line and produce the reply line.
@@ -227,7 +246,6 @@ impl ServeRuntime {
             cancelled: false,
             billed: true,
         });
-        self.dirty = true;
         Ok(reply)
     }
 
@@ -242,7 +260,6 @@ impl ServeRuntime {
                 sub.billed = false;
                 self.budget.release(sub.frame.tenant, sub.cold_bytes);
             }
-            self.dirty = true;
         }
         Ok(format!(
             "{{\"ok\":true,\"op\":\"cancel\",\"id\":\"{}\",\"state\":\"cancelled\"}}",
@@ -399,12 +416,38 @@ impl ServeRuntime {
             })
     }
 
-    /// Replay the accumulated timeline if anything changed since the
-    /// cached run.
-    fn freshen(&mut self) -> Result<(), WireError> {
-        if !self.dirty {
-            return Ok(());
+    /// The memo key: FNV-1a over the config plus every field of the
+    /// ordered active trace that can influence the simulation — arrival
+    /// instants, problems, SLOs, deadlines, tenants, and the submission
+    /// indices the cache is keyed by.
+    fn trace_key(&self, order: &[usize]) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(format!("{:?}", self.config).as_bytes());
+        for &i in order {
+            let f = &self.subs[i].frame;
+            eat(&(i as u64).to_le_bytes());
+            eat(&f.arrive_at.to_bits().to_le_bytes());
+            eat(&f.deadline_secs.to_bits().to_le_bytes());
+            eat(&f.problem_seed.to_le_bytes());
+            eat(&f.tenant.to_le_bytes());
+            eat(format!("{:?}|{:?}", f.dataset, f.slo).as_bytes());
         }
+        h
+    }
+
+    /// Replay the accumulated timeline if its effective simulation
+    /// input changed since the cached run; answer from the memo when it
+    /// did not (repeated queries are O(1), as is no-op churn like a
+    /// submit that was immediately cancelled).
+    fn freshen(&mut self) -> Result<(), WireError> {
         let mut order: Vec<usize> = (0..self.subs.len())
             .filter(|&i| !self.subs[i].cancelled)
             .collect();
@@ -416,23 +459,28 @@ impl ServeRuntime {
                 .expect("finite arrivals")
                 .then(a.cmp(&b))
         });
-        let arrivals: Vec<RequestArrival> = order
-            .iter()
-            .map(|&i| {
-                let f = &self.subs[i].frame;
-                RequestArrival {
-                    at: f.arrive_at,
-                    problem: f.dataset.problems(1, f.problem_seed)[0],
-                    slo: f.slo,
-                    deadline: f.arrive_at + f.deadline_secs,
-                    tenant: f.tenant,
-                }
-            })
-            .collect();
-        let result = self.simulate(&arrivals, &order)?;
-        // Open ledger holdings resolve with the replay: every active
-        // submission now has a result, so its bytes and quota slot
-        // return to the tenant's budget.
+        let key = self.trace_key(&order);
+        if self.cache_key != Some(key) {
+            let arrivals: Vec<RequestArrival> = order
+                .iter()
+                .map(|&i| {
+                    let f = &self.subs[i].frame;
+                    RequestArrival {
+                        at: f.arrive_at,
+                        problem: f.dataset.problems(1, f.problem_seed)[0],
+                        slo: f.slo,
+                        deadline: f.arrive_at + f.deadline_secs,
+                        tenant: f.tenant,
+                    }
+                })
+                .collect();
+            self.cache = self.simulate(&arrivals, &order)?;
+            self.cache_key = Some(key);
+            self.replays += 1;
+        }
+        // Open ledger holdings resolve with the query: every active
+        // submission now has a (possibly memoized) result, so its bytes
+        // and quota slot return to the tenant's budget.
         for i in &order {
             let sub = &mut self.subs[*i];
             if sub.billed {
@@ -440,8 +488,6 @@ impl ServeRuntime {
                 self.budget.release(sub.frame.tenant, sub.cold_bytes);
             }
         }
-        self.cache = result;
-        self.dirty = false;
         Ok(())
     }
 
@@ -555,6 +601,40 @@ mod tests {
         assert!(h.reply.contains("\"state\":\"cancelled\""), "{}", h.reply);
         let h = rt.handle_line("{\"op\":\"stats\"}");
         assert!(h.reply.contains("\"cancelled\":1"), "{}", h.reply);
+    }
+
+    #[test]
+    fn repeated_stats_are_memo_hits_and_byte_identical() {
+        let mut rt = runtime("");
+        rt.handle_line(&submit_line("r1", 0, 0.0));
+        rt.handle_line(&submit_line("r2", 0, 1.0));
+        let first_stats = rt.handle_line("{\"op\":\"stats\"}").reply;
+        let first_status = rt.handle_line("{\"op\":\"status\",\"id\":\"r1\"}").reply;
+        assert_eq!(rt.replays(), 1, "one replay resolves the trace");
+        for _ in 0..3 {
+            assert_eq!(rt.handle_line("{\"op\":\"stats\"}").reply, first_stats);
+            assert_eq!(
+                rt.handle_line("{\"op\":\"status\",\"id\":\"r1\"}").reply,
+                first_status
+            );
+        }
+        assert_eq!(rt.replays(), 1, "repeated queries are O(1) memo hits");
+        // No-op trace churn — a submit immediately cancelled — keys to
+        // the same effective trace: still no replay, same bytes from
+        // the per-tenant roll-up.
+        rt.handle_line(&submit_line("r3", 0, 2.0));
+        rt.handle_line("{\"op\":\"cancel\",\"id\":\"r3\"}");
+        assert_eq!(
+            rt.handle_line("{\"op\":\"status\",\"id\":\"r1\"}").reply,
+            first_status
+        );
+        assert_eq!(rt.replays(), 1, "cancelled churn stays a memo hit");
+        // A real trace change misses the memo exactly once.
+        rt.handle_line(&submit_line("r4", 0, 3.0));
+        let grown = rt.handle_line("{\"op\":\"stats\"}").reply;
+        rt.handle_line("{\"op\":\"stats\"}");
+        assert_eq!(rt.replays(), 2, "the grown trace replays once");
+        assert_ne!(grown, first_stats);
     }
 
     #[test]

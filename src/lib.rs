@@ -51,7 +51,8 @@ pub use ftts_core::{
     FaultEvent, FaultKind, FaultPlan, FaultPolicy, FleetConfig, FleetRun, FleetSim, HedgeConfig,
     HostTier, HotnessPolicy, KvTierConfig, LruAccessHotness, PrefixAwareOrder, RobustConfig,
     RooflinePlanner, RoutePolicy, ServeOutcome, ServedRequest, ServerSim, SpecConfig, StormConfig,
-    SweepJob, TierStats, TtsServer, WorstCaseOrder,
+    SweepJob, TierStats, TimelineConfig, TimelineServerSim, TimelineTuning, TtsServer,
+    WorstCaseOrder,
 };
 pub use ftts_engine::{
     Engine, EngineConfig, ModelPairing, RequestRun, RunStats, SearchDriver, StepStatus,
